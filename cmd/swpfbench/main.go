@@ -1,0 +1,95 @@
+// Command swpfbench regenerates the figures of the evaluation section
+// of Ainsworth & Jones (CGO 2017) on the simulated machines.
+//
+// Usage:
+//
+//	swpfbench -exp all                 # every figure (several minutes)
+//	swpfbench -exp fig4 -system A53    # one figure
+//	swpfbench -exp fig6 -bench RA      # one look-ahead sweep
+//	swpfbench -quick                   # reduced input sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all")
+		system = flag.String("system", "", "restrict fig4 to one system (Haswell, XeonPhi, A57, A53)")
+		wl     = flag.String("bench", "", "restrict fig6 to one benchmark (IS, CG, RA, HJ-2)")
+		quick  = flag.Bool("quick", false, "reduced input sizes")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	q := bench.Full
+	if *quick {
+		q = bench.Quick
+	}
+
+	emit := func(t *bench.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t.String())
+	}
+	emitAll := func(ts []*bench.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+
+	switch *exp {
+	case "all":
+		if err := bench.RunAll(q, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "fig2":
+		emit(bench.Fig2(q))
+	case "fig4":
+		if *system != "" {
+			emit(bench.Fig4(q, *system))
+		} else {
+			emitAll(bench.Fig4All(q))
+		}
+	case "fig5":
+		emit(bench.Fig5(q))
+	case "fig6":
+		if *wl != "" {
+			emit(bench.Fig6(q, *wl))
+		} else {
+			emitAll(bench.Fig6All(q))
+		}
+	case "fig7":
+		emit(bench.Fig7(q))
+	case "fig8":
+		emit(bench.Fig8(q))
+	case "fig9":
+		emit(bench.Fig9(q))
+	case "fig10":
+		emit(bench.Fig10(q))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swpfbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command swpfc is the prefetch "compiler" driver: it reads a module in
+// textual IR, runs the automatic software-prefetch generation pass of
+// Ainsworth & Jones (CGO 2017), and prints the transformed IR.
+//
+// Usage:
+//
+//	swpfc [flags] [file.ir]        (stdin when no file)
+//
+// Flags select the look-ahead constant, the restricted ICC-like mode,
+// stride companions, stagger depth and loop hoisting. A report of
+// emitted prefetches and rejected loads goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/prefetch"
+)
+
+func main() {
+	var (
+		c        = flag.Int64("c", 64, "look-ahead constant (eq. 1)")
+		icc      = flag.Bool("icc", false, "restricted stride-indirect-only mode (fig. 4d baseline)")
+		noStride = flag.Bool("no-stride", false, "suppress stride companion prefetches (fig. 5 'indirect only')")
+		depth    = flag.Int("depth", 0, "max stagger depth, 0 = unlimited (fig. 7)")
+		hoist    = flag.Bool("hoist", true, "enable prefetch loop hoisting (§4.6)")
+		pure     = flag.Bool("pure-calls", false, "allow side-effect-free calls in prefetch code (§4.1 extension)")
+		flat     = flag.Bool("flat-offset", false, "disable eq. (1) scheduling (ablation)")
+		optimize = flag.Bool("O", false, "run cleanup passes (fold/CSE/DCE) after prefetch generation")
+		split    = flag.Bool("split", false, "split loops to hoist prefetch bounds checks (Mowry/ICC-style)")
+		dot      = flag.String("dot", "", "emit Graphviz output instead of IR: 'cfg' or 'ddg'")
+		quiet    = flag.Bool("q", false, "suppress the transformation report")
+	)
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := ir.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := mod.Verify(); err != nil {
+		fatal(fmt.Errorf("input: %w", err))
+	}
+
+	opts := prefetch.Options{
+		C:                 *c,
+		NoStrideCompanion: *noStride,
+		MaxStaggerDepth:   *depth,
+		Hoist:             *hoist,
+		AllowPureCalls:    *pure,
+		FlatOffset:        *flat,
+		SplitLoops:        *split,
+	}
+	if *icc {
+		opts.Mode = prefetch.ModeSimpleStrideIndirect
+	}
+	results := prefetch.Run(mod, opts)
+	if err := mod.Verify(); err != nil {
+		fatal(fmt.Errorf("internal error: pass produced invalid IR: %w", err))
+	}
+	if *optimize {
+		cleaned := opt.Run(mod)
+		if err := mod.Verify(); err != nil {
+			fatal(fmt.Errorf("internal error: cleanup produced invalid IR: %w", err))
+		}
+		if !*quiet {
+			for n, r := range cleaned {
+				if r.Folded+r.CSEHits+r.DeadInstrs+r.DeadArcs > 0 {
+					fmt.Fprintf(os.Stderr, "; func @%s cleanup: %d folded, %d CSE, %d dead\n",
+						n, r.Folded, r.CSEHits, r.DeadInstrs)
+				}
+			}
+		}
+	}
+
+	switch *dot {
+	case "":
+		fmt.Print(mod.String())
+	case "cfg":
+		for _, f := range mod.Funcs {
+			fmt.Print(ir.DotCFG(f))
+		}
+	case "ddg":
+		for _, f := range mod.Funcs {
+			fmt.Print(ir.DotDDG(f))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -dot mode %q (want cfg or ddg)", *dot))
+	}
+
+	if !*quiet {
+		names := make([]string, 0, len(results))
+		for n := range results {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			r := results[n]
+			if len(r.Emitted) == 0 && len(r.Rejections) == 0 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "; func @%s: %d prefetches, %d new instructions\n",
+				n, len(r.Emitted), r.NewInstrs)
+			for _, e := range r.Emitted {
+				fmt.Fprintf(os.Stderr, ";   prefetch for %%%s: position %d/%d, offset %d iterations\n",
+					e.Target.Name, e.Position, e.ChainLen, e.Offset)
+			}
+			for _, rej := range r.Rejections {
+				fmt.Fprintf(os.Stderr, ";   skipped %%%s: %s\n", rej.Load.Name, rej.Reason)
+			}
+		}
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swpfc:", err)
+	os.Exit(1)
+}

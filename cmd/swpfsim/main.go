@@ -1,0 +1,120 @@
+// Command swpfsim executes a function from a textual-IR module on one
+// of the simulated microarchitectures and reports cycles plus
+// memory-system statistics.
+//
+// Usage:
+//
+//	swpfsim -system Haswell -fn kernel file.ir 1024 4096
+//
+// Trailing arguments after the file are the function's integer
+// arguments. Combine with swpfc to measure the effect of the pass:
+//
+//	swpfsim -fn sum kernel.ir 100
+//	swpfc kernel.ir | swpfsim -fn sum - 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "Haswell", "machine: Haswell, XeonPhi, A57, A53, generic")
+		fn     = flag.String("fn", "main", "function to execute")
+		limit  = flag.Uint64("max-instrs", 0, "dynamic instruction budget (0 = default)")
+		trace  = flag.Int("trace", 0, "dump the last N memory accesses to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fatal(fmt.Errorf("usage: swpfsim [flags] <file.ir|-> [args...]"))
+	}
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := ir.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := mod.Verify(); err != nil {
+		fatal(err)
+	}
+
+	var cfg *sim.Config
+	if *system == "generic" {
+		cfg = sim.DefaultConfig()
+	} else if cfg = uarch.ByName(*system); cfg == nil {
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	args := make([]int64, flag.NArg()-1)
+	for i := 1; i < flag.NArg(); i++ {
+		v, err := strconv.ParseInt(flag.Arg(i), 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("argument %d: %w", i, err))
+		}
+		args[i-1] = v
+	}
+
+	mach := interp.New(mod, cfg)
+	mach.MaxInstrs = *limit
+	var tracer *sim.Tracer
+	if *trace > 0 {
+		tracer = sim.NewTracer(*trace)
+		mach.Core.Hierarchy().SetTracer(tracer)
+	}
+	result, err := mach.Run(*fn, args...)
+	if err != nil {
+		fatal(err)
+	}
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "last %d of %d memory accesses:\n%s",
+			len(tracer.Events()), tracer.Total(), tracer.Dump())
+	}
+	st := mach.Stats()
+	hier := mach.Core.Hierarchy()
+
+	fmt.Printf("result:          %d\n", result)
+	fmt.Printf("system:          %s\n", cfg.Name)
+	fmt.Printf("cycles:          %.0f\n", st.Cycles)
+	fmt.Printf("instructions:    %d (IPC %.2f)\n", st.Instructions,
+		float64(st.Instructions)/st.Cycles)
+	fmt.Printf("loads/stores:    %d / %d\n", st.Loads, st.Stores)
+	fmt.Printf("sw prefetches:   %d\n", st.Prefetches)
+	for _, c := range hier.Caches() {
+		cc := c.Config()
+		total := c.Hits + c.Misses
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("%-4s hit rate:   %.1f%% (%d/%d)\n", cc.Name,
+			100*float64(c.Hits)/float64(total), c.Hits, total)
+	}
+	fmt.Printf("DRAM accesses:   %d (%d bytes)\n", hier.DRAMAccesses, hier.DRAMBytes)
+	fmt.Printf("TLB walks:       %d\n", hier.TLBStats().Walks)
+	fmt.Printf("load stall cyc:  %.0f\n", hier.LoadStallCycles)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swpfsim:", err)
+	os.Exit(1)
+}

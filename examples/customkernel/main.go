@@ -1,0 +1,97 @@
+// Custom-kernel example: write a kernel in the textual IR, transform it
+// with the pass, inspect the generated prefetch code, and measure it —
+// the workflow cmd/swpfc and cmd/swpfsim provide as separate tools,
+// shown here through the library API.
+//
+// The kernel is a two-level indirection, c[b[a[i]]], which produces a
+// three-deep staggered prefetch chain (offsets c, 2c/3, c/3 by eq. 1).
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/uarch"
+)
+
+const kernelSrc = `module custom
+
+func gather2(%a: ptr, %b: ptr, %c: ptr, %n: i64, %m: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %s = phi i64 [entry: 0, body: %s2]
+  %cc = cmp lt %i, %n
+  cbr %cc, body, exit
+body:
+  %t1 = gep %a, %i, 8
+  %t2 = load i64, %t1
+  %t3 = gep %b, %t2, 8
+  %t4 = load i64, %t3
+  %t5 = gep %c, %t4, 8
+  %t6 = load i64, %t5
+  %s2 = add %s, %t6
+  %i2 = add %i, 1
+  br header
+exit:
+  ret %s
+}
+`
+
+func main() {
+	mod := ir.MustParse(kernelSrc)
+	results, err := core.Transform(mod, core.Options{C: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results["gather2"]
+	fmt.Printf("pass emitted %d prefetches:\n", len(r.Emitted))
+	for _, e := range r.Emitted {
+		fmt.Printf("  chain position %d of %d, look-ahead %d iterations\n",
+			e.Position, e.ChainLen, e.Offset)
+	}
+	fmt.Println("\ntransformed IR:")
+	fmt.Println(mod.String())
+
+	// Execute on the in-order A53, where the three dependent misses per
+	// iteration serialise without prefetching.
+	const n, m = 1 << 14, 1 << 18
+	run := func(src *ir.Module) float64 {
+		mach := interp.New(src, uarch.A53())
+		a, _ := mach.Mem.Alloc(n * 8)
+		bArr, _ := mach.Mem.Alloc(m * 8)
+		cArr, _ := mach.Mem.Alloc(m * 8)
+		seed := int64(7)
+		next := func(bound int64) int64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return (seed >> 33) & (bound - 1)
+		}
+		fill := func(base, count, bound int64) {
+			vals := make([]int64, count)
+			for i := range vals {
+				vals[i] = next(bound)
+			}
+			if err := mach.Mem.WriteSlice(base, ir.I64, vals); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fill(a, n, m)
+		fill(bArr, m, m)
+		fill(cArr, m, 1<<30)
+		if _, err := mach.Run("gather2", a, bArr, cArr, n, m); err != nil {
+			log.Fatal(err)
+		}
+		return mach.Stats().Cycles
+	}
+
+	base := run(ir.MustParse(kernelSrc))
+	pf := run(mod)
+	fmt.Printf("A53: plain %.0f cycles, prefetched %.0f cycles — %.2fx\n",
+		base, pf, base/pf)
+}

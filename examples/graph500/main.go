@@ -1,0 +1,74 @@
+// Graph500 example: breadth-first search over a Kronecker graph in CSR
+// format (§5.1), showing where automatic prefetching stops and manual
+// knowledge takes over.
+//
+// The BFS inner loop has four prefetchable streams: the work list
+// (stride), vertex offsets via the work list (indirect), the edge list
+// via vertex offsets (doubly indirect), and the parent array via the
+// edge list (stride-indirect in the inner loop). The automatic pass
+// gets all but the edge list, whose address chain crosses the inner
+// loop's non-induction phi (§6.1).
+//
+//	go run ./examples/graph500
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	w := workloads.G500(15, 10)
+	fmt.Println("Graph500 BFS, 2^15 vertices, edge factor 10")
+	fmt.Printf("%-8s  %12s  %12s  %12s  %7s  %7s\n",
+		"system", "plain (cyc)", "auto (cyc)", "manual (cyc)", "auto", "manual")
+	for _, cfg := range uarch.All() {
+		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		auto, err := core.Run(w, cfg, core.VariantAuto, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Best manual scheme per system: depth 1 is outer-loop
+		// prefetches only (the paper's choice on Haswell), depth 2 adds
+		// the inner-loop parent prefetch.
+		man, err := core.Run(w, cfg, core.VariantManual, core.Options{Depth: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		man2, err := core.Run(w, cfg, core.VariantManual, core.Options{Depth: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if man2.Cycles < man.Cycles {
+			man = man2
+		}
+		fmt.Printf("%-8s  %12.0f  %12.0f  %12.0f  %6.2fx  %6.2fx\n",
+			cfg.Name, base.Cycles, auto.Cycles, man.Cycles,
+			core.Speedup(base, auto), core.Speedup(base, man))
+	}
+
+	auto, err := core.Run(w, uarch.A53(), core.VariantAuto, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npass report (bfs_level):")
+	fmt.Printf("  %d prefetches emitted, %d loads rejected\n",
+		len(auto.Pass.Emitted), len(auto.Pass.Rejections))
+	for _, e := range auto.Pass.Emitted {
+		fmt.Printf("  prefetch for %%%s (chain %d, offset %d)\n",
+			e.Target.Name, e.ChainLen, e.Offset)
+	}
+	for _, rej := range auto.Pass.Rejections {
+		fmt.Printf("  rejected %%%s: %s\n", rej.Load.Name, rej.Reason)
+	}
+	fmt.Println("\nthe paper's observation (§6.1): on in-order systems the")
+	fmt.Println("edge-to-visited-list stride-indirect dominates, so the automatic")
+	fmt.Println("pass lands much closer to manual than on out-of-order cores.")
+}

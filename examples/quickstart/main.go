@@ -1,0 +1,104 @@
+// Quickstart: build an indirect-access kernel with the IR builder, let
+// the automatic pass insert software prefetches, and compare simulated
+// cycles on an out-of-order and an in-order core.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+// buildKernel emits the paper's running example: buckets[keys[i]]++.
+func buildKernel() *ir.Module {
+	m := ir.NewModule("quickstart")
+	f := m.NewFunc("histogram", ir.Void,
+		&ir.Param{Name: "keys", Typ: ir.Ptr},
+		&ir.Param{Name: "buckets", Typ: ir.Ptr},
+		&ir.Param{Name: "n", Typ: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	loop := b.CountedLoop("loop", ir.ConstInt(0), f.Param("n"), 1)
+	k := b.Load(ir.I32, b.GEP(f.Param("keys"), loop.IndVar, 4))
+	slot := b.GEP(f.Param("buckets"), k, 4)
+	v := b.Load(ir.I32, slot)
+	b.Store(ir.I32, slot, b.Add(v, ir.ConstInt(1)))
+	loop.Close()
+	b.Ret(nil)
+	f.Renumber()
+	return m
+}
+
+// run executes the kernel over fresh random data and returns cycles.
+func run(mod *ir.Module, cfg *sim.Config) float64 {
+	const (
+		nKeys    = 1 << 16
+		nBuckets = 1 << 19
+	)
+	mach := interp.New(mod, cfg)
+	keys, err := mach.Mem.Alloc(nKeys * 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals := make([]int64, nKeys)
+	seed := int64(42)
+	for i := range vals {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		vals[i] = (seed >> 33) & (nBuckets - 1)
+	}
+	if err := mach.Mem.WriteSlice(keys, ir.I32, vals); err != nil {
+		log.Fatal(err)
+	}
+	buckets, err := mach.Mem.Alloc(nBuckets * 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mach.Run("histogram", keys, buckets, nKeys); err != nil {
+		log.Fatal(err)
+	}
+	return mach.Stats().Cycles
+}
+
+func main() {
+	plain := buildKernel()
+
+	// Apply the paper's pass (c = 64) to a second copy.
+	prefetched := buildKernel()
+	results, err := core.Transform(prefetched, core.Options{C: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results["histogram"]
+	fmt.Printf("pass emitted %d prefetches (+%d instructions):\n", len(r.Emitted), r.NewInstrs)
+	for _, e := range r.Emitted {
+		fmt.Printf("  position %d/%d at offset %d iterations (%s)\n",
+			e.Position, e.ChainLen, e.Offset, describe(e))
+	}
+	fmt.Println()
+	fmt.Println("transformed kernel:")
+	fmt.Println(prefetched.String())
+
+	for _, cfg := range []*sim.Config{uarch.Haswell(), uarch.A53()} {
+		base := run(plain, cfg)
+		pf := run(prefetched, cfg)
+		fmt.Printf("%-8s  plain %10.0f cycles   prefetched %10.0f cycles   speedup %.2fx\n",
+			cfg.Name, base, pf, base/pf)
+	}
+	fmt.Println("\nexpected shape (paper fig. 4): modest gain on the out-of-order")
+	fmt.Println("Haswell, a large gain on the in-order A53.")
+}
+
+func describe(e prefetch.Emitted) string {
+	if e.Position == 0 {
+		return "stride companion on the index array"
+	}
+	return "indirect prefetch through a clamped look-ahead load"
+}

@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a temp dir once per
+// test run and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tool builds skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+const integrationKernel = `module k
+
+func gather(%a: ptr, %b: ptr, %n: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %s = phi i64 [entry: 0, body: %s2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 8
+  %t2 = load i64, %t1
+  %t3 = gep %b, %t2, 8
+  %t4 = load i64, %t3
+  %s2 = add %s, %t4
+  %i2 = add %i, 1
+  br header
+exit:
+  ret %s
+}
+`
+
+func TestSwpfcEndToEnd(t *testing.T) {
+	bin := buildTool(t, "swpfc")
+	src := filepath.Join(t.TempDir(), "k.ir")
+	if err := os.WriteFile(src, []byte(integrationKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "-c", "32", src)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("swpfc: %v\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "prefetch") {
+		t.Errorf("no prefetches in output:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "2 prefetches") {
+		t.Errorf("report missing:\n%s", stderr.String())
+	}
+
+	// -icc must reject this (parameter arrays have no visible sizes).
+	var stderr2 bytes.Buffer
+	cmd2 := exec.Command(bin, "-icc", src)
+	cmd2.Stdout = &bytes.Buffer{}
+	cmd2.Stderr = &stderr2
+	if err := cmd2.Run(); err != nil {
+		t.Fatalf("swpfc -icc: %v", err)
+	}
+	if !strings.Contains(stderr2.String(), "skipped") {
+		t.Errorf("-icc should report skipped loads:\n%s", stderr2.String())
+	}
+}
+
+func TestSwpfcOptFlagShrinksOutput(t *testing.T) {
+	bin := buildTool(t, "swpfc")
+	src := filepath.Join(t.TempDir(), "k.ir")
+	if err := os.WriteFile(src, []byte(integrationKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(args ...string) string {
+		var stdout bytes.Buffer
+		cmd := exec.Command(bin, append(args, src)...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &bytes.Buffer{}
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("swpfc %v: %v", args, err)
+		}
+		return stdout.String()
+	}
+	raw := run("-q")
+	opt := run("-q", "-O")
+	if strings.Count(opt, "\n") > strings.Count(raw, "\n") {
+		t.Errorf("-O grew the output: %d -> %d lines",
+			strings.Count(raw, "\n"), strings.Count(opt, "\n"))
+	}
+	if !strings.Contains(opt, "prefetch") {
+		t.Error("-O removed the prefetches")
+	}
+}
+
+func TestSwpfcPipesIntoSwpfsim(t *testing.T) {
+	swpfc := buildTool(t, "swpfc")
+	swpfsim := buildTool(t, "swpfsim")
+	src := filepath.Join(t.TempDir(), "k.ir")
+	if err := os.WriteFile(src, []byte(integrationKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transform, then simulate the transformed IR from stdin. The
+	// kernel sums b[a[i]] over unmapped pointers — so use swpfsim on
+	// the original with n=0 to stay in bounds (arrays unused).
+	var transformed bytes.Buffer
+	c1 := exec.Command(swpfc, "-q", src)
+	c1.Stdout = &transformed
+	if err := c1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	c2 := exec.Command(swpfsim, "-system", "A53", "-fn", "gather", "-", "0", "0", "0")
+	c2.Stdin = &transformed
+	c2.Stdout = &out
+	c2.Stderr = &out
+	if err := c2.Run(); err != nil {
+		t.Fatalf("swpfsim: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"result:", "cycles:", "system:          A53"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("swpfsim output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSwpfbenchQuickFig2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench tool run")
+	}
+	bin := buildTool(t, "swpfbench")
+	var out bytes.Buffer
+	cmd := exec.Command(bin, "-quick", "-exp", "fig2")
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("swpfbench: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Figure 2") || !strings.Contains(out.String(), "Optimal") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestSwpfbenchRejectsUnknownExperiment(t *testing.T) {
+	bin := buildTool(t, "swpfbench")
+	cmd := exec.Command(bin, "-exp", "fig99")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

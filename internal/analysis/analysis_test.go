@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// isKernel is the paper's running example (code listing 1 / figure 3):
+//
+//	for (i = 0; i < n; i++) b[a[i]]++
+const isKernel = `module is
+
+func is(%n: i64) -> void {
+entry:
+  %a = alloc %n, 4
+  %b = alloc 65536, 4
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %t5 = add %t4, 1
+  store i32, %t3, %t5
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+
+const nestedSrc = `module nested
+
+func f(%a: ptr, %rows: i64, %cols: i64) -> i64 {
+entry:
+  br oh
+oh:
+  %r = phi i64 [entry: 0, olatch: %r2]
+  %s0 = phi i64 [entry: 0, olatch: %s3]
+  %oc = cmp lt %r, %rows
+  cbr %oc, ih, oexit
+ih:
+  %c = phi i64 [oh: 0, ibody: %c2]
+  %s1 = phi i64 [oh: %s0, ibody: %s2]
+  %ic = cmp lt %c, %cols
+  cbr %ic, ibody, olatch
+ibody:
+  %t0 = mul %r, %cols
+  %t1 = add %t0, %c
+  %addr = gep %a, %t1, 8
+  %v = load i64, %addr
+  %s2 = add %s1, %v
+  %c2 = add %c, 1
+  br ih
+olatch:
+  %s3 = phi i64 [ih: %s1]
+  %r2 = add %r, 1
+  br oh
+oexit:
+  ret %s0
+}
+`
+
+func TestFindLoopsSimple(t *testing.T) {
+	m := ir.MustParse(isKernel)
+	f := m.Func("is")
+	li := FindLoops(f)
+	if len(li.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if l.Header != f.Block("header") {
+		t.Errorf("header = %s", l.Header.Name)
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d, want 1", l.Depth)
+	}
+	if !l.Contains(f.Block("body")) || l.Contains(f.Block("exit")) || l.Contains(f.Block("entry")) {
+		t.Error("loop membership wrong")
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != f.Block("body") {
+		t.Errorf("latches = %v", l.Latches)
+	}
+}
+
+func TestInductionVariable(t *testing.T) {
+	m := ir.MustParse(isKernel)
+	f := m.Func("is")
+	li := FindLoops(f)
+	l := li.Loops[0]
+	if l.IndVar == nil {
+		t.Fatal("induction variable not found")
+	}
+	if l.IndVar.Name != "i" {
+		t.Errorf("indvar = %%%s, want %%i", l.IndVar.Name)
+	}
+	if l.Step != 1 {
+		t.Errorf("step = %d, want 1", l.Step)
+	}
+	if c, ok := l.Start.(*ir.Const); !ok || c.Val != 0 {
+		t.Errorf("start = %v, want 0", l.Start)
+	}
+	if l.Limit == nil || l.Limit.String() != "%n" {
+		t.Errorf("limit = %v, want %%n", l.Limit)
+	}
+	if l.LimitPred != ir.PredLT {
+		t.Errorf("limit pred = %s, want lt", l.LimitPred)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := ir.MustParse(nestedSrc)
+	f := m.Func("f")
+	li := FindLoops(f)
+	if len(li.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(li.Loops))
+	}
+	outer := li.Loops[0]
+	inner := li.Loops[1]
+	if outer.Header != f.Block("oh") || inner.Header != f.Block("ih") {
+		t.Fatalf("loop headers: %s, %s", outer.Header.Name, inner.Header.Name)
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop not nested in outer")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d, %d; want 1, 2", outer.Depth, inner.Depth)
+	}
+	if !outer.ContainsLoop(inner) || inner.ContainsLoop(outer) {
+		t.Error("ContainsLoop wrong")
+	}
+	// Innermost loop of the inner body is the inner loop.
+	if li.LoopOf(f.Block("ibody")) != inner {
+		t.Error("LoopOf(ibody) != inner")
+	}
+	if li.LoopOf(f.Block("olatch")) != outer {
+		t.Error("LoopOf(olatch) != outer")
+	}
+	if li.LoopOf(f.Block("entry")) != nil {
+		t.Error("entry should be in no loop")
+	}
+	// Both loops should have canonical induction variables.
+	if outer.IndVar == nil || outer.IndVar.Name != "r" {
+		t.Errorf("outer indvar = %v", outer.IndVar)
+	}
+	if inner.IndVar == nil || inner.IndVar.Name != "c" {
+		t.Errorf("inner indvar = %v", inner.IndVar)
+	}
+	if common := li.InnermostCommon(f.Block("ibody"), f.Block("olatch")); common != outer {
+		t.Errorf("InnermostCommon = %v, want outer", common)
+	}
+}
+
+func TestSingleExit(t *testing.T) {
+	m := ir.MustParse(isKernel)
+	li := FindLoops(m.Func("is"))
+	if !li.Loops[0].SingleExit() {
+		t.Error("loop should have a single exit")
+	}
+
+	multi := `module m
+func f(%n: i64, %flag: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, latch: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %e = cmp eq %flag, %i
+  cbr %e, exit, latch
+latch:
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	li2 := FindLoops(ir.MustParse(multi).Func("f"))
+	if len(li2.Loops) != 1 {
+		t.Fatalf("got %d loops", len(li2.Loops))
+	}
+	if li2.Loops[0].SingleExit() {
+		t.Error("loop with break should not be single-exit")
+	}
+}
+
+func TestStepDownwardLoop(t *testing.T) {
+	src := `module m
+func f(%n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: %n, body: %i2]
+  %c = cmp gt %i, 0
+  cbr %c, body, exit
+body:
+  %i2 = sub %i, 1
+  br header
+exit:
+  ret
+}
+`
+	li := FindLoops(ir.MustParse(src).Func("f"))
+	l := li.Loops[0]
+	if l.IndVar == nil {
+		t.Fatal("downward induction variable not found")
+	}
+	if l.Step != -1 {
+		t.Errorf("step = %d, want -1", l.Step)
+	}
+	if l.LimitPred != ir.PredGT {
+		t.Errorf("pred = %s, want gt", l.LimitPred)
+	}
+}
+
+func TestNonCanonicalIVNotRecognised(t *testing.T) {
+	// i *= 2 is not canonical.
+	src := `module m
+func f(%n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 1, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %i2 = mul %i, 2
+  br header
+exit:
+  ret
+}
+`
+	li := FindLoops(ir.MustParse(src).Func("f"))
+	if li.Loops[0].IndVar != nil {
+		t.Error("geometric IV should not be canonical")
+	}
+}
+
+func TestPointerBaseThroughGEP(t *testing.T) {
+	m := ir.MustParse(isKernel)
+	f := m.Func("is")
+	body := f.Block("body")
+	// %t3 = gep %b, %t2, 4 -> base should be the alloc of b.
+	t3 := body.Instrs[2]
+	if t3.Name != "t3" {
+		t.Fatalf("unexpected instruction %s", t3.Format())
+	}
+	info := PointerBase(t3)
+	alloc, ok := info.Base.(*ir.Instr)
+	if !ok || alloc.Op != ir.OpAlloc {
+		t.Fatalf("base = %v, want alloc", info.Base)
+	}
+	if alloc.Name != "b" {
+		t.Errorf("base alloc = %%%s, want %%b", alloc.Name)
+	}
+	if info.Elems == nil || info.Elems.String() != "65536" {
+		t.Errorf("elems = %v, want 65536", info.Elems)
+	}
+	if info.ElemSize != 4 {
+		t.Errorf("elem size = %d, want 4", info.ElemSize)
+	}
+}
+
+func TestPointerBaseParam(t *testing.T) {
+	m := ir.MustParse(nestedSrc)
+	f := m.Func("f")
+	addr := f.Block("ibody").Instrs[2]
+	info := PointerBase(addr)
+	p, ok := info.Base.(*ir.Param)
+	if !ok || p.Name != "a" {
+		t.Fatalf("base = %v, want param a", info.Base)
+	}
+	if info.Elems != nil {
+		t.Error("parameter arrays have unknown size")
+	}
+}
+
+func TestLoopSideEffects(t *testing.T) {
+	m := ir.MustParse(isKernel)
+	f := m.Func("is")
+	li := FindLoops(f)
+	se := LoopSideEffects(li.Loops[0])
+	if len(se.Stores) != 1 {
+		t.Fatalf("stores = %d, want 1", len(se.Stores))
+	}
+	if len(se.Calls) != 0 {
+		t.Errorf("calls = %d, want 0", len(se.Calls))
+	}
+	if se.UnknownStore {
+		t.Error("store base should be identified")
+	}
+	allocB := f.Block("entry").Instrs[1]
+	allocA := f.Block("entry").Instrs[0]
+	if !se.MayBeClobbered(allocB) {
+		t.Error("b is stored to; should be clobbered")
+	}
+	if se.MayBeClobbered(allocA) {
+		t.Error("a is never stored; should not be clobbered")
+	}
+}
+
+func TestIsLoopInvariant(t *testing.T) {
+	m := ir.MustParse(isKernel)
+	f := m.Func("is")
+	li := FindLoops(f)
+	l := li.Loops[0]
+	if !IsLoopInvariant(f.Param("n"), l) {
+		t.Error("parameter should be invariant")
+	}
+	if !IsLoopInvariant(ir.ConstInt(3), l) {
+		t.Error("constant should be invariant")
+	}
+	allocA := f.Block("entry").Instrs[0]
+	if !IsLoopInvariant(allocA, l) {
+		t.Error("alloc outside loop should be invariant")
+	}
+	load := f.Block("body").Instrs[1]
+	if IsLoopInvariant(load, l) {
+		t.Error("load in loop body should not be invariant")
+	}
+}
+
+func TestPureFunctions(t *testing.T) {
+	src := `module m
+func hash(%x: i64) -> i64 {
+entry:
+  %h = mul %x, 2654435761
+  %h2 = xor %h, %x
+  ret %h2
+}
+
+func hash2(%x: i64) -> i64 {
+entry:
+  %h = call i64 @hash(%x)
+  ret %h
+}
+
+func writer(%p: ptr, %x: i64) -> void {
+entry:
+  store i64, %p, %x
+  ret
+}
+
+func caller(%p: ptr, %x: i64) -> void {
+entry:
+  call void @writer(%p, %x)
+  ret
+}
+`
+	m := ir.MustParse(src)
+	info := PureFunctions(m)
+	if !info.IsPure("hash") {
+		t.Error("hash should be pure")
+	}
+	if !info.IsPure("hash2") {
+		t.Error("hash2 (calls pure) should be pure")
+	}
+	if info.IsPure("writer") {
+		t.Error("writer stores; not pure")
+	}
+	if info.IsPure("caller") {
+		t.Error("caller calls impure; not pure")
+	}
+	if info.IsPure("missing") {
+		t.Error("unknown functions are not pure")
+	}
+}
+
+func TestMultipleLatches(t *testing.T) {
+	src := `module m
+func f(%n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, l1: %a, l2: %b]
+  %c = cmp lt %i, %n
+  cbr %c, mid, exit
+mid:
+  %e = rem %i, 2
+  cbr %e, l1, l2
+l1:
+  %a = add %i, 1
+  br header
+l2:
+  %b = add %i, 2
+  br header
+exit:
+  ret
+}
+`
+	li := FindLoops(ir.MustParse(src).Func("f"))
+	if len(li.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if len(l.Latches) != 2 {
+		t.Errorf("latches = %d, want 2", len(l.Latches))
+	}
+	// Two different back-edge values: not a canonical IV.
+	if l.IndVar != nil {
+		t.Error("multi-latch phi should not be canonical IV")
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// randomCFG builds a random but well-formed function: n blocks, each
+// terminated by a branch to one or two random successors (or a return),
+// with the entry first. No values — pure control flow.
+func randomCFG(r *rand.Rand) *ir.Function {
+	m := ir.NewModule("cfg")
+	f := m.NewFunc("f", ir.Void, &ir.Param{Name: "c", Typ: ir.I64})
+	n := 2 + r.Intn(10)
+	blocks := make([]*ir.Block, n)
+	b := ir.NewBuilder(f)
+	blocks[0] = b.Block()
+	for i := 1; i < n; i++ {
+		blocks[i] = b.NewBlock(fmt.Sprintf("b%d", i))
+	}
+	for i, blk := range blocks {
+		b.SetBlock(blk)
+		switch r.Intn(3) {
+		case 0:
+			b.Ret(nil)
+		case 1:
+			b.Br(blocks[r.Intn(n)])
+		default:
+			b.CBr(f.Param("c"), blocks[r.Intn(n)], blocks[r.Intn(n)])
+		}
+		_ = i
+	}
+	f.Renumber()
+	return f
+}
+
+// bruteDominates computes dominance by definition: a dominates b iff
+// removing a makes b unreachable from the entry.
+func bruteDominates(f *ir.Function, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*ir.Block]bool{a: true} // block a removed: mark visited
+	var walk func(x *ir.Block) bool
+	walk = func(x *ir.Block) bool {
+		if x == b {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs() {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return !walk(f.Entry())
+}
+
+func reachable(f *ir.Function) map[*ir.Block]bool {
+	seen := map[*ir.Block]bool{}
+	var walk func(*ir.Block)
+	walk = func(x *ir.Block) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, s := range x.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Entry())
+	return seen
+}
+
+// TestQuickDominatorsMatchBruteForce cross-checks the iterative
+// dominator algorithm against the removal-based definition on random
+// control-flow graphs.
+func TestQuickDominatorsMatchBruteForce(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCFG(r)
+		idom := ir.Dominators(f)
+		reach := reachable(f)
+		for _, a := range f.Blocks {
+			if !reach[a] {
+				continue
+			}
+			for _, b := range f.Blocks {
+				if !reach[b] {
+					continue
+				}
+				fast := ir.Dominates(idom, a, b)
+				slow := bruteDominates(f, a, b)
+				if fast != slow {
+					t.Logf("seed %d: Dominates(%s, %s) = %v, brute force = %v\n%s",
+						seed, a.Name, b.Name, fast, slow, f.String())
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLoopMembership: every block of a detected loop must reach
+// the loop header without leaving the function, and the header must
+// dominate every block of its loop.
+func TestQuickLoopMembership(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCFG(r)
+		idom := ir.Dominators(f)
+		li := FindLoops(f)
+		for _, l := range li.Loops {
+			for blk := range l.Blocks {
+				if !ir.Dominates(idom, l.Header, blk) {
+					t.Logf("seed %d: header %s does not dominate member %s", seed, l.Header.Name, blk.Name)
+					return false
+				}
+			}
+			for _, latch := range l.Latches {
+				if !l.Blocks[latch] {
+					t.Logf("seed %d: latch outside loop", seed)
+					return false
+				}
+			}
+			if l.Parent != nil && !l.Parent.ContainsLoop(l) {
+				t.Logf("seed %d: nesting inconsistent", seed)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}

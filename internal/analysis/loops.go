@@ -1,0 +1,328 @@
+// Package analysis provides the control-flow and data-flow analyses the
+// prefetch-generation pass depends on: dominator-based natural-loop
+// detection, canonical induction-variable recognition, allocation-size
+// tracking, and loop-body side-effect summaries.
+//
+// The analyses mirror what the paper's LLVM prototype obtains from
+// LoopInfo, ScalarEvolution (restricted to canonical induction
+// variables, per §4.2) and simple alias reasoning.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Loop is a natural loop discovered from a back edge. Loops form a
+// forest via Parent; Depth is 1 for outermost loops.
+type Loop struct {
+	Header   *ir.Block
+	Latches  []*ir.Block        // blocks with a back edge to Header
+	Blocks   map[*ir.Block]bool // all blocks in the loop, including Header
+	Parent   *Loop
+	Children []*Loop
+	Depth    int
+
+	// IndVar is the canonical induction variable phi in Header, if the
+	// loop has one: phi [preheader: start, latch: iv+step] with constant
+	// step. Nil otherwise.
+	IndVar *ir.Instr
+	// Step is the induction-variable increment (valid when IndVar != nil).
+	Step int64
+	// Start is the initial value of the induction variable.
+	Start ir.Value
+	// Limit is the loop bound when the header's terminator compares the
+	// induction variable against a loop-invariant value (nil otherwise).
+	Limit ir.Value
+	// LimitPred is the comparison predicate used against Limit.
+	LimitPred ir.Pred
+}
+
+// Contains reports whether the block is inside the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// ContainsLoop reports whether inner is l or nested anywhere inside l.
+func (l *Loop) ContainsLoop(inner *Loop) bool {
+	for x := inner; x != nil; x = x.Parent {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop@%s(depth %d)", l.Header.Name, l.Depth)
+}
+
+// LoopInfo holds the loop forest of a function.
+type LoopInfo struct {
+	Loops   []*Loop             // all loops, outermost first within each nest
+	ByBlock map[*ir.Block]*Loop // innermost loop containing each block
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (li *LoopInfo) LoopOf(b *ir.Block) *Loop { return li.ByBlock[b] }
+
+// InnermostCommon returns the innermost loop containing both a and b,
+// or nil if none does.
+func (li *LoopInfo) InnermostCommon(a, b *ir.Block) *Loop {
+	for la := li.LoopOf(a); la != nil; la = la.Parent {
+		for lb := li.LoopOf(b); lb != nil; lb = lb.Parent {
+			if la == lb {
+				return la
+			}
+		}
+	}
+	return nil
+}
+
+// FindLoops computes the natural-loop forest of f using dominator
+// analysis: an edge latch->header where header dominates latch defines
+// a loop whose body is every block that can reach the latch without
+// passing through the header.
+func FindLoops(f *ir.Function) *LoopInfo {
+	idom := ir.Dominators(f)
+	byHeader := map[*ir.Block]*Loop{}
+
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if _, reachable := idom[b]; !reachable {
+				continue
+			}
+			if !ir.Dominates(idom, s, b) {
+				continue
+			}
+			// Back edge b -> s.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				byHeader[s] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Collect body: reverse reachability from the latch.
+			stack := []*ir.Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				for _, p := range x.Preds() {
+					if _, reachable := idom[p]; reachable {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	li := &LoopInfo{ByBlock: map[*ir.Block]*Loop{}}
+	for _, l := range byHeader {
+		li.Loops = append(li.Loops, l)
+	}
+	// Deterministic order: by header position in the function.
+	pos := map[*ir.Block]int{}
+	for i, b := range f.Blocks {
+		pos[b] = i
+	}
+	sort.Slice(li.Loops, func(i, j int) bool {
+		return pos[li.Loops[i].Header] < pos[li.Loops[j].Header]
+	})
+
+	// Nesting: parent is the smallest strictly-containing loop.
+	for _, l := range li.Loops {
+		var best *Loop
+		for _, cand := range li.Loops {
+			if cand == l || !cand.Blocks[l.Header] {
+				continue
+			}
+			if len(cand.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if best == nil || len(cand.Blocks) < len(best.Blocks) {
+				best = cand
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, l)
+		}
+	}
+	for _, l := range li.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	// Innermost loop per block.
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			if cur := li.ByBlock[b]; cur == nil || l.Depth > cur.Depth {
+				li.ByBlock[b] = l
+			}
+		}
+	}
+	for _, l := range li.Loops {
+		findIndVar(l)
+	}
+	return li
+}
+
+// findIndVar recognises the canonical induction variable of a loop:
+// a phi in the header of the form
+//
+//	iv = phi [outside: start, latch: iv+const]
+//
+// and, when the header terminator is cbr(cmp(iv, inv)), records the
+// loop bound. This is the "canonical form" restriction of §4.2.
+func findIndVar(l *Loop) {
+	for _, phi := range l.Header.Phis() {
+		// Canonical form requires exactly one entry edge and one back edge.
+		if len(phi.Incoming) != 2 {
+			continue
+		}
+		var start ir.Value
+		var stepVal int64
+		ok := true
+		sawBack, sawEntry := false, false
+		for i, pred := range phi.Incoming {
+			v := phi.Args[i]
+			if l.Blocks[pred] {
+				// Back edge: must be iv + const (or iv - const).
+				add, isInstr := v.(*ir.Instr)
+				if !isInstr || !l.Blocks[add.Block()] {
+					ok = false
+					break
+				}
+				s, isStep := stepOf(add, phi)
+				if !isStep {
+					ok = false
+					break
+				}
+				stepVal = s
+				sawBack = true
+			} else {
+				start = v
+				sawEntry = true
+			}
+		}
+		if !ok || !sawBack || !sawEntry || stepVal == 0 {
+			continue
+		}
+		l.IndVar = phi
+		l.Step = stepVal
+		l.Start = start
+		findLimit(l)
+		return
+	}
+}
+
+// stepOf reports the constant step if in computes phi+c or phi-c.
+func stepOf(in *ir.Instr, phi *ir.Instr) (int64, bool) {
+	if in.Op != ir.OpAdd && in.Op != ir.OpSub {
+		return 0, false
+	}
+	a, b := in.Args[0], in.Args[1]
+	if in.Op == ir.OpAdd {
+		if a == ir.Value(phi) {
+			if c, isC := b.(*ir.Const); isC {
+				return c.Val, true
+			}
+		}
+		if b == ir.Value(phi) {
+			if c, isC := a.(*ir.Const); isC {
+				return c.Val, true
+			}
+		}
+		return 0, false
+	}
+	// sub: phi - c only.
+	if a == ir.Value(phi) {
+		if c, isC := b.(*ir.Const); isC {
+			return -c.Val, true
+		}
+	}
+	return 0, false
+}
+
+// findLimit records the loop bound from a header of the form
+// cbr(cmp(iv, limit), body, exit) with loop-invariant limit.
+func findLimit(l *Loop) {
+	term := l.Header.Term()
+	if term == nil || term.Op != ir.OpCBr {
+		return
+	}
+	cmp, isInstr := term.Args[0].(*ir.Instr)
+	if !isInstr || cmp.Op != ir.OpCmp {
+		return
+	}
+	var limit ir.Value
+	pred := cmp.Pred
+	switch {
+	case cmp.Args[0] == ir.Value(l.IndVar):
+		limit = cmp.Args[1]
+	case cmp.Args[1] == ir.Value(l.IndVar):
+		limit = cmp.Args[0]
+		pred = swapPred(pred)
+	default:
+		return
+	}
+	if !IsLoopInvariant(limit, l) {
+		return
+	}
+	l.Limit = limit
+	l.LimitPred = pred
+}
+
+func swapPred(p ir.Pred) ir.Pred {
+	switch p {
+	case ir.PredLT:
+		return ir.PredGT
+	case ir.PredLE:
+		return ir.PredGE
+	case ir.PredGT:
+		return ir.PredLT
+	case ir.PredGE:
+		return ir.PredLE
+	case ir.PredULT:
+		return ir.PredUGT
+	case ir.PredULE:
+		return ir.PredUGE
+	case ir.PredUGT:
+		return ir.PredULT
+	case ir.PredUGE:
+		return ir.PredULE
+	}
+	return p
+}
+
+// IsLoopInvariant reports whether v is invariant with respect to loop l:
+// constants, parameters, and instructions defined outside the loop.
+func IsLoopInvariant(v ir.Value, l *Loop) bool {
+	in, isInstr := v.(*ir.Instr)
+	if !isInstr {
+		return true
+	}
+	return !l.Blocks[in.Block()]
+}
+
+// SingleExit reports whether the loop has exactly one exit edge, i.e.
+// one (block in loop) -> (block outside loop) transition. The fault-
+// avoidance rules of §4.2 require a single loop-termination condition
+// when array bounds are taken from the loop limit.
+func (l *Loop) SingleExit() bool {
+	n := 0
+	for b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] {
+				n++
+			}
+		}
+	}
+	return n == 1
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import "repro/internal/ir"
+
+// AllocInfo describes what is known about the allocation underlying a
+// pointer value.
+type AllocInfo struct {
+	// Base is the alloc instruction or pointer parameter the address is
+	// derived from, or nil when the base cannot be identified.
+	Base ir.Value
+	// Elems is the element count of the allocation when Base is an
+	// alloc with a constant or traceable element count, else nil.
+	Elems ir.Value
+	// ElemSize is the element size in bytes (valid when Elems != nil).
+	ElemSize int64
+}
+
+// PointerBase walks back through GEPs and phi-free pointer arithmetic to
+// find the base allocation of an address value, mirroring §4.2's "walking
+// back through the data dependence graph can identify the memory
+// allocation instruction which generated the array".
+func PointerBase(addr ir.Value) AllocInfo {
+	v := addr
+	for {
+		in, isInstr := v.(*ir.Instr)
+		if !isInstr {
+			if p, isParam := v.(*ir.Param); isParam && p.Typ == ir.Ptr {
+				return AllocInfo{Base: p}
+			}
+			return AllocInfo{}
+		}
+		switch in.Op {
+		case ir.OpAlloc:
+			return AllocInfo{
+				Base:     in,
+				Elems:    in.Args[0],
+				ElemSize: constVal(in.Args[1]),
+			}
+		case ir.OpGEP:
+			v = in.Args[0]
+		case ir.OpAdd, ir.OpSub:
+			// Pointer arithmetic: follow the pointer-typed operand.
+			if in.Args[0].Type() == ir.Ptr {
+				v = in.Args[0]
+			} else if in.Args[1].Type() == ir.Ptr {
+				v = in.Args[1]
+			} else {
+				return AllocInfo{}
+			}
+		case ir.OpSelect, ir.OpMin, ir.OpMax:
+			// Conservative: bases may differ between arms.
+			a := PointerBase(in.Args[len(in.Args)-2])
+			b := PointerBase(in.Args[len(in.Args)-1])
+			if a.Base != nil && a.Base == b.Base {
+				return a
+			}
+			return AllocInfo{}
+		default:
+			return AllocInfo{}
+		}
+	}
+}
+
+func constVal(v ir.Value) int64 {
+	if c, ok := v.(*ir.Const); ok {
+		return c.Val
+	}
+	return 0
+}
+
+// SideEffects summarises the memory behaviour of a loop body.
+type SideEffects struct {
+	// Stores lists the store instructions in the loop.
+	Stores []*ir.Instr
+	// Calls lists the call instructions in the loop.
+	Calls []*ir.Instr
+	// StoredBases is the set of allocation bases written by the loop
+	// (nil entries are dropped; UnknownStore covers them).
+	StoredBases map[ir.Value]bool
+	// UnknownStore is set when some store's base allocation could not
+	// be identified; any load must then be assumed clobbered.
+	UnknownStore bool
+}
+
+// LoopSideEffects scans every block of the loop (including nested loops)
+// and summarises its stores and calls.
+func LoopSideEffects(l *Loop) SideEffects {
+	se := SideEffects{StoredBases: map[ir.Value]bool{}}
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore:
+				se.Stores = append(se.Stores, in)
+				base := PointerBase(in.Args[0]).Base
+				if base == nil {
+					se.UnknownStore = true
+				} else {
+					se.StoredBases[base] = true
+				}
+			case ir.OpCall:
+				se.Calls = append(se.Calls, in)
+			}
+		}
+	}
+	return se
+}
+
+// MayBeClobbered reports whether a load from the given base allocation
+// may observe a value written by the loop. Used by §4.2's rule: "only
+// proceed with prefetching if we do not find stores to data structures
+// that are used to generate load addresses".
+func (se *SideEffects) MayBeClobbered(base ir.Value) bool {
+	if se.UnknownStore {
+		return true
+	}
+	if base == nil {
+		return len(se.StoredBases) > 0
+	}
+	return se.StoredBases[base]
+}
+
+// SideEffectInfo classifies functions of a module by side-effect
+// freedom: a function is pure if it contains no stores, no prefetches
+// and only calls to pure functions. The prefetch pass uses this to
+// decide whether a call may appear in duplicated address-generation
+// code (§4.1 permits side-effect-free calls in principle; our
+// implementation, like the paper's prototype, rejects calls but the
+// classification is exposed for the extension and for diagnostics).
+type SideEffectInfo struct {
+	pure map[string]bool
+}
+
+// PureFunctions computes side-effect freedom for every function in m.
+func PureFunctions(m *ir.Module) *SideEffectInfo {
+	info := &SideEffectInfo{pure: map[string]bool{}}
+	// Iterate to a fixed point: purity requires callees to be pure.
+	for _, f := range m.Funcs {
+		info.pure[f.Name] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if !info.pure[f.Name] {
+				continue
+			}
+			bad := false
+			f.Instrs(func(in *ir.Instr) {
+				switch in.Op {
+				case ir.OpStore, ir.OpAlloc:
+					bad = true
+				case ir.OpCall:
+					if !info.pure[in.Callee] {
+						bad = true
+					}
+				}
+			})
+			if bad {
+				info.pure[f.Name] = false
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// IsPure reports whether the named function is side-effect free.
+func (s *SideEffectInfo) IsPure(name string) bool { return s.pure[name] }

@@ -1,0 +1,221 @@
+// Package bench regenerates every figure of the evaluation section
+// (§6) of Ainsworth & Jones (CGO 2017) on the simulated machines. Each
+// FigN function returns a Table whose rows correspond to the bars or
+// series of the paper's figure; cmd/swpfbench prints them and
+// bench_test.go exposes each as a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// Quality selects input sizes: Full is the scaled-paper configuration
+// used for EXPERIMENTS.md; Quick shrinks inputs for smoke tests.
+type Quality int
+
+// Qualities.
+const (
+	Full Quality = iota
+	Quick
+)
+
+// workloadSet returns the benchmark suite at the chosen quality.
+func workloadSet(q Quality) []*workloads.Workload {
+	if q == Quick {
+		// Quick keeps the irregular footprints larger than the simulated
+		// last-level caches (the property the paper's speedups rely on)
+		// while shrinking iteration counts for fast smoke runs.
+		return []*workloads.Workload{
+			workloads.IS(1<<14, 1<<19),
+			workloads.CG(2048, 96),
+			workloads.RA(19, 1<<12),
+			workloads.HJ(1<<13, 2),
+			workloads.HJ(1<<14, 8),
+			workloads.G500(11, 8),
+			workloads.G500(12, 8),
+		}
+	}
+	return workloads.All()
+}
+
+// workloadByName builds one suite workload at the chosen quality.
+func workloadByName(q Quality, name string) *workloads.Workload {
+	for _, w := range workloadSet(q) {
+		if w.Name == name || strings.HasPrefix(w.Name, name) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Note    string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Note)
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// geomean of a slice, ignoring non-positive entries.
+func geomean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// runPair measures plain and one variant, returning the speedup.
+func runPair(w *workloads.Workload, cfg *sim.Config, v core.Variant, o core.Options) (float64, *core.Result, *core.Result, error) {
+	base, err := core.Run(w, cfg, core.VariantPlain, o)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	x, err := core.Run(w, cfg, v, o)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return core.Speedup(base, x), base, x, nil
+}
+
+// bestManual returns the fastest manual configuration for the workload
+// on the machine, trying every supported stagger depth — the paper's
+// "best manual software prefetches we could generate" (fig. 4), where
+// e.g. HJ-8's optimal depth and G500's inner-loop prefetches are
+// microarchitecture-dependent choices.
+func bestManual(w *workloads.Workload, cfg *sim.Config, o core.Options) (*core.Result, error) {
+	depths := []int{0}
+	if w.ManualDepths > 0 {
+		depths = depths[:0]
+		for d := 1; d <= w.ManualDepths; d++ {
+			depths = append(depths, d)
+		}
+	}
+	var best *core.Result
+	for _, d := range depths {
+		opts := o
+		opts.Depth = d
+		res, err := core.Run(w, cfg, core.VariantManual, opts)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Cycles < best.Cycles {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// systems returns the four Table 1 machines.
+func systems() []*sim.Config { return uarch.All() }
+
+// CSV renders the table as comma-separated values (header first), for
+// feeding plots; swpfbench emits this under -csv.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	write(t.Columns)
+	for _, r := range t.Rows {
+		write(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table, for
+// pasting into EXPERIMENTS.md.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	row := func(cells []string) {
+		sb.WriteString("| ")
+		sb.WriteString(strings.Join(cells, " | "))
+		sb.WriteString(" |\n")
+	}
+	row(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}

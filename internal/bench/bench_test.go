@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+// rowByName finds a table row whose first cell matches (or prefixes).
+func rowByName(t *testing.T, tbl *Table, name string) []string {
+	t.Helper()
+	for _, r := range tbl.Rows {
+		if r[0] == name || strings.HasPrefix(r[0], name) {
+			return r
+		}
+	}
+	t.Fatalf("no row %q in %s", name, tbl.Title)
+	return nil
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Note:    "a note",
+	}
+	tbl.AddRow("x", "1.00")
+	s := tbl.String()
+	for _, want := range []string{"demo", "long-column", "x", "1.00", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	// Stringifying twice must not corrupt the header.
+	if tbl.String() != s {
+		t.Error("Table.String is not idempotent")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tbl, err := Fig2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	intuitive := parseCell(t, rowByName(t, tbl, "Intuitive")[1])
+	optimal := parseCell(t, rowByName(t, tbl, "Optimal")[1])
+	tooBig := parseCell(t, rowByName(t, tbl, "Offset too big")[1])
+	if optimal <= 1.0 {
+		t.Errorf("optimal speedup %.2f, want > 1", optimal)
+	}
+	if optimal < intuitive {
+		t.Errorf("optimal (%.2f) must be at least intuitive (%.2f)", optimal, intuitive)
+	}
+	if tooBig > optimal {
+		t.Errorf("too-big offset (%.2f) should not beat optimal (%.2f)", tooBig, optimal)
+	}
+}
+
+func TestFig4HaswellShape(t *testing.T) {
+	tbl, err := Fig4(Quick, "Haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	g := rowByName(t, tbl, "Geomean")
+	auto := parseCell(t, g[1])
+	manual := parseCell(t, g[2])
+	if auto <= 1.0 {
+		t.Errorf("Haswell auto geomean %.2f, want > 1 (paper: 1.3)", auto)
+	}
+	if manual < auto*0.9 {
+		t.Errorf("manual (%.2f) should be >= auto (%.2f)", manual, auto)
+	}
+}
+
+func TestFig4PhiICCColumn(t *testing.T) {
+	tbl, err := Fig4(Quick, "XeonPhi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	if len(tbl.Columns) != 4 {
+		t.Fatalf("Phi table needs the ICC column: %v", tbl.Columns)
+	}
+	// ICC must miss RA (hash pattern): its speedup stays ~1, below auto.
+	ra := rowByName(t, tbl, "RA")
+	icc := parseCell(t, ra[1])
+	auto := parseCell(t, ra[2])
+	if icc > auto {
+		t.Errorf("ICC (%.2f) should not beat the full pass (%.2f) on RA", icc, auto)
+	}
+	if icc > 1.1 {
+		t.Errorf("ICC speedup on RA = %.2f; the restricted pass must miss the hash pattern", icc)
+	}
+}
+
+func TestFig4UnknownSystem(t *testing.T) {
+	if _, err := Fig4(Quick, "M4"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tbl, err := Fig9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	one := rowByName(t, tbl, "1")
+	four := rowByName(t, tbl, "4")
+	base1 := parseCell(t, one[1])
+	pf1 := parseCell(t, one[2])
+	base4 := parseCell(t, four[1])
+	pf4 := parseCell(t, four[2])
+	if base1 < 0.99 || base1 > 1.01 {
+		t.Errorf("1-core baseline should normalize to 1.0, got %.2f", base1)
+	}
+	if pf1 <= base1 {
+		t.Errorf("prefetching should win at 1 core: %.2f vs %.2f", pf1, base1)
+	}
+	if base4 >= base1 {
+		t.Errorf("bus contention should reduce throughput: %.2f at 4 cores vs %.2f", base4, base1)
+	}
+	if pf4 <= base4 {
+		t.Errorf("prefetching should still win at 4 cores: %.2f vs %.2f", pf4, base4)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tbl, err := Fig10(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		small := parseCell(t, r[1])
+		huge := parseCell(t, r[2])
+		if small <= 0 || huge <= 0 {
+			t.Errorf("%s: non-positive speedups %v", r[0], r[1:])
+		}
+	}
+}
+
+func TestFig6QuickSingle(t *testing.T) {
+	tbl, err := Fig6(Quick, "IS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 systems, got %d rows", len(tbl.Rows))
+	}
+	if len(tbl.Rows[0]) != len(Fig6Distances)+1 {
+		t.Fatalf("row width %d, want %d", len(tbl.Rows[0]), len(Fig6Distances)+1)
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	tbl, err := Fig7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	// On the in-order systems deeper staggering must help beyond depth 1.
+	for _, sys := range []string{"A53", "XeonPhi"} {
+		r := rowByName(t, tbl, sys)
+		d1 := parseCell(t, r[1])
+		d3 := parseCell(t, r[3])
+		if d3 < d1 {
+			t.Errorf("%s: depth 3 (%.2f) should beat depth 1 (%.2f)", sys, d3, d1)
+		}
+	}
+}
+
+func TestFig8QuickShape(t *testing.T) {
+	tbl, err := Fig8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	is := parseCell(t, rowByName(t, tbl, "IS")[1])
+	g500 := parseCell(t, rowByName(t, tbl, "G500")[1])
+	if is <= 0 {
+		t.Errorf("IS extra instructions = %.1f%%, want positive", is)
+	}
+	if g500 >= is {
+		t.Errorf("G500 (%.1f%%) should add fewer instructions than IS (%.1f%%): prefetches are per-vertex, not per-edge", g500, is)
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	tbl, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	g := rowByName(t, tbl, "Geomean")
+	only := parseCell(t, g[1])
+	both := parseCell(t, g[2])
+	if both < only*0.95 {
+		t.Errorf("indirect+stride (%.2f) should not lose to indirect-only (%.2f)", both, only)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "Figure 4", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "Figure 9", "Figure 10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{-1, 0}); g != 0 {
+		t.Errorf("geomean of non-positives = %v", g)
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	if workloadByName(Quick, "HJ-8") == nil {
+		t.Error("HJ-8 not found")
+	}
+	if workloadByName(Quick, "nope") != nil {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestTableCSVAndMarkdown(t *testing.T) {
+	tbl := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow("x,y", "1.00")
+	tbl.AddRow("plain", "2.00")
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "\"x,y\",1.00") {
+		t.Errorf("CSV escaping wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown format wrong:\n%s", md)
+	}
+}

@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+// Fig2 reproduces figure 2: software-prefetching schemes for the
+// integer-sort kernel on Haswell. "Intuitive" inserts only the indirect
+// prefetch (listing 1 line 4); "optimal" adds the staggered stride
+// prefetch (line 6); the offset variants use the optimal scheme with a
+// too-small / too-big look-ahead.
+func Fig2(q Quality) (*Table, error) {
+	w := workloadByName(q, "IS")
+	hw := uarch.Haswell()
+	t := &Table{
+		Title:   "Figure 2: prefetching technique vs speedup, IS on Haswell",
+		Columns: []string{"technique", "speedup"},
+		Note:    "paper: intuitive 1.08x, optimal 1.30x; too small/too big below optimal",
+	}
+	cases := []struct {
+		name    string
+		variant core.Variant
+		c       int64
+	}{
+		{"Intuitive", core.VariantIndirectOnly, 64},
+		{"Offset too small", core.VariantAuto, 4},
+		{"Offset too big", core.VariantAuto, 1024},
+		{"Optimal", core.VariantAuto, 64},
+	}
+	for _, cse := range cases {
+		sp, _, _, err := runPair(w, hw, cse.variant, core.Options{C: cse.c})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cse.name, f2(sp))
+	}
+	return t, nil
+}
+
+// Fig4 reproduces figure 4: auto-generated and manual prefetch speedups
+// for every benchmark on one system; on the Xeon Phi the ICC-like
+// restricted pass is included as a third series.
+func Fig4(q Quality, system string) (*Table, error) {
+	cfg := uarch.ByName(system)
+	if cfg == nil {
+		return nil, fmt.Errorf("bench: unknown system %q", system)
+	}
+	withICC := system == "XeonPhi"
+	cols := []string{"benchmark", "auto", "manual"}
+	if withICC {
+		cols = []string{"benchmark", "icc", "auto", "manual"}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 4: speedup on %s (c=64)", system),
+		Columns: cols,
+		Note:    "paper geomeans: Haswell 1.3x, A57 1.1x, A53 2.1x, Xeon Phi 2.7x",
+	}
+	var autos, manuals, iccs []float64
+	for _, w := range workloadSet(q) {
+		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w.Name}
+		if withICC {
+			icc, err := core.Run(w, cfg, core.VariantICC, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			s := core.Speedup(base, icc)
+			iccs = append(iccs, s)
+			row = append(row, f2(s))
+		}
+		auto, err := core.Run(w, cfg, core.VariantAuto, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		man, err := bestManual(w, cfg, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sa, sm := core.Speedup(base, auto), core.Speedup(base, man)
+		autos = append(autos, sa)
+		manuals = append(manuals, sm)
+		row = append(row, f2(sa), f2(sm))
+		t.AddRow(row...)
+	}
+	grow := []string{"Geomean"}
+	if withICC {
+		grow = append(grow, f2(geomean(iccs)))
+	}
+	grow = append(grow, f2(geomean(autos)), f2(geomean(manuals)))
+	t.AddRow(grow...)
+	return t, nil
+}
+
+// Fig4All runs figure 4 for all four systems.
+func Fig4All(q Quality) ([]*Table, error) {
+	var out []*Table
+	for _, cfg := range systems() {
+		t, err := Fig4(q, cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig5 reproduces figure 5: on Haswell, the indirect prefetch alone
+// versus indirect plus staggered stride prefetch, both auto-generated.
+func Fig5(q Quality) (*Table, error) {
+	hw := uarch.Haswell()
+	t := &Table{
+		Title:   "Figure 5: indirect-only vs indirect+stride prefetch, Haswell (auto)",
+		Columns: []string{"benchmark", "indirect only", "indirect+stride"},
+		Note:    "paper: stride companions help across the board despite the HW prefetcher",
+	}
+	var only, both []float64
+	for _, w := range workloadSet(q) {
+		base, err := core.Run(w, hw, core.VariantPlain, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		io_, err := core.Run(w, hw, core.VariantIndirectOnly, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		full, err := core.Run(w, hw, core.VariantAuto, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s1, s2 := core.Speedup(base, io_), core.Speedup(base, full)
+		only = append(only, s1)
+		both = append(both, s2)
+		t.AddRow(w.Name, f2(s1), f2(s2))
+	}
+	t.AddRow("Geomean", f2(geomean(only)), f2(geomean(both)))
+	return t, nil
+}
+
+// Fig6Distances is the look-ahead sweep of figure 6.
+var Fig6Distances = []int64{4, 8, 16, 32, 64, 128, 256}
+
+// Fig6 reproduces figure 6: speedup vs look-ahead distance c for one of
+// IS, CG, RA, HJ-2 across all four systems, using manual prefetches as
+// the paper does ("based on manual insertion, to show the limits of
+// performance achievable across systems regardless of algorithm").
+func Fig6(q Quality, benchName string) (*Table, error) {
+	w := workloadByName(q, benchName)
+	if w == nil {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 6: speedup vs look-ahead distance, %s", w.Name),
+		Columns: append([]string{"system"}, formatDistances()...),
+		Note:    "paper: optimum is flat and c=64 is close to best everywhere",
+	}
+	for _, cfg := range systems() {
+		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{cfg.Name}
+		for _, c := range Fig6Distances {
+			x, err := core.Run(w, cfg, core.VariantManual, core.Options{C: c})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(core.Speedup(base, x)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func formatDistances() []string {
+	out := make([]string, len(Fig6Distances))
+	for i, c := range Fig6Distances {
+		out[i] = fmt.Sprintf("c=%d", c)
+	}
+	return out
+}
+
+// Fig6All runs the sweep for the four benchmarks the paper plots.
+func Fig6All(q Quality) ([]*Table, error) {
+	var out []*Table
+	for _, name := range []string{"IS", "CG", "RA", "HJ-2"} {
+		t, err := Fig6(q, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig7 reproduces figure 7: prefetching progressively more dependent
+// loads of HJ-8's four-deep chain, on every system.
+func Fig7(q Quality) (*Table, error) {
+	w := workloadByName(q, "HJ-8")
+	t := &Table{
+		Title:   "Figure 7: HJ-8 speedup vs prefetch stagger depth (manual)",
+		Columns: []string{"system", "depth 1", "depth 2", "depth 3", "depth 4"},
+		Note:    "paper: depth 3 is optimal on every architecture",
+	}
+	for _, cfg := range systems() {
+		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{cfg.Name}
+		for d := 1; d <= 4; d++ {
+			x, err := core.Run(w, cfg, core.VariantManual, core.Options{C: 64, Depth: d})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(core.Speedup(base, x)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig8 reproduces figure 8: the percentage increase in dynamic
+// instruction count on Haswell from adding software prefetches (best
+// scheme per benchmark, i.e. the manual variant).
+func Fig8(q Quality) (*Table, error) {
+	hw := uarch.Haswell()
+	t := &Table{
+		Title:   "Figure 8: % extra dynamic instructions from prefetching, Haswell",
+		Columns: []string{"benchmark", "% extra instructions"},
+		Note:    "paper: ~70% for IS/RA, ~80% for CG, small for G500 (outer-loop prefetches only)",
+	}
+	for _, w := range workloadSet(q) {
+		base, err := core.Run(w, hw, core.VariantPlain, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		man, err := bestManual(w, hw, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		extra := 100 * (float64(man.Stats.Instructions) - float64(base.Stats.Instructions)) /
+			float64(base.Stats.Instructions)
+		t.AddRow(w.Name, fmt.Sprintf("%.1f", extra))
+	}
+	return t, nil
+}
+
+// Fig9 reproduces figure 9: normalized throughput of IS on Haswell with
+// 1, 2 and 4 cores contending for DRAM, with and without prefetching.
+// Throughput is (tasks/time) normalized to one task on one core without
+// prefetching: N * T(1, no-pf) / T(N, variant).
+func Fig9(q Quality) (*Table, error) {
+	w := workloadByName(q, "IS")
+	t := &Table{
+		Title:   "Figure 9: IS normalized throughput vs core count, Haswell",
+		Columns: []string{"cores", "no prefetching", "prefetching"},
+		Note:    "paper: throughput <1 at 4 cores without prefetching; prefetching still wins",
+	}
+	solo, err := core.Run(w, uarch.Haswell(), core.VariantPlain, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{1, 2, 4} {
+		cfg := uarch.WithCores(uarch.Haswell(), n)
+		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pf, err := core.Run(w, cfg, core.VariantManual, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		// One task per core: N tasks complete in one core's contended
+		// time T(N), versus N*T(1,no-pf) run back to back on one core —
+		// so normalized throughput is T(1,no-pf)/T(N).
+		tpBase := solo.Cycles / base.Cycles
+		tpPF := solo.Cycles / pf.Cycles
+		t.AddRow(fmt.Sprintf("%d", n), f2(tpBase), f2(tpPF))
+	}
+	return t, nil
+}
+
+// Fig10 reproduces figure 10: prefetching speedup with transparent huge
+// pages enabled and disabled on Haswell, for the TLB-sensitive
+// benchmarks IS, RA and HJ-2. Each speedup is normalized to no
+// prefetching under the same page policy.
+func Fig10(q Quality) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 10: prefetch speedup with small vs huge pages, Haswell",
+		Columns: []string{"benchmark", "small pages", "huge pages"},
+		Note:    "paper: huge pages shift gains but trends are consistent",
+	}
+	for _, name := range []string{"IS", "RA", "HJ-2"} {
+		w := workloadByName(q, name)
+		row := []string{w.Name}
+		for _, cfg := range []*sim.Config{
+			uarch.SmallPages(uarch.Haswell()),
+			uarch.HugePages(uarch.Haswell()),
+		} {
+			sp, _, _, err := runPair(w, cfg, core.VariantManual, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(sp))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// RunAll regenerates every figure at the given quality and writes the
+// tables to w.
+func RunAll(q Quality, out io.Writer) error {
+	var tables []*Table
+	add := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		return nil
+	}
+	if err := add(Fig2(q)); err != nil {
+		return err
+	}
+	f4, err := Fig4All(q)
+	if err != nil {
+		return err
+	}
+	tables = append(tables, f4...)
+	if err := add(Fig5(q)); err != nil {
+		return err
+	}
+	f6, err := Fig6All(q)
+	if err != nil {
+		return err
+	}
+	tables = append(tables, f6...)
+	if err := add(Fig7(q)); err != nil {
+		return err
+	}
+	if err := add(Fig8(q)); err != nil {
+		return err
+	}
+	if err := add(Fig9(q)); err != nil {
+		return err
+	}
+	if err := add(Fig10(q)); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Fprintln(out, t.String())
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// Example measures the automatic pass on the integer-sort benchmark
+// for an in-order core, the paper's headline configuration.
+func Example() {
+	w := workloads.IS(1<<12, 1<<14)
+	cfg := uarch.A53()
+	base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	auto, err := core.Run(w, cfg, core.VariantAuto, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefetches emitted: %d\n", len(auto.Pass.Emitted))
+	fmt.Printf("faster: %v\n", auto.Cycles < base.Cycles)
+	// Output:
+	// prefetches emitted: 2
+	// faster: true
+}

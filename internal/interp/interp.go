@@ -1,0 +1,330 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Stats aggregates the dynamic behaviour of one run.
+type Stats struct {
+	Cycles       float64
+	Instructions uint64 // issued by the core (excludes phis)
+	Executed     uint64 // interpreted instructions (includes phis)
+	OpCounts     [ir.NumOps]uint64
+	Loads        uint64
+	Stores       uint64
+	Prefetches   uint64
+}
+
+// Machine runs IR programs against a simulated core.
+type Machine struct {
+	Mod  *ir.Module
+	Core *sim.Core
+	Mem  *Memory
+
+	// MaxInstrs bounds the dynamic instruction count (0 = 2^40),
+	// guarding against runaway loops in generated code.
+	MaxInstrs uint64
+
+	stats Stats
+}
+
+// New builds a machine for the module on the given core configuration.
+func New(mod *ir.Module, cfg *sim.Config) *Machine {
+	return &Machine{
+		Mod:  mod,
+		Core: sim.NewCore(cfg),
+		Mem:  NewMemory(),
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (m *Machine) Stats() Stats {
+	m.stats.Cycles = m.Core.Cycles()
+	m.stats.Instructions = m.Core.Instructions
+	return m.stats
+}
+
+const maxCallDepth = 64
+
+// Run executes the named function with the given arguments and returns
+// its result. Timing accumulates across calls; use a fresh Machine (or
+// Core.Reset) for independent measurements.
+func (m *Machine) Run(name string, args ...int64) (int64, error) {
+	f := m.Mod.Func(name)
+	if f == nil {
+		return 0, fmt.Errorf("interp: no function %q", name)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("interp: %s takes %d arguments, got %d", name, len(f.Params), len(args))
+	}
+	if m.MaxInstrs == 0 {
+		m.MaxInstrs = 1 << 40
+	}
+	ready := make([]float64, len(args))
+	v, _, err := m.call(f, args, ready, 0)
+	if err != nil {
+		return 0, err
+	}
+	m.Core.Finish()
+	return v, nil
+}
+
+type frame struct {
+	f         *ir.Function
+	vals      []int64
+	ready     []float64
+	args      []int64
+	argsReady []float64
+}
+
+func (m *Machine) call(f *ir.Function, args []int64, argsReady []float64, depth int) (int64, float64, error) {
+	if depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("interp: call depth exceeded in %s", f.Name)
+	}
+	fr := &frame{
+		f:         f,
+		vals:      make([]int64, f.NumInstrs()),
+		ready:     make([]float64, f.NumInstrs()),
+		args:      args,
+		argsReady: argsReady,
+	}
+
+	blk := f.Entry()
+	var prev *ir.Block
+	for {
+		next, retVal, retReady, done, err := m.execBlock(fr, blk, prev, depth)
+		if err != nil {
+			return 0, 0, err
+		}
+		if done {
+			return retVal, retReady, nil
+		}
+		prev, blk = blk, next
+	}
+}
+
+// value returns the runtime value and readiness time of an operand.
+func (fr *frame) value(v ir.Value) (int64, float64) {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Val, 0
+	case *ir.Param:
+		return fr.args[x.Idx], fr.argsReady[x.Idx]
+	case *ir.Instr:
+		return fr.vals[x.ID], fr.ready[x.ID]
+	}
+	panic(fmt.Sprintf("interp: unknown value kind %T", v))
+}
+
+// opsReady returns the latest readiness among an instruction's operands.
+func (fr *frame) opsReady(in *ir.Instr) float64 {
+	var r float64
+	for _, a := range in.Args {
+		if _, t := fr.value(a); t > r {
+			r = t
+		}
+	}
+	return r
+}
+
+// execBlock runs one basic block and returns the successor (or the
+// return value when the function ends).
+func (m *Machine) execBlock(fr *frame, b, prev *ir.Block, depth int) (next *ir.Block, ret int64, retReady float64, done bool, err error) {
+	// Phase 1: evaluate phis in parallel against the incoming edge.
+	phis := b.Phis()
+	if len(phis) > 0 {
+		tmpV := make([]int64, len(phis))
+		tmpR := make([]float64, len(phis))
+		for i, phi := range phis {
+			inc := phi.PhiIncoming(prev)
+			if inc == nil {
+				return nil, 0, 0, false, fmt.Errorf("interp: phi %%%s has no edge from %s", phi.Name, prev.Name)
+			}
+			tmpV[i], tmpR[i] = fr.value(inc)
+		}
+		for i, phi := range phis {
+			fr.vals[phi.ID] = tmpV[i]
+			fr.ready[phi.ID] = tmpR[i]
+			m.stats.Executed++
+			m.stats.OpCounts[ir.OpPhi]++
+		}
+	}
+
+	for _, in := range b.Instrs[len(phis):] {
+		if m.stats.Executed >= m.MaxInstrs {
+			return nil, 0, 0, false, fmt.Errorf("interp: instruction budget (%d) exhausted in %s", m.MaxInstrs, fr.f.Name)
+		}
+		m.stats.Executed++
+		m.stats.OpCounts[in.Op]++
+		opsReady := fr.opsReady(in)
+
+		switch in.Op {
+		case ir.OpAlloc:
+			elems, _ := fr.value(in.Args[0])
+			esize, _ := fr.value(in.Args[1])
+			base, aerr := m.Mem.Alloc(elems * esize)
+			if aerr != nil {
+				return nil, 0, 0, false, aerr
+			}
+			fr.vals[in.ID] = base
+			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
+
+		case ir.OpLoad:
+			addr, _ := fr.value(in.Args[0])
+			v, lerr := m.Mem.Load(addr, in.Typ)
+			if lerr != nil {
+				return nil, 0, 0, false, lerr
+			}
+			m.stats.Loads++
+			fr.vals[in.ID] = v
+			fr.ready[in.ID] = m.Core.Load(in.ID, addr, opsReady)
+
+		case ir.OpStore:
+			addr, _ := fr.value(in.Args[0])
+			v, _ := fr.value(in.Args[1])
+			if serr := m.Mem.Store(addr, v, ir.StoreType(in)); serr != nil {
+				return nil, 0, 0, false, serr
+			}
+			m.stats.Stores++
+			m.Core.Store(in.ID, addr, opsReady)
+
+		case ir.OpPrefetch:
+			addr, _ := fr.value(in.Args[0])
+			m.stats.Prefetches++
+			m.Core.Prefetch(in.ID, addr, opsReady, m.Mem.Valid(addr, 1))
+
+		case ir.OpGEP:
+			base, _ := fr.value(in.Args[0])
+			idx, _ := fr.value(in.Args[1])
+			scale, _ := fr.value(in.Args[2])
+			fr.vals[in.ID] = base + idx*scale
+			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
+
+		case ir.OpCmp:
+			a, _ := fr.value(in.Args[0])
+			bv, _ := fr.value(in.Args[1])
+			if in.Pred.Eval(a, bv) {
+				fr.vals[in.ID] = 1
+			} else {
+				fr.vals[in.ID] = 0
+			}
+			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
+
+		case ir.OpSelect:
+			c, _ := fr.value(in.Args[0])
+			a, _ := fr.value(in.Args[1])
+			bv, _ := fr.value(in.Args[2])
+			if c != 0 {
+				fr.vals[in.ID] = a
+			} else {
+				fr.vals[in.ID] = bv
+			}
+			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
+
+		case ir.OpCall:
+			callee := m.Mod.Func(in.Callee)
+			if callee == nil {
+				return nil, 0, 0, false, fmt.Errorf("interp: call to undefined @%s", in.Callee)
+			}
+			cargs := make([]int64, len(in.Args))
+			cready := make([]float64, len(in.Args))
+			for i, a := range in.Args {
+				cargs[i], cready[i] = fr.value(a)
+			}
+			m.Core.Op(opsReady, 1) // call overhead
+			v, r, cerr := m.call(callee, cargs, cready, depth+1)
+			if cerr != nil {
+				return nil, 0, 0, false, cerr
+			}
+			fr.vals[in.ID] = v
+			fr.ready[in.ID] = r
+
+		case ir.OpBr:
+			m.Core.Branch(opsReady, false)
+			return in.Targets[0], 0, 0, false, nil
+
+		case ir.OpCBr:
+			c, _ := fr.value(in.Args[0])
+			m.Core.Branch(opsReady, true)
+			if c != 0 {
+				return in.Targets[0], 0, 0, false, nil
+			}
+			return in.Targets[1], 0, 0, false, nil
+
+		case ir.OpRet:
+			m.Core.Op(opsReady, 1)
+			if len(in.Args) == 1 {
+				v, r := fr.value(in.Args[0])
+				return nil, v, r, true, nil
+			}
+			return nil, 0, 0, true, nil
+
+		default:
+			v, verr := m.arith(in, fr, opsReady)
+			if verr != nil {
+				return nil, 0, 0, false, verr
+			}
+			fr.vals[in.ID] = v
+		}
+	}
+	return nil, 0, 0, false, fmt.Errorf("interp: block %s fell through without terminator", b.Name)
+}
+
+// arith evaluates the binary arithmetic opcodes and charges the core.
+func (m *Machine) arith(in *ir.Instr, fr *frame, opsReady float64) (int64, error) {
+	a, _ := fr.value(in.Args[0])
+	b, _ := fr.value(in.Args[1])
+	lat := int64(1)
+	var v int64
+	switch in.Op {
+	case ir.OpAdd:
+		v = a + b
+	case ir.OpSub:
+		v = a - b
+	case ir.OpMul:
+		v = a * b
+		lat = m.Core.Config().MulLatency
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, &Fault{Op: ir.OpDiv, Msg: "division by zero"}
+		}
+		v = a / b
+		lat = m.Core.Config().DivLatency
+	case ir.OpRem:
+		if b == 0 {
+			return 0, &Fault{Op: ir.OpRem, Msg: "division by zero"}
+		}
+		v = a % b
+		lat = m.Core.Config().DivLatency
+	case ir.OpAnd:
+		v = a & b
+	case ir.OpOr:
+		v = a | b
+	case ir.OpXor:
+		v = a ^ b
+	case ir.OpShl:
+		v = a << (uint64(b) & 63)
+	case ir.OpShr:
+		v = int64(uint64(a) >> (uint64(b) & 63))
+	case ir.OpMin:
+		v = a
+		if b < a {
+			v = b
+		}
+	case ir.OpMax:
+		v = a
+		if b > a {
+			v = b
+		}
+	default:
+		return 0, fmt.Errorf("interp: unimplemented opcode %s", in.Op)
+	}
+	if lat == 0 {
+		lat = 1
+	}
+	fr.ready[in.ID] = m.Core.Op(opsReady, lat)
+	return v, nil
+}

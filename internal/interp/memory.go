@@ -1,0 +1,155 @@
+// Package interp executes IR programs functionally over a simulated
+// flat address space while driving a sim.Core timing model, so that a
+// program's result and its cycle cost come from one run.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Fault is a memory access violation: a load, store or division that
+// the original program semantics define as erroneous. Software
+// prefetches never raise Faults.
+type Fault struct {
+	Addr int64
+	Op   ir.Op
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("interp: fault: %s at address %#x: %s", f.Op, f.Addr, f.Msg)
+}
+
+// segment is one allocation in the flat address space.
+type segment struct {
+	base int64
+	data []byte
+}
+
+// Memory is a flat 64-bit address space populated by Alloc. Allocations
+// are page-aligned with guard gaps, so out-of-bounds accesses fault
+// instead of silently hitting a neighbouring array.
+type Memory struct {
+	segs []segment // sorted by base
+	next int64
+	last int // index of the most recently hit segment
+
+	// BytesAllocated is the total live allocation size.
+	BytesAllocated int64
+}
+
+const (
+	memBase  = 1 << 20 // first allocation address
+	guardGap = 1 << 14 // space between allocations
+)
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{next: memBase}
+}
+
+// Alloc reserves size bytes and returns the base address. The space is
+// zero-initialised.
+func (m *Memory) Alloc(size int64) (int64, error) {
+	if size < 0 {
+		return 0, &Fault{Op: ir.OpAlloc, Msg: fmt.Sprintf("negative allocation size %d", size)}
+	}
+	base := m.next
+	m.segs = append(m.segs, segment{base: base, data: make([]byte, size)})
+	m.next = base + size + guardGap
+	// Round up to the next page for realism.
+	m.next = (m.next + 4095) &^ 4095
+	m.BytesAllocated += size
+	return base, nil
+}
+
+// find returns the segment containing [addr, addr+width), or nil.
+func (m *Memory) find(addr, width int64) *segment {
+	if m.last < len(m.segs) {
+		s := &m.segs[m.last]
+		if addr >= s.base && addr+width <= s.base+int64(len(s.data)) {
+			return s
+		}
+	}
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].base > addr })
+	if i == 0 {
+		return nil
+	}
+	s := &m.segs[i-1]
+	if addr >= s.base && addr+width <= s.base+int64(len(s.data)) {
+		m.last = i - 1
+		return s
+	}
+	return nil
+}
+
+// Valid reports whether [addr, addr+width) lies inside an allocation.
+func (m *Memory) Valid(addr, width int64) bool { return m.find(addr, width) != nil }
+
+// Load reads a little-endian, sign-extended value of the given type.
+func (m *Memory) Load(addr int64, t ir.Type) (int64, error) {
+	w := t.Size()
+	s := m.find(addr, w)
+	if s == nil {
+		return 0, &Fault{Addr: addr, Op: ir.OpLoad, Msg: "unmapped address"}
+	}
+	off := addr - s.base
+	var u uint64
+	for i := int64(0); i < w; i++ {
+		u |= uint64(s.data[off+i]) << (8 * i)
+	}
+	// Sign-extend narrower types, matching C's int semantics in the
+	// benchmarks the paper uses.
+	switch t {
+	case ir.I8:
+		return int64(int8(u)), nil
+	case ir.I16:
+		return int64(int16(u)), nil
+	case ir.I32:
+		return int64(int32(u)), nil
+	}
+	return int64(u), nil
+}
+
+// Store writes a little-endian value of the given type.
+func (m *Memory) Store(addr int64, val int64, t ir.Type) error {
+	w := t.Size()
+	s := m.find(addr, w)
+	if s == nil {
+		return &Fault{Addr: addr, Op: ir.OpStore, Msg: "unmapped address"}
+	}
+	off := addr - s.base
+	for i := int64(0); i < w; i++ {
+		s.data[off+i] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// WriteSlice bulk-initialises memory at base with 64-bit values scaled
+// to the element type — the loader for workload data generators.
+func (m *Memory) WriteSlice(base int64, t ir.Type, vals []int64) error {
+	w := t.Size()
+	for i, v := range vals {
+		if err := m.Store(base+int64(i)*w, v, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSlice reads n values of the element type starting at base.
+func (m *Memory) ReadSlice(base int64, t ir.Type, n int64) ([]int64, error) {
+	w := t.Size()
+	out := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		v, err := m.Load(base+int64(i)*w, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestMemoryAllocPlacement(t *testing.T) {
+	m := NewMemory()
+	a, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a+100 {
+		t.Errorf("allocations overlap or touch: %d after %d", b, a)
+	}
+	if b-a-100 < guardGap {
+		t.Errorf("guard gap too small: %d", b-a-100)
+	}
+	if m.BytesAllocated != 200 {
+		t.Errorf("BytesAllocated = %d", m.BytesAllocated)
+	}
+}
+
+func TestMemoryNegativeAllocFaults(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.Alloc(-1); err == nil {
+		t.Error("negative allocation accepted")
+	}
+}
+
+func TestMemoryZeroSizedAlloc(t *testing.T) {
+	m := NewMemory()
+	base, err := m.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Valid(base, 1) {
+		t.Error("zero-sized allocation readable")
+	}
+}
+
+func TestMemoryStraddlingAccessFaults(t *testing.T) {
+	m := NewMemory()
+	base, _ := m.Alloc(10)
+	// An 8-byte load starting 4 bytes before the end straddles out.
+	if _, err := m.Load(base+6, ir.I64); err == nil {
+		t.Error("straddling load did not fault")
+	}
+	if _, err := m.Load(base+2, ir.I64); err != nil {
+		t.Errorf("in-bounds load faulted: %v", err)
+	}
+}
+
+func TestMemoryValidWidths(t *testing.T) {
+	m := NewMemory()
+	base, _ := m.Alloc(8)
+	if !m.Valid(base, 8) {
+		t.Error("exact-fit access invalid")
+	}
+	if m.Valid(base, 9) {
+		t.Error("over-long access valid")
+	}
+	if m.Valid(base-1, 1) {
+		t.Error("before-start access valid")
+	}
+}
+
+// TestQuickMemoryMatchesMap: random stores followed by loads must
+// behave like a map of addresses to values, across widths.
+func TestQuickMemoryMatchesMap(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		const size = 4096
+		base, err := m.Alloc(size)
+		if err != nil {
+			return false
+		}
+		ref := make([]byte, size)
+		types := []ir.Type{ir.I8, ir.I16, ir.I32, ir.I64}
+		for step := 0; step < 200; step++ {
+			typ := types[r.Intn(len(types))]
+			w := typ.Size()
+			off := int64(r.Intn(size - int(w) + 1))
+			if r.Intn(2) == 0 {
+				v := int64(r.Uint64())
+				if err := m.Store(base+off, v, typ); err != nil {
+					return false
+				}
+				for i := int64(0); i < w; i++ {
+					ref[off+i] = byte(v >> (8 * i))
+				}
+			} else {
+				got, err := m.Load(base+off, typ)
+				if err != nil {
+					return false
+				}
+				var u uint64
+				for i := int64(0); i < w; i++ {
+					u |= uint64(ref[off+i]) << (8 * i)
+				}
+				var want int64
+				switch typ {
+				case ir.I8:
+					want = int64(int8(u))
+				case ir.I16:
+					want = int64(int16(u))
+				case ir.I32:
+					want = int64(int32(u))
+				default:
+					want = int64(u)
+				}
+				if got != want {
+					t.Logf("seed %d: load %s at %d = %d, want %d", seed, typ, off, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryManyAllocationsSearchable(t *testing.T) {
+	m := NewMemory()
+	var bases []int64
+	for i := 0; i < 200; i++ {
+		b, err := m.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b)
+		if err := m.Store(b, int64(i), ir.I64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Random-order reads hit the right segments.
+	for _, i := range []int{199, 0, 57, 123, 3} {
+		v, err := m.Load(bases[i], ir.I64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(i) {
+			t.Errorf("segment %d holds %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient way to construct IR, maintaining an
+// insertion point and generating fresh SSA names. It is the API the
+// workload kernels and the prefetch pass use to emit code.
+type Builder struct {
+	fn  *Function
+	blk *Block
+}
+
+// NewBuilder returns a builder positioned at the end of the function's
+// entry block (creating one called "entry" if the function is empty).
+func NewBuilder(f *Function) *Builder {
+	if len(f.Blocks) == 0 {
+		f.NewBlock("entry")
+	}
+	return &Builder{fn: f, blk: f.Entry()}
+}
+
+// Func returns the function under construction.
+func (b *Builder) Func() *Function { return b.fn }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.blk }
+
+// SetBlock moves the insertion point to the end of blk.
+func (b *Builder) SetBlock(blk *Block) {
+	if blk.fn != b.fn {
+		panic("ir: SetBlock: block belongs to a different function")
+	}
+	b.blk = blk
+}
+
+// NewBlock creates a new block in the function without moving the
+// insertion point.
+func (b *Builder) NewBlock(name string) *Block { return b.fn.NewBlock(name) }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.blk == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if t := b.blk.Term(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s into terminated block %s", in.Op, b.blk.Name))
+	}
+	if in.Op.HasResult() && in.Typ != Void && in.Name == "" {
+		in.Name = b.fn.FreshName("v")
+	}
+	b.blk.Append(in)
+	return in
+}
+
+// Named sets the SSA name of the next value-producing instruction.
+// Usage: b.Named("sum").Add(x, y).
+func (b *Builder) Named(name string) *namedBuilder {
+	return &namedBuilder{b: b, name: name}
+}
+
+type namedBuilder struct {
+	b    *Builder
+	name string
+}
+
+func (nb *namedBuilder) apply(in *Instr) *Instr {
+	in.Name = nb.name
+	return in
+}
+
+// Add emits a named add.
+func (nb *namedBuilder) Add(x, y Value) *Instr { return nb.apply(nb.b.Add(x, y)) }
+
+// Phi emits a named phi.
+func (nb *namedBuilder) Phi(t Type) *Instr { return nb.apply(nb.b.Phi(t)) }
+
+// Load emits a named load.
+func (nb *namedBuilder) Load(t Type, addr Value) *Instr { return nb.apply(nb.b.Load(t, addr)) }
+
+// Alloc emits: reserve elems*elemSize bytes, yielding the base pointer.
+func (b *Builder) Alloc(elems Value, elemSize int64) *Instr {
+	return b.emit(&Instr{Op: OpAlloc, Typ: Ptr, Args: []Value{elems, ConstInt(elemSize)}})
+}
+
+// Load emits a load of width t.Size() from addr.
+func (b *Builder) Load(t Type, addr Value) *Instr {
+	return b.emit(&Instr{Op: OpLoad, Typ: t, Args: []Value{addr}})
+}
+
+// Store emits a store of val (width t.Size()) to addr.
+func (b *Builder) Store(t Type, addr, val Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, Typ: Void, Args: []Value{addr, val}, Pred: Pred(t)})
+}
+
+// StoreType recovers the access type of a store instruction.
+func StoreType(in *Instr) Type {
+	if in.Op != OpStore {
+		panic("ir: StoreType on non-store")
+	}
+	return Type(in.Pred)
+}
+
+// GEP emits base + index*scale as a pointer value.
+func (b *Builder) GEP(base, index Value, scale int64) *Instr {
+	return b.emit(&Instr{Op: OpGEP, Typ: Ptr, Args: []Value{base, index, ConstInt(scale)}})
+}
+
+// Prefetch emits a non-binding prefetch of addr.
+func (b *Builder) Prefetch(addr Value) *Instr {
+	return b.emit(&Instr{Op: OpPrefetch, Typ: Void, Args: []Value{addr}})
+}
+
+func (b *Builder) binop(op Op, x, y Value) *Instr {
+	t := I64
+	if x.Type() == Ptr || y.Type() == Ptr {
+		t = Ptr
+	}
+	return b.emit(&Instr{Op: op, Typ: t, Args: []Value{x, y}})
+}
+
+// Add emits x + y.
+func (b *Builder) Add(x, y Value) *Instr { return b.binop(OpAdd, x, y) }
+
+// Sub emits x - y.
+func (b *Builder) Sub(x, y Value) *Instr { return b.binop(OpSub, x, y) }
+
+// Mul emits x * y.
+func (b *Builder) Mul(x, y Value) *Instr { return b.binop(OpMul, x, y) }
+
+// Div emits x / y (signed; division by zero faults at runtime).
+func (b *Builder) Div(x, y Value) *Instr { return b.binop(OpDiv, x, y) }
+
+// Rem emits x % y (signed; division by zero faults at runtime).
+func (b *Builder) Rem(x, y Value) *Instr { return b.binop(OpRem, x, y) }
+
+// And emits x & y.
+func (b *Builder) And(x, y Value) *Instr { return b.binop(OpAnd, x, y) }
+
+// Or emits x | y.
+func (b *Builder) Or(x, y Value) *Instr { return b.binop(OpOr, x, y) }
+
+// Xor emits x ^ y.
+func (b *Builder) Xor(x, y Value) *Instr { return b.binop(OpXor, x, y) }
+
+// Shl emits x << y.
+func (b *Builder) Shl(x, y Value) *Instr { return b.binop(OpShl, x, y) }
+
+// Shr emits a logical shift right x >> y.
+func (b *Builder) Shr(x, y Value) *Instr { return b.binop(OpShr, x, y) }
+
+// Min emits min(x, y) (signed).
+func (b *Builder) Min(x, y Value) *Instr { return b.binop(OpMin, x, y) }
+
+// Max emits max(x, y) (signed).
+func (b *Builder) Max(x, y Value) *Instr { return b.binop(OpMax, x, y) }
+
+// Cmp emits (x pred y) as 0/1.
+func (b *Builder) Cmp(p Pred, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpCmp, Typ: I64, Pred: p, Args: []Value{x, y}})
+}
+
+// Select emits cond != 0 ? x : y.
+func (b *Builder) Select(cond, x, y Value) *Instr {
+	t := x.Type()
+	if t == Void {
+		t = y.Type()
+	}
+	return b.emit(&Instr{Op: OpSelect, Typ: t, Args: []Value{cond, x, y}})
+}
+
+// Phi emits an empty phi of type t; fill in edges with AddIncoming.
+// Phis must be emitted before any non-phi instruction in their block.
+func (b *Builder) Phi(t Type) *Instr {
+	for _, in := range b.blk.Instrs {
+		if in.Op != OpPhi {
+			panic("ir: phi emitted after non-phi instruction")
+		}
+	}
+	return b.emit(&Instr{Op: OpPhi, Typ: t})
+}
+
+// AddIncoming adds an edge [pred: v] to a phi instruction.
+func AddIncoming(phi *Instr, pred *Block, v Value) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Incoming = append(phi.Incoming, pred)
+}
+
+// Call emits a call to the named function. Side-effect freedom is a
+// property of the callee recorded in analysis, not of the call site.
+func (b *Builder) Call(ret Type, callee string, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Typ: ret, Callee: callee, Args: args})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(target *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Typ: Void, Targets: []*Block{target}})
+}
+
+// CBr emits a conditional branch: then if cond != 0, otherwise els.
+func (b *Builder) CBr(cond Value, then, els *Block) *Instr {
+	return b.emit(&Instr{Op: OpCBr, Typ: Void, Args: []Value{cond}, Targets: []*Block{then, els}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return b.emit(in)
+}
+
+// CountedLoop emits the skeleton of a canonical counted loop
+//
+//	for (i = start; i < limit; i += step) { body }
+//
+// and returns the loop structure. The builder is left positioned in the
+// body block; callers emit the body and then call Close to wire the
+// back edge. The induction variable phi is in canonical form (constant
+// start, constant step), which is what the prefetch pass recognises.
+type CountedLoop struct {
+	IndVar *Instr // the induction-variable phi
+	Header *Block
+	Body   *Block
+	Latch  *Block
+	Exit   *Block
+
+	b    *Builder
+	step Value
+}
+
+// CountedLoop builds the loop skeleton. name prefixes the block names.
+func (b *Builder) CountedLoop(name string, start, limit Value, step int64) *CountedLoop {
+	pre := b.blk
+	header := b.NewBlock(name + ".header")
+	body := b.NewBlock(name + ".body")
+	latch := b.NewBlock(name + ".latch")
+	exit := b.NewBlock(name + ".exit")
+
+	b.Br(header)
+
+	b.SetBlock(header)
+	iv := b.Named(name + ".i").Phi(I64)
+	AddIncoming(iv, pre, start)
+	cond := b.Cmp(PredLT, iv, limit)
+	b.CBr(cond, body, exit)
+
+	b.SetBlock(latch)
+	next := b.Add(iv, ConstInt(step))
+	b.Br(header)
+	AddIncoming(iv, latch, next)
+
+	b.SetBlock(body)
+	return &CountedLoop{
+		IndVar: iv, Header: header, Body: body, Latch: latch, Exit: exit,
+		b: b, step: ConstInt(step),
+	}
+}
+
+// Close terminates the current insertion block with a branch to the loop
+// latch and repositions the builder at the loop exit.
+func (l *CountedLoop) Close() {
+	l.b.Br(l.Latch)
+	l.b.SetBlock(l.Exit)
+}

@@ -1,0 +1,79 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotCFG renders the function's control-flow graph in Graphviz dot
+// format, one record node per basic block. cmd/swpfc emits this under
+// -dot for inspecting the pass's output.
+func DotCFG(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=record, fontname=monospace];\n")
+	for _, b := range f.Blocks {
+		var lines []string
+		lines = append(lines, b.Name+":")
+		for _, in := range b.Instrs {
+			lines = append(lines, escapeDot(in.Format()))
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"];\n", b.Name, strings.Join(lines, "\\l")+"\\l")
+		for i, s := range b.Succs() {
+			attr := ""
+			if t := b.Term(); t != nil && t.Op == OpCBr {
+				if i == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", b.Name, s.Name, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DotDDG renders the data-dependence graph of one function: an edge
+// from each definition to each use. Loads and prefetches are
+// highlighted, making the address-generation chains the prefetch pass
+// duplicates visible at a glance.
+func DotDDG(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name+"-ddg")
+	sb.WriteString("  node [fontname=monospace];\n")
+	name := func(in *Instr) string { return fmt.Sprintf("i%d", in.ID) }
+	f.Renumber()
+	f.Instrs(func(in *Instr) {
+		label := escapeDot(in.Format())
+		attrs := ""
+		switch in.Op {
+		case OpLoad:
+			attrs = ", style=filled, fillcolor=lightblue"
+		case OpPrefetch:
+			attrs = ", style=filled, fillcolor=palegreen"
+		case OpPhi:
+			attrs = ", shape=diamond"
+		}
+		fmt.Fprintf(&sb, "  %s [label=\"%s\"%s];\n", name(in), label, attrs)
+		for _, a := range in.Args {
+			if def, ok := a.(*Instr); ok {
+				fmt.Fprintf(&sb, "  %s -> %s;\n", name(def), name(in))
+			}
+		}
+	})
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "<", "\\<")
+	s = strings.ReplaceAll(s, ">", "\\>")
+	s = strings.ReplaceAll(s, "{", "\\{")
+	s = strings.ReplaceAll(s, "}", "\\}")
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return s
+}

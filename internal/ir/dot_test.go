@@ -1,0 +1,63 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotCFG(t *testing.T) {
+	_, f := buildSum()
+	dot := DotCFG(f)
+	for _, want := range []string{
+		"digraph \"sum\"",
+		`"entry" -> "header"`,
+		`"header" -> "body" [label="T"]`,
+		`"header" -> "exit" [label="F"]`,
+		`"body" -> "header"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DotCFG missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Count(dot, "shape=record") != 1 {
+		t.Error("record style missing")
+	}
+}
+
+func TestDotDDG(t *testing.T) {
+	_, f := buildSum()
+	dot := DotDDG(f)
+	if !strings.Contains(dot, "lightblue") {
+		t.Error("load highlight missing")
+	}
+	if !strings.Contains(dot, "shape=diamond") {
+		t.Error("phi highlight missing")
+	}
+	// Every def-use edge present: gep -> load.
+	body := f.Block("body")
+	gep, load := body.Instrs[0], body.Instrs[1]
+	edge := "i" + itoa(gep.ID) + " -> i" + itoa(load.ID)
+	if !strings.Contains(dot, edge) {
+		t.Errorf("missing def-use edge %q:\n%s", edge, dot)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestEscapeDot(t *testing.T) {
+	in := `a"b|c{d}e<f>g\h`
+	want := `a\"b\|c\{d\}e\<f\>g\\h`
+	if got := escapeDot(in); got != want {
+		t.Errorf("escapeDot(%q) = %q, want %q", in, got, want)
+	}
+}

@@ -1,0 +1,598 @@
+// Package ir implements a small typed SSA intermediate representation,
+// modelled on the subset of LLVM IR used by the prefetch-generation
+// algorithm of Ainsworth & Jones, "Software Prefetching for Indirect
+// Memory Accesses" (CGO 2017).
+//
+// A Module holds Functions; a Function holds Blocks; a Block holds
+// Instrs ending in exactly one terminator (br, cbr or ret). Values are
+// constants, function parameters, or instruction results. The IR is in
+// SSA form: every Instr defines at most one value, and phi instructions
+// merge values at control-flow joins.
+//
+// The representation is deliberately explicit about the two features the
+// prefetching pass cares about: memory is reached only through alloc /
+// gep / load / store / prefetch instructions, and loop induction
+// variables appear as phi nodes in loop header blocks.
+package ir
+
+import "fmt"
+
+// Type is the type of an IR value. The IR is word-oriented: all integer
+// arithmetic is performed on 64-bit values; the narrower integer types
+// exist to give loads and stores an access width, exactly like LLVM's
+// i8/i16/i32/i64 with implicit extension.
+type Type uint8
+
+// The available value types.
+const (
+	Void Type = iota // no value (stores, branches, prefetches)
+	I8               // 1-byte integer
+	I16              // 2-byte integer
+	I32              // 4-byte integer
+	I64              // 8-byte integer
+	Ptr              // 64-bit address
+)
+
+// Size returns the access width of the type in bytes.
+func (t Type) Size() int64 {
+	switch t {
+	case I8:
+		return 1
+	case I16:
+		return 2
+	case I32:
+		return 4
+	case I64:
+		return 8
+	case Ptr:
+		return 8
+	}
+	return 0
+}
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I8:
+		return "i8"
+	case I16:
+		return "i16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case Ptr:
+		return "ptr"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// TypeFromString parses a type name as produced by Type.String.
+func TypeFromString(s string) (Type, bool) {
+	switch s {
+	case "void":
+		return Void, true
+	case "i8":
+		return I8, true
+	case "i16":
+		return I16, true
+	case "i32":
+		return I32, true
+	case "i64":
+		return I64, true
+	case "ptr":
+		return Ptr, true
+	}
+	return Void, false
+}
+
+// Value is an SSA value: a *Const, *Param or *Instr.
+type Value interface {
+	// Type reports the type of the value.
+	Type() Type
+	// String returns the value as an operand reference, e.g. "%x" or "42".
+	String() string
+}
+
+// Const is an integer constant value.
+type Const struct {
+	Val int64
+	Typ Type
+}
+
+// ConstInt returns an i64 constant.
+func ConstInt(v int64) *Const { return &Const{Val: v, Typ: I64} }
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Typ }
+
+func (c *Const) String() string { return fmt.Sprintf("%d", c.Val) }
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Typ  Type
+	Idx  int // position in the function signature
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Typ }
+
+func (p *Param) String() string { return "%" + p.Name }
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpInvalid Op = iota
+
+	// Memory.
+	OpAlloc    // alloc <elems>, <elemsize>  -> ptr; reserves elems*elemsize bytes
+	OpLoad     // load <ptr>                 -> value of the instr type
+	OpStore    // store <ptr>, <val>
+	OpGEP      // gep <base>, <index>, <scale const> -> base + index*scale
+	OpPrefetch // prefetch <ptr>; non-binding, non-faulting cache hint
+
+	// Arithmetic / logic (all on i64 words).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMin // min of two values; emitted by the prefetch pass for clamping
+	OpMax
+
+	// Comparison: result 0 or 1. Predicate in Instr.Pred.
+	OpCmp
+
+	// select <cond>, <a>, <b> -> a if cond != 0 else b
+	OpSelect
+
+	// phi [pred: val, ...]
+	OpPhi
+
+	// call <fn>(args...); callee in Instr.Callee
+	OpCall
+
+	// Terminators.
+	OpBr   // br <block>
+	OpCBr  // cbr <cond>, <then>, <else>
+	OpRet  // ret [val]
+	opLast // sentinel for iteration in tests
+)
+
+// NumOps is the number of defined opcodes (exported for table-driven tests).
+const NumOps = int(opLast)
+
+var opNames = [...]string{
+	OpInvalid:  "invalid",
+	OpAlloc:    "alloc",
+	OpLoad:     "load",
+	OpStore:    "store",
+	OpGEP:      "gep",
+	OpPrefetch: "prefetch",
+	OpAdd:      "add",
+	OpSub:      "sub",
+	OpMul:      "mul",
+	OpDiv:      "div",
+	OpRem:      "rem",
+	OpAnd:      "and",
+	OpOr:       "or",
+	OpXor:      "xor",
+	OpShl:      "shl",
+	OpShr:      "shr",
+	OpMin:      "min",
+	OpMax:      "max",
+	OpCmp:      "cmp",
+	OpSelect:   "select",
+	OpPhi:      "phi",
+	OpCall:     "call",
+	OpBr:       "br",
+	OpCBr:      "cbr",
+	OpRet:      "ret",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpFromString parses an opcode mnemonic.
+func OpFromString(s string) (Op, bool) {
+	for i, n := range opNames {
+		if n == s && Op(i) != OpInvalid {
+			return Op(i), true
+		}
+	}
+	return OpInvalid, false
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCBr || o == OpRet }
+
+// HasResult reports whether instructions with this opcode define a value.
+func (o Op) HasResult() bool {
+	switch o {
+	case OpStore, OpPrefetch, OpBr, OpCBr, OpRet, OpInvalid:
+		return false
+	case OpCall:
+		// Calls may or may not produce a value; the instruction's type
+		// distinguishes. Reported true here; void calls set Type==Void.
+		return true
+	}
+	return true
+}
+
+// Pred is a comparison predicate for OpCmp.
+type Pred uint8
+
+// Comparison predicates (signed unless suffixed U).
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+)
+
+var predNames = [...]string{
+	PredEQ: "eq", PredNE: "ne", PredLT: "lt", PredLE: "le",
+	PredGT: "gt", PredGE: "ge",
+	PredULT: "ult", PredULE: "ule", PredUGT: "ugt", PredUGE: "uge",
+}
+
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// PredFromString parses a predicate mnemonic.
+func PredFromString(s string) (Pred, bool) {
+	for i, n := range predNames {
+		if n == s {
+			return Pred(i), true
+		}
+	}
+	return 0, false
+}
+
+// Eval applies the predicate to two signed 64-bit values.
+func (p Pred) Eval(a, b int64) bool {
+	switch p {
+	case PredEQ:
+		return a == b
+	case PredNE:
+		return a != b
+	case PredLT:
+		return a < b
+	case PredLE:
+		return a <= b
+	case PredGT:
+		return a > b
+	case PredGE:
+		return a >= b
+	case PredULT:
+		return uint64(a) < uint64(b)
+	case PredULE:
+		return uint64(a) <= uint64(b)
+	case PredUGT:
+		return uint64(a) > uint64(b)
+	case PredUGE:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+// Instr is a single SSA instruction.
+type Instr struct {
+	Op   Op
+	Typ  Type    // result type; Void when the op produces no value
+	Name string  // SSA name without the leading '%'
+	Args []Value // operands, opcode-specific arity
+
+	// Opcode-specific fields.
+	Pred     Pred     // OpCmp predicate
+	Callee   string   // OpCall target
+	Incoming []*Block // OpPhi: Incoming[i] is the predecessor for Args[i]
+	Targets  []*Block // OpBr: 1 target; OpCBr: then, else
+
+	// Annotations used by analyses and the pass.
+	ID     int    // unique within the function once Function.Renumber runs
+	blk    *Block // containing block
+	Hint   string // freeform annotation, printed as a comment ("; hint")
+	NoHWPF bool   // load is marked as bypassing the HW stride prefetcher
+}
+
+// Type implements Value.
+func (in *Instr) Type() Type { return in.Typ }
+
+func (in *Instr) String() string { return "%" + in.Name }
+
+// Block returns the containing basic block.
+func (in *Instr) Block() *Block { return in.blk }
+
+// IsTerminator reports whether the instruction ends its block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// PhiIncoming returns the value flowing into the phi from predecessor b,
+// or nil if b is not an incoming edge.
+func (in *Instr) PhiIncoming(b *Block) Value {
+	for i, p := range in.Incoming {
+		if p == b {
+			return in.Args[i]
+		}
+	}
+	return nil
+}
+
+// ReplaceArg replaces every occurrence of old with new in the operand
+// list and returns the number of replacements.
+func (in *Instr) ReplaceArg(old, new Value) int {
+	n := 0
+	for i, a := range in.Args {
+		if a == old {
+			in.Args[i] = new
+			n++
+		}
+	}
+	return n
+}
+
+// Block is a basic block: a straight-line sequence of instructions ending
+// in a terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	fn     *Function
+}
+
+// Func returns the containing function.
+func (b *Block) Func() *Function { return b.fn }
+
+// Term returns the block terminator, or nil if the block is unterminated.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the successor blocks in terminator order.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// Preds returns the predecessor blocks, in function block order.
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	for _, ob := range b.fn.Blocks {
+		for _, s := range ob.Succs() {
+			if s == b {
+				preds = append(preds, ob)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// Phis returns the phi instructions at the head of the block.
+func (b *Block) Phis() []*Instr {
+	var phis []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		phis = append(phis, in)
+	}
+	return phis
+}
+
+// Index returns the position of in within the block, or -1.
+func (b *Block) Index(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsertBefore inserts insts immediately before pos, which must be in b.
+func (b *Block) InsertBefore(pos *Instr, insts ...*Instr) {
+	i := b.Index(pos)
+	if i < 0 {
+		panic("ir: InsertBefore: position instruction not in block")
+	}
+	for _, in := range insts {
+		in.blk = b
+	}
+	b.Instrs = append(b.Instrs[:i], append(append([]*Instr{}, insts...), b.Instrs[i:]...)...)
+}
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instr) {
+	in.blk = b
+	b.Instrs = append(b.Instrs, in)
+}
+
+// Remove deletes the instruction from the block. It does not update uses.
+func (b *Block) Remove(in *Instr) {
+	i := b.Index(in)
+	if i < 0 {
+		return
+	}
+	b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+	in.blk = nil
+}
+
+// Function is a single function: a parameter list and a list of blocks,
+// the first of which is the entry block.
+type Function struct {
+	Name   string
+	Params []*Param
+	Ret    Type
+	Blocks []*Block
+	Mod    *Module
+
+	nextName int // counter for fresh value names
+}
+
+// Entry returns the entry block, or nil for an empty function.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new empty block with the given name.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: name, fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Block returns the block with the given name, or nil.
+func (f *Function) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Param returns the parameter with the given name, or nil.
+func (f *Function) Param(name string) *Param {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// FreshName returns a value name that is unused in the function.
+func (f *Function) FreshName(prefix string) string {
+	for {
+		f.nextName++
+		name := fmt.Sprintf("%s%d", prefix, f.nextName)
+		if f.lookupValue(name) == nil {
+			return name
+		}
+	}
+}
+
+func (f *Function) lookupValue(name string) Value {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Name == name && in.Op.HasResult() {
+				return in
+			}
+		}
+	}
+	return nil
+}
+
+// Instrs calls fn for every instruction in the function, in block order.
+func (f *Function) Instrs(visit func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			visit(in)
+		}
+	}
+}
+
+// NumInstrs returns the static instruction count.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Renumber assigns sequential IDs to all instructions in block order.
+// Analyses and the interpreter rely on stable IDs; call after mutation.
+func (f *Function) Renumber() {
+	id := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.ID = id
+			id++
+		}
+	}
+}
+
+// Uses returns all instructions in the function that use v as an operand.
+func (f *Function) Uses(v Value) []*Instr {
+	var uses []*Instr
+	f.Instrs(func(in *Instr) {
+		for _, a := range in.Args {
+			if a == v {
+				uses = append(uses, in)
+				break
+			}
+		}
+	})
+	return uses
+}
+
+// Module is a collection of functions.
+type Module struct {
+	Name  string
+	Funcs []*Function
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// NewFunc appends a new function with the given signature.
+func (m *Module) NewFunc(name string, ret Type, params ...*Param) *Function {
+	f := &Function{Name: name, Ret: ret, Params: params, Mod: m}
+	for i, p := range params {
+		p.Idx = i
+	}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		size int64
+	}{
+		{Void, 0}, {I8, 1}, {I16, 2}, {I32, 4}, {I64, 8}, {Ptr, 8},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, typ := range []Type{Void, I8, I16, I32, I64, Ptr} {
+		got, ok := TypeFromString(typ.String())
+		if !ok || got != typ {
+			t.Errorf("TypeFromString(%q) = %v, %v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := TypeFromString("i128"); ok {
+		t.Error("TypeFromString accepted i128")
+	}
+}
+
+func TestOpStringRoundTrip(t *testing.T) {
+	for i := 1; i < NumOps; i++ {
+		op := Op(i)
+		got, ok := OpFromString(op.String())
+		if !ok || got != op {
+			t.Errorf("OpFromString(%q) = %v, %v; want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpFromString("frobnicate"); ok {
+		t.Error("OpFromString accepted nonsense")
+	}
+}
+
+func TestPredEval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		a, b int64
+		want bool
+	}{
+		{PredEQ, 3, 3, true}, {PredEQ, 3, 4, false},
+		{PredNE, 3, 4, true}, {PredNE, 4, 4, false},
+		{PredLT, -1, 0, true}, {PredLT, 0, 0, false},
+		{PredLE, 0, 0, true}, {PredLE, 1, 0, false},
+		{PredGT, 1, 0, true}, {PredGT, 0, 1, false},
+		{PredGE, 1, 1, true}, {PredGE, 0, 1, false},
+		{PredULT, -1, 0, false}, // -1 is max uint64
+		{PredULT, 0, -1, true},
+		{PredULE, -1, -1, true},
+		{PredUGT, -1, 0, true},
+		{PredUGE, 0, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%s.Eval(%d, %d) = %v, want %v", c.p, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPredStringRoundTrip(t *testing.T) {
+	for p := PredEQ; p <= PredUGE; p++ {
+		got, ok := PredFromString(p.String())
+		if !ok || got != p {
+			t.Errorf("PredFromString(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+}
+
+// buildSum builds a canonical reduction loop with the accumulator phi in
+// the loop header, used across several tests.
+func buildSum() (*Module, *Function) {
+	m := NewModule("test")
+	f := m.NewFunc("sum", I64, &Param{Name: "a", Typ: Ptr}, &Param{Name: "n", Typ: I64})
+	b := NewBuilder(f)
+
+	entry := b.Block()
+	header := b.NewBlock("header")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.Br(header)
+	b.SetBlock(header)
+	i := b.Named("i").Phi(I64)
+	s := b.Named("s").Phi(I64)
+	cond := b.Cmp(PredLT, i, f.Param("n"))
+	b.CBr(cond, body, exit)
+
+	b.SetBlock(body)
+	addr := b.GEP(f.Param("a"), i, 8)
+	v := b.Load(I64, addr)
+	s2 := b.Add(s, v)
+	i2 := b.Add(i, ConstInt(1))
+	b.Br(header)
+
+	AddIncoming(i, entry, ConstInt(0))
+	AddIncoming(i, body, i2)
+	AddIncoming(s, entry, ConstInt(0))
+	AddIncoming(s, body, s2)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+	f.Renumber()
+	return m, f
+}
+
+func TestBuilderProducesVerifiableIR(t *testing.T) {
+	m, f := buildSum()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if f.Entry().Name != "entry" {
+		t.Errorf("entry block name = %q", f.Entry().Name)
+	}
+	if n := f.NumInstrs(); n != 11 {
+		t.Errorf("NumInstrs = %d, want 11", n)
+	}
+}
+
+func TestCountedLoopSkeleton(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("f", Void, &Param{Name: "n", Typ: I64})
+	b := NewBuilder(f)
+	loop := b.CountedLoop("L", ConstInt(0), f.Param("n"), 2)
+	loop.Close()
+	b.Ret(nil)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if loop.IndVar.Op != OpPhi {
+		t.Errorf("IndVar is %s, want phi", loop.IndVar.Op)
+	}
+	if len(loop.IndVar.Incoming) != 2 {
+		t.Errorf("IndVar has %d incoming edges, want 2", len(loop.IndVar.Incoming))
+	}
+	// The header must branch to body and exit.
+	succs := loop.Header.Succs()
+	if len(succs) != 2 || succs[0] != loop.Body || succs[1] != loop.Exit {
+		t.Errorf("header successors wrong: %v", succs)
+	}
+}
+
+func TestBlockPredsSuccs(t *testing.T) {
+	_, f := buildSum()
+	header := f.Block("header")
+	body := f.Block("body")
+	entry := f.Block("entry")
+	preds := header.Preds()
+	if len(preds) != 2 || preds[0] != entry || preds[1] != body {
+		t.Errorf("header preds = %v", preds)
+	}
+	if got := body.Succs(); len(got) != 1 || got[0] != header {
+		t.Errorf("body succs = %v", got)
+	}
+}
+
+func TestPhiIncoming(t *testing.T) {
+	_, f := buildSum()
+	header := f.Block("header")
+	phis := header.Phis()
+	if len(phis) != 2 {
+		t.Fatalf("got %d phis, want 2", len(phis))
+	}
+	i := phis[0]
+	if v := i.PhiIncoming(f.Block("entry")); v == nil || v.String() != "0" {
+		t.Errorf("entry incoming = %v, want 0", v)
+	}
+	if v := i.PhiIncoming(f.Block("exit")); v != nil {
+		t.Errorf("exit is not a predecessor, got %v", v)
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	_, f := buildSum()
+	body := f.Block("body")
+	load := body.Instrs[1]
+	if load.Op != OpLoad {
+		t.Fatalf("expected load at body[1], got %s", load.Op)
+	}
+	pf := &Instr{Op: OpPrefetch, Typ: Void, Args: []Value{load.Args[0]}}
+	body.InsertBefore(load, pf)
+	if body.Instrs[1] != pf || body.Instrs[2] != load {
+		t.Error("InsertBefore did not place instruction correctly")
+	}
+	if pf.Block() != body {
+		t.Error("inserted instruction has wrong block link")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify after insert: %v", err)
+	}
+}
+
+func TestUses(t *testing.T) {
+	_, f := buildSum()
+	header := f.Block("header")
+	i := header.Phis()[0]
+	uses := f.Uses(i)
+	// i is used by: cmp, gep, add (increment).
+	if len(uses) != 3 {
+		t.Fatalf("Uses(i) = %d instrs, want 3", len(uses))
+	}
+}
+
+func TestReplaceArg(t *testing.T) {
+	_, f := buildSum()
+	body := f.Block("body")
+	gep := body.Instrs[0]
+	i := gep.Args[1]
+	n := gep.ReplaceArg(i, ConstInt(7))
+	if n != 1 {
+		t.Fatalf("ReplaceArg replaced %d, want 1", n)
+	}
+	if gep.Args[1].String() != "7" {
+		t.Errorf("operand = %s, want 7", gep.Args[1])
+	}
+}
+
+func TestRenumber(t *testing.T) {
+	_, f := buildSum()
+	f.Renumber()
+	want := 0
+	f.Instrs(func(in *Instr) {
+		if in.ID != want {
+			t.Errorf("instruction %s has ID %d, want %d", in.Format(), in.ID, want)
+		}
+		want++
+	})
+}
+
+func TestFreshNameAvoidsCollisions(t *testing.T) {
+	_, f := buildSum()
+	name := f.FreshName("i")
+	if name == "i" {
+		t.Error("FreshName returned an existing name")
+	}
+	if f.lookupValue(name) != nil {
+		t.Errorf("FreshName %q collides", name)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void)
+	f.NewBlock("entry")
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("Verify = %v, want terminator error", err)
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void)
+	b := NewBuilder(f)
+	// Create add that uses a value defined after it.
+	later := &Instr{Op: OpAdd, Typ: I64, Name: "later", Args: []Value{ConstInt(1), ConstInt(2)}}
+	use := &Instr{Op: OpAdd, Typ: I64, Name: "use", Args: []Value{later, ConstInt(0)}}
+	b.Block().Append(use)
+	b.Block().Append(later)
+	b.Ret(nil)
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "before definition") {
+		t.Errorf("Verify = %v, want use-before-def error", err)
+	}
+}
+
+func TestVerifyCatchesPhiEdgeMismatch(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void)
+	b := NewBuilder(f)
+	next := b.NewBlock("next")
+	b.Br(next)
+	b.SetBlock(next)
+	phi := b.Phi(I64)
+	phi.Name = "p"
+	// No incoming edges for 1 predecessor.
+	b.Ret(nil)
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "predecessors") {
+		t.Errorf("Verify = %v, want phi edge mismatch", err)
+	}
+}
+
+func TestVerifyCatchesCrossBlockDominanceViolation(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", I64, &Param{Name: "c", Typ: I64})
+	b := NewBuilder(f)
+	then := b.NewBlock("then")
+	els := b.NewBlock("else")
+	join := b.NewBlock("join")
+	b.CBr(f.Param("c"), then, els)
+	b.SetBlock(then)
+	v := b.Named("v").Add(ConstInt(1), ConstInt(2))
+	b.Br(join)
+	b.SetBlock(els)
+	b.Br(join)
+	b.SetBlock(join)
+	// v does not dominate join (else path skips it).
+	b.Ret(v)
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "dominate") {
+		t.Errorf("Verify = %v, want dominance error", err)
+	}
+}
+
+func TestVerifyCatchesUndefinedCallTarget(t *testing.T) {
+	m := NewModule("bad")
+	f := m.NewFunc("f", Void)
+	b := NewBuilder(f)
+	b.Call(Void, "nowhere")
+	b.Ret(nil)
+	err := m.Verify()
+	if err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Errorf("Verify = %v, want undefined call target error", err)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	_, f := buildSum()
+	idom := Dominators(f)
+	entry := f.Block("entry")
+	header := f.Block("header")
+	body := f.Block("body")
+	exit := f.Block("exit")
+	if idom[header] != entry {
+		t.Errorf("idom(header) = %v, want entry", idom[header].Name)
+	}
+	if idom[body] != header || idom[exit] != header {
+		t.Errorf("idom(body)=%s idom(exit)=%s, want header for both", idom[body].Name, idom[exit].Name)
+	}
+	if !Dominates(idom, entry, exit) {
+		t.Error("entry should dominate exit")
+	}
+	if Dominates(idom, body, exit) {
+		t.Error("body should not dominate exit")
+	}
+}
+
+func TestStoreTypeRecovery(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("f", Void, &Param{Name: "p", Typ: Ptr})
+	b := NewBuilder(f)
+	st := b.Store(I32, f.Param("p"), ConstInt(1))
+	b.Ret(nil)
+	if got := StoreType(st); got != I32 {
+		t.Errorf("StoreType = %s, want i32", got)
+	}
+}
+
+func TestBuilderPanicsOnTerminatedBlock(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("f", Void)
+	b := NewBuilder(f)
+	b.Ret(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic emitting into terminated block")
+		}
+	}()
+	b.Add(ConstInt(1), ConstInt(2))
+}
+
+func TestBuilderPanicsOnLatePhi(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("f", Void)
+	b := NewBuilder(f)
+	b.Add(ConstInt(1), ConstInt(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic emitting phi after non-phi")
+		}
+	}()
+	b.Phi(I64)
+}

@@ -1,0 +1,499 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax or semantic error in textual IR.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("ir: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a module in the textual format produced by Module.String.
+// The format is line-oriented; ';' starts a comment. Forward references
+// to blocks are allowed; forward references to values are allowed only
+// in phi instructions (as in any SSA text format, since only phis can
+// use values defined later in block order that still dominate the use).
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	return p.parse()
+}
+
+// MustParse is Parse, panicking on error. Intended for tests and
+// embedded kernel sources.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type pendingRef struct {
+	instr *Instr
+	arg   int
+	name  string
+	line  int
+}
+
+type parser struct {
+	lines []string
+	ln    int // current line number (1-based)
+
+	mod        *Module
+	fn         *Function
+	blk        *Block
+	vals       map[string]Value
+	pend       []pendingRef // phi operands awaiting definition
+	labelOrder []string     // block labels in source order
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.ln, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parse() (*Module, error) {
+	for i, raw := range p.lines {
+		p.ln = i + 1
+		line := raw
+		if j := strings.Index(line, ";"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.parseLine(line); err != nil {
+			return nil, err
+		}
+	}
+	if p.fn != nil {
+		return nil, p.errf("unterminated function %q", p.fn.Name)
+	}
+	if p.mod == nil {
+		return nil, p.errf("no module declaration")
+	}
+	return p.mod, nil
+}
+
+func (p *parser) parseLine(line string) error {
+	switch {
+	case strings.HasPrefix(line, "module "):
+		if p.mod != nil {
+			return p.errf("duplicate module declaration")
+		}
+		p.mod = NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+		return nil
+	case strings.HasPrefix(line, "func "):
+		if p.mod == nil {
+			return p.errf("func before module declaration")
+		}
+		if p.fn != nil {
+			return p.errf("nested func")
+		}
+		return p.parseFuncHeader(line)
+	case line == "}":
+		if p.fn == nil {
+			return p.errf("unexpected '}'")
+		}
+		if err := p.resolvePending(); err != nil {
+			return err
+		}
+		if err := p.finishBlocks(); err != nil {
+			return err
+		}
+		p.fn.Renumber()
+		p.fn, p.blk, p.vals, p.labelOrder = nil, nil, nil, nil
+		return nil
+	case strings.HasSuffix(line, ":"):
+		if p.fn == nil {
+			return p.errf("label outside function")
+		}
+		name := strings.TrimSuffix(line, ":")
+		for _, l := range p.labelOrder {
+			if l == name {
+				return p.errf("duplicate label %q", name)
+			}
+		}
+		p.labelOrder = append(p.labelOrder, name)
+		p.blk = p.getBlock(name)
+		return nil
+	default:
+		if p.blk == nil {
+			return p.errf("instruction outside block")
+		}
+		return p.parseInstr(line)
+	}
+}
+
+func (p *parser) parseFuncHeader(line string) error {
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.Index(rest, "(")
+	close := strings.LastIndex(rest, ")")
+	if open < 0 || close < open {
+		return p.errf("malformed func header")
+	}
+	name := strings.TrimSpace(rest[:open])
+	paramsSrc := rest[open+1 : close]
+	tail := strings.TrimSpace(rest[close+1:])
+	if !strings.HasPrefix(tail, "->") || !strings.HasSuffix(tail, "{") {
+		return p.errf("func header must end with '-> <type> {'")
+	}
+	retName := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(tail, "->"), "{"))
+	ret, ok := TypeFromString(retName)
+	if !ok {
+		return p.errf("bad return type %q", retName)
+	}
+	var params []*Param
+	if strings.TrimSpace(paramsSrc) != "" {
+		for _, ps := range strings.Split(paramsSrc, ",") {
+			parts := strings.SplitN(ps, ":", 2)
+			if len(parts) != 2 {
+				return p.errf("bad parameter %q", ps)
+			}
+			pname := strings.TrimSpace(parts[0])
+			if !strings.HasPrefix(pname, "%") {
+				return p.errf("parameter name must start with %%: %q", pname)
+			}
+			ptype, ok := TypeFromString(strings.TrimSpace(parts[1]))
+			if !ok {
+				return p.errf("bad parameter type in %q", ps)
+			}
+			params = append(params, &Param{Name: pname[1:], Typ: ptype})
+		}
+	}
+	p.fn = p.mod.NewFunc(name, ret, params...)
+	p.vals = map[string]Value{}
+	for _, pr := range params {
+		p.vals[pr.Name] = pr
+	}
+	p.blk = nil
+	return nil
+}
+
+func (p *parser) getBlock(name string) *Block {
+	if b := p.fn.Block(name); b != nil {
+		return b
+	}
+	return p.fn.NewBlock(name)
+}
+
+// value resolves an operand token: an integer literal or %name.
+func (p *parser) value(tok string) (Value, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return nil, p.errf("empty operand")
+	}
+	if strings.HasPrefix(tok, "%") {
+		v, ok := p.vals[tok[1:]]
+		if !ok {
+			return nil, p.errf("use of undefined value %s", tok)
+		}
+		return v, nil
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad operand %q", tok)
+	}
+	return ConstInt(n), nil
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (p *parser) parseInstr(line string) error {
+	name := ""
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return p.errf("expected '=' after result name")
+		}
+		name = strings.TrimSpace(line[1:eq])
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	sp := strings.IndexByte(line, ' ')
+	mnemonic := line
+	rest := ""
+	if sp >= 0 {
+		mnemonic = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	op, ok := OpFromString(mnemonic)
+	if !ok {
+		return p.errf("unknown opcode %q", mnemonic)
+	}
+	in, err := p.buildInstr(op, name, rest)
+	if err != nil {
+		return err
+	}
+	if in.Op.HasResult() && in.Typ != Void {
+		if in.Name == "" {
+			return p.errf("%s requires a result name", op)
+		}
+		if _, dup := p.vals[in.Name]; dup {
+			return p.errf("redefinition of %%%s", in.Name)
+		}
+		p.vals[in.Name] = in
+	}
+	p.blk.Append(in)
+	return nil
+}
+
+func (p *parser) buildInstr(op Op, name, rest string) (*Instr, error) {
+	in := &Instr{Op: op, Name: name, Typ: Void}
+	args := splitArgs(rest)
+	need := func(n int) error {
+		if len(args) != n {
+			return p.errf("%s expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	setArgs := func(toks ...string) error {
+		for _, t := range toks {
+			v, err := p.value(t)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, v)
+		}
+		return nil
+	}
+	switch op {
+	case OpAlloc:
+		in.Typ = Ptr
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return in, setArgs(args...)
+	case OpLoad:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		t, ok := TypeFromString(args[0])
+		if !ok {
+			return nil, p.errf("bad load type %q", args[0])
+		}
+		in.Typ = t
+		return in, setArgs(args[1])
+	case OpStore:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		t, ok := TypeFromString(args[0])
+		if !ok {
+			return nil, p.errf("bad store type %q", args[0])
+		}
+		in.Pred = Pred(t)
+		return in, setArgs(args[1], args[2])
+	case OpGEP:
+		in.Typ = Ptr
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return in, setArgs(args...)
+	case OpPrefetch:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return in, setArgs(args[0])
+	case OpCmp:
+		in.Typ = I64
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		// First arg is "pred %x".
+		parts := strings.Fields(args[0])
+		if len(parts) != 2 {
+			return nil, p.errf("cmp expects 'cmp <pred> <a>, <b>'")
+		}
+		pred, ok := PredFromString(parts[0])
+		if !ok {
+			return nil, p.errf("bad predicate %q", parts[0])
+		}
+		in.Pred = pred
+		return in, setArgs(parts[1], args[1])
+	case OpSelect:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		if err := setArgs(args...); err != nil {
+			return nil, err
+		}
+		in.Typ = in.Args[1].Type()
+		return in, nil
+	case OpPhi:
+		return p.buildPhi(in, rest)
+	case OpCall:
+		return p.buildCall(in, rest)
+	case OpBr:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in.Targets = []*Block{p.getBlock(args[0])}
+		return in, nil
+	case OpCBr:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		if err := setArgs(args[0]); err != nil {
+			return nil, err
+		}
+		in.Targets = []*Block{p.getBlock(args[1]), p.getBlock(args[2])}
+		return in, nil
+	case OpRet:
+		if len(args) > 1 {
+			return nil, p.errf("ret takes at most one operand")
+		}
+		if len(args) == 1 {
+			return in, setArgs(args[0])
+		}
+		return in, nil
+	default:
+		// Binary arithmetic.
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if err := setArgs(args...); err != nil {
+			return nil, err
+		}
+		in.Typ = I64
+		if in.Args[0].Type() == Ptr || in.Args[1].Type() == Ptr {
+			in.Typ = Ptr
+		}
+		return in, nil
+	}
+}
+
+// buildPhi parses "phi <type> [pred: val, pred: val, ...]".
+func (p *parser) buildPhi(in *Instr, rest string) (*Instr, error) {
+	open := strings.Index(rest, "[")
+	close := strings.LastIndex(rest, "]")
+	if open < 0 || close < open {
+		return nil, p.errf("phi expects '[pred: val, ...]'")
+	}
+	t, ok := TypeFromString(strings.TrimSpace(rest[:open]))
+	if !ok {
+		return nil, p.errf("bad phi type %q", strings.TrimSpace(rest[:open]))
+	}
+	in.Typ = t
+	for _, edge := range splitArgs(rest[open+1 : close]) {
+		parts := strings.SplitN(edge, ":", 2)
+		if len(parts) != 2 {
+			return nil, p.errf("bad phi edge %q", edge)
+		}
+		pred := p.getBlock(strings.TrimSpace(parts[0]))
+		tok := strings.TrimSpace(parts[1])
+		in.Incoming = append(in.Incoming, pred)
+		// Phi operands may be forward references; defer resolution.
+		if strings.HasPrefix(tok, "%") {
+			if v, ok := p.vals[tok[1:]]; ok {
+				in.Args = append(in.Args, v)
+			} else {
+				in.Args = append(in.Args, nil)
+				p.pend = append(p.pend, pendingRef{in, len(in.Args) - 1, tok[1:], p.ln})
+			}
+			continue
+		}
+		v, err := p.value(tok)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = append(in.Args, v)
+	}
+	return in, nil
+}
+
+// buildCall parses "call <type> @name(args...)".
+func (p *parser) buildCall(in *Instr, rest string) (*Instr, error) {
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return nil, p.errf("call expects 'call <type> @fn(...)'")
+	}
+	t, ok := TypeFromString(rest[:sp])
+	if !ok {
+		return nil, p.errf("bad call type %q", rest[:sp])
+	}
+	in.Typ = t
+	rest = strings.TrimSpace(rest[sp+1:])
+	if !strings.HasPrefix(rest, "@") {
+		return nil, p.errf("call target must start with '@'")
+	}
+	open := strings.Index(rest, "(")
+	close := strings.LastIndex(rest, ")")
+	if open < 0 || close < open {
+		return nil, p.errf("malformed call arguments")
+	}
+	in.Callee = rest[1:open]
+	for _, a := range splitArgs(rest[open+1 : close]) {
+		v, err := p.value(a)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = append(in.Args, v)
+	}
+	return in, nil
+}
+
+// finishBlocks restores source label order: branch targets referenced
+// before their label exist in f.Blocks in reference order, which would
+// make print->parse->print unstable otherwise.
+func (p *parser) finishBlocks() error {
+	if len(p.labelOrder) != len(p.fn.Blocks) {
+		for _, b := range p.fn.Blocks {
+			found := false
+			for _, l := range p.labelOrder {
+				if l == b.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return p.errf("block %q referenced but never defined", b.Name)
+			}
+		}
+		return p.errf("block bookkeeping mismatch")
+	}
+	ordered := make([]*Block, 0, len(p.labelOrder))
+	for _, l := range p.labelOrder {
+		ordered = append(ordered, p.fn.Block(l))
+	}
+	p.fn.Blocks = ordered
+	return nil
+}
+
+func (p *parser) resolvePending() error {
+	for _, pr := range p.pend {
+		v, ok := p.vals[pr.name]
+		if !ok {
+			return &ParseError{Line: pr.line, Msg: fmt.Sprintf("use of undefined value %%%s", pr.name)}
+		}
+		pr.instr.Args[pr.arg] = v
+	}
+	p.pend = p.pend[:0]
+	return nil
+}

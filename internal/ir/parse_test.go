@@ -1,0 +1,257 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sumSrc = `module test
+
+func sum(%a: ptr, %n: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %s = phi i64 [entry: 0, body: %s2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %addr = gep %a, %i, 8
+  %v = load i64, %addr
+  %s2 = add %s, %v
+  %i2 = add %i, 1
+  br header
+exit:
+  ret %s
+}
+`
+
+func TestParseSum(t *testing.T) {
+	m, err := Parse(sumSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	f := m.Func("sum")
+	if f == nil {
+		t.Fatal("function sum not found")
+	}
+	if len(f.Params) != 2 || f.Ret != I64 {
+		t.Errorf("signature wrong: %d params, ret %s", len(f.Params), f.Ret)
+	}
+	if len(f.Blocks) != 4 {
+		t.Errorf("got %d blocks, want 4", len(f.Blocks))
+	}
+	phi := f.Block("header").Phis()[0]
+	if phi.Name != "i" || len(phi.Incoming) != 2 {
+		t.Errorf("phi parsed wrong: %s", phi.Format())
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m1 := MustParse(sumSrc)
+	text1 := m1.String()
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	text2 := m2.String()
+	if text1 != text2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestBuiltIRRoundTrip(t *testing.T) {
+	m, _ := buildSum()
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse of printed IR failed: %v\n%s", err, text)
+	}
+	if err := m2.Verify(); err != nil {
+		t.Fatalf("verify of reparsed IR failed: %v", err)
+	}
+	if m2.String() != text {
+		t.Error("printed form unstable across parse")
+	}
+}
+
+func TestParseAllInstructionForms(t *testing.T) {
+	src := `module all
+
+func helper(%x: i64) -> i64 {
+entry:
+  ret %x
+}
+
+func f(%p: ptr, %n: i64) -> i64 {
+entry:
+  %buf = alloc %n, 4
+  %a = add %n, 1
+  %b = sub %a, 2
+  %c = mul %b, 3
+  %d = div %c, 2
+  %e = rem %d, 5
+  %f = and %e, 255
+  %g = or %f, 1
+  %h = xor %g, 7
+  %i = shl %h, 2
+  %j = shr %i, 1
+  %k = min %j, %n
+  %l = max %k, 0
+  %m = cmp ule %l, %n
+  %sel = select %m, %k, %l
+  %addr = gep %buf, %sel, 4
+  %v = load i32, %addr
+  store i32, %addr, %v
+  prefetch %addr
+  %r = call i64 @helper(%v)
+  cbr %m, then, else
+then:
+  br join
+else:
+  br join
+join:
+  %ph = phi i64 [then: %r, else: 0]
+  ret %ph
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Round trip.
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if m2.String() != m.String() {
+		t.Error("round trip unstable")
+	}
+	// Spot-check ops survived.
+	f := m2.Func("f")
+	ops := map[Op]bool{}
+	f.Instrs(func(in *Instr) { ops[in.Op] = true })
+	for _, op := range []Op{OpAlloc, OpMin, OpMax, OpSelect, OpPrefetch, OpCall, OpPhi, OpCmp, OpShl} {
+		if !ops[op] {
+			t.Errorf("op %s lost in round trip", op)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no module", "func f() -> void {\nentry:\n  ret\n}\n", "module"},
+		{"bad opcode", "module m\nfunc f() -> void {\nentry:\n  bogus 1, 2\n}\n", "unknown opcode"},
+		{"undefined value", "module m\nfunc f() -> void {\nentry:\n  %a = add %nope, 1\n  ret\n}\n", "undefined value"},
+		{"unterminated func", "module m\nfunc f() -> void {\nentry:\n  ret\n", "unterminated"},
+		{"bad type", "module m\nfunc f(%x: i99) -> void {\nentry:\n  ret\n}\n", "bad parameter type"},
+		{"redefinition", "module m\nfunc f() -> void {\nentry:\n  %a = add 1, 2\n  %a = add 3, 4\n  ret\n}\n", "redefinition"},
+		{"phi forward ref to nothing", "module m\nfunc f() -> void {\nentry:\n  br b\nb:\n  %p = phi i64 [entry: %ghost]\n  ret\n}\n", "undefined value"},
+		{"bad arity", "module m\nfunc f() -> void {\nentry:\n  %a = add 1\n  ret\n}\n", "expects 2 operands"},
+		{"instr outside block", "module m\nfunc f() -> void {\n  %a = add 1, 2\n}\n", "outside block"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// randomModule builds a random but well-formed straight-line function:
+// a chain of arithmetic over the parameters plus loads from an alloc.
+func randomModule(r *rand.Rand) *Module {
+	m := NewModule("rand")
+	f := m.NewFunc("f", I64, &Param{Name: "n", Typ: I64})
+	b := NewBuilder(f)
+	buf := b.Alloc(ConstInt(64), 8)
+	vals := []Value{f.Param("n"), ConstInt(int64(r.Intn(100)))}
+	ops := []func(x, y Value) *Instr{b.Add, b.Sub, b.Mul, b.And, b.Or, b.Xor, b.Min, b.Max}
+	n := 1 + r.Intn(30)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			idx := b.And(vals[r.Intn(len(vals))], ConstInt(63))
+			addr := b.GEP(buf, idx, 8)
+			vals = append(vals, b.Load(I64, addr))
+		case 1:
+			c := b.Cmp(Pred(r.Intn(10)), vals[r.Intn(len(vals))], vals[r.Intn(len(vals))])
+			vals = append(vals, b.Select(c, vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]))
+		default:
+			op := ops[r.Intn(len(ops))]
+			vals = append(vals, op(vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]))
+		}
+	}
+	b.Ret(vals[len(vals)-1])
+	f.Renumber()
+	return m
+}
+
+func TestQuickRandomIRRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomModule(r)
+		if err := m.Verify(); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		return m2.String() == text
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("not ir at all")
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "module m ; trailing comment\n\n; full-line comment\nfunc f() -> void {\nentry: ; label comment\n  ret ; done\n}\n"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Func("f") == nil {
+		t.Error("function missing")
+	}
+}
+
+func TestHintPrinting(t *testing.T) {
+	m, f := buildSum()
+	f.Block("body").Instrs[1].Hint = "prefetched"
+	if !strings.Contains(m.String(), "; prefetched") {
+		t.Error("hint not printed")
+	}
+	// Hints must not break reparsing.
+	if _, err := Parse(m.String()); err != nil {
+		t.Errorf("reparse with hint: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in the textual IR format accepted by Parse.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteByte('\n')
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function in textual IR format.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%%%s: %s", p.Name, p.Typ)
+	}
+	fmt.Fprintf(&sb, ") -> %s {\n", f.Ret)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.Format())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Format renders a single instruction (without indentation).
+func (in *Instr) Format() string {
+	var sb strings.Builder
+	if in.Op.HasResult() && in.Typ != Void {
+		fmt.Fprintf(&sb, "%%%s = ", in.Name)
+	}
+	switch in.Op {
+	case OpAlloc:
+		fmt.Fprintf(&sb, "alloc %s, %s", in.Args[0], in.Args[1])
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", in.Typ, in.Args[0])
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s, %s, %s", StoreType(in), in.Args[0], in.Args[1])
+	case OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s, %s", in.Args[0], in.Args[1], in.Args[2])
+	case OpPrefetch:
+		fmt.Fprintf(&sb, "prefetch %s", in.Args[0])
+	case OpCmp:
+		fmt.Fprintf(&sb, "cmp %s %s, %s", in.Pred, in.Args[0], in.Args[1])
+	case OpSelect:
+		fmt.Fprintf(&sb, "select %s, %s, %s", in.Args[0], in.Args[1], in.Args[2])
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s [", in.Typ)
+		for i, v := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s: %s", in.Incoming[i].Name, v)
+		}
+		sb.WriteString("]")
+	case OpCall:
+		if in.Typ == Void {
+			fmt.Fprintf(&sb, "call void @%s(", in.Callee)
+		} else {
+			fmt.Fprintf(&sb, "call %s @%s(", in.Typ, in.Callee)
+		}
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteString(")")
+	case OpBr:
+		fmt.Fprintf(&sb, "br %s", in.Targets[0].Name)
+	case OpCBr:
+		fmt.Fprintf(&sb, "cbr %s, %s, %s", in.Args[0], in.Targets[0].Name, in.Targets[1].Name)
+	case OpRet:
+		sb.WriteString("ret")
+		if len(in.Args) == 1 {
+			fmt.Fprintf(&sb, " %s", in.Args[0])
+		}
+	default:
+		// Binary arithmetic ops share one shape.
+		fmt.Fprintf(&sb, "%s %s, %s", in.Op, in.Args[0], in.Args[1])
+	}
+	if in.Hint != "" {
+		fmt.Fprintf(&sb, "  ; %s", in.Hint)
+	}
+	return sb.String()
+}

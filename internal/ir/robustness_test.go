@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds the parser mangled variants of valid IR:
+// every outcome must be a module or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := sumSrc
+	mutate := func(r *rand.Rand, s string) string {
+		b := []byte(s)
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			if len(b) == 0 {
+				break
+			}
+			pos := r.Intn(len(b))
+			switch r.Intn(4) {
+			case 0: // flip to random printable
+				b[pos] = byte(32 + r.Intn(95))
+			case 1: // delete
+				b = append(b[:pos], b[pos+1:]...)
+			case 2: // duplicate a chunk
+				end := pos + r.Intn(20)
+				if end > len(b) {
+					end = len(b)
+				}
+				b = append(b[:end], append([]byte(string(b[pos:end])), b[end:]...)...)
+			case 3: // insert a special character
+				specials := "%@[](){},:;=\n\t"
+				b = append(b[:pos], append([]byte{specials[r.Intn(len(specials))]}, b[pos:]...)...)
+			}
+		}
+		return string(b)
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := mutate(r, base)
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("parser panicked on seed %d: %v\ninput:\n%s", seed, p, src)
+			}
+		}()
+		m, err := Parse(src)
+		if err == nil && m != nil {
+			// Whatever parsed must at least print without panicking.
+			_ = m.String()
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserHandlesTruncation: every prefix of a valid module either
+// parses or errors cleanly.
+func TestParserHandlesTruncation(t *testing.T) {
+	for i := 0; i <= len(sumSrc); i += 7 {
+		src := sumSrc[:i]
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on prefix of length %d: %v", i, p)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestVerifierNeverPanicsOnParsed: any successfully parsed module must
+// survive verification without panicking (errors are fine).
+func TestVerifierNeverPanicsOnParsed(t *testing.T) {
+	// Structurally odd but parseable inputs.
+	cases := []string{
+		"module m\nfunc f() -> void {\nentry:\n  ret\n}\n",
+		"module m\nfunc f() -> void {\nentry:\n  br entry\n}\n", // self loop entry
+		"module m\nfunc f() -> void {\na:\n  br b\nb:\n  br a\n}\n",
+		"module m\nfunc f(%x: i64) -> i64 {\ne:\n  %p = phi i64 [e: %p]\n  ret %p\n}\n",
+	}
+	for _, src := range cases {
+		m, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("verifier panicked on:\n%s\n%v", src, p)
+				}
+			}()
+			_ = m.Verify()
+		}()
+	}
+}
+
+func TestLongNamesAndDeepNesting(t *testing.T) {
+	// A pathological but valid module with long identifiers.
+	long := strings.Repeat("x", 500)
+	src := "module m\nfunc f(%" + long + ": i64) -> i64 {\nentry:\n  %a = add %" + long + ", 1\n  ret %a\n}\n"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("long names rejected: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

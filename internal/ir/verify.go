@@ -1,0 +1,326 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyError aggregates the structural problems found in a function.
+type VerifyError struct {
+	Func     string
+	Problems []string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ir: verify %s: %s", e.Func, strings.Join(e.Problems, "; "))
+}
+
+// Verify checks module-level structural invariants: every function
+// verifies, and every call targets a function in the module.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+		var probs []string
+		f.Instrs(func(in *Instr) {
+			if in.Op == OpCall && m.Func(in.Callee) == nil {
+				probs = append(probs, fmt.Sprintf("call to undefined function @%s", in.Callee))
+			}
+		})
+		if len(probs) > 0 {
+			return &VerifyError{Func: f.Name, Problems: probs}
+		}
+	}
+	return nil
+}
+
+// Verify checks the SSA invariants of a function:
+//
+//   - every block is non-empty and ends in exactly one terminator;
+//   - phis appear only at block heads and have one edge per predecessor;
+//   - every instruction operand is defined, and non-phi uses are
+//     dominated by their definitions;
+//   - operand arities match opcodes;
+//   - value names are unique.
+func (f *Function) Verify() error {
+	var probs []string
+	addf := func(format string, args ...interface{}) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+
+	if len(f.Blocks) == 0 {
+		addf("function has no blocks")
+		return &VerifyError{Func: f.Name, Problems: probs}
+	}
+
+	names := map[string]bool{}
+	for _, p := range f.Params {
+		if names[p.Name] {
+			addf("duplicate name %%%s", p.Name)
+		}
+		names[p.Name] = true
+	}
+	defined := map[Value]bool{}
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			addf("block %s lacks a terminator", b.Name)
+		}
+		seenNonPhi := false
+		for i, in := range b.Instrs {
+			if in.blk != b {
+				addf("block %s: instruction %d has wrong block link", b.Name, i)
+			}
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				addf("block %s: terminator %s not at block end", b.Name, in.Op)
+			}
+			if in.Op == OpPhi {
+				if seenNonPhi {
+					addf("block %s: phi %%%s after non-phi instruction", b.Name, in.Name)
+				}
+			} else {
+				seenNonPhi = true
+			}
+			if in.Op.HasResult() && in.Typ != Void {
+				if in.Name == "" {
+					addf("block %s: unnamed %s result", b.Name, in.Op)
+				} else if names[in.Name] {
+					addf("duplicate name %%%s", in.Name)
+				}
+				names[in.Name] = true
+				defined[in] = true
+			}
+			if msg := checkArity(in); msg != "" {
+				addf("block %s: %s", b.Name, msg)
+			}
+		}
+	}
+
+	// Phi edge / predecessor agreement.
+	for _, b := range f.Blocks {
+		preds := b.Preds()
+		for _, phi := range b.Phis() {
+			if len(phi.Args) != len(phi.Incoming) {
+				addf("phi %%%s: %d values for %d edges", phi.Name, len(phi.Args), len(phi.Incoming))
+				continue
+			}
+			if len(phi.Incoming) != len(preds) {
+				addf("phi %%%s in %s: %d edges for %d predecessors", phi.Name, b.Name, len(phi.Incoming), len(preds))
+			}
+			for _, pb := range preds {
+				if phi.PhiIncoming(pb) == nil {
+					addf("phi %%%s: missing edge for predecessor %s", phi.Name, pb.Name)
+				}
+			}
+		}
+	}
+
+	// All operands defined somewhere in the function.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for ai, a := range in.Args {
+				switch v := a.(type) {
+				case nil:
+					addf("block %s: %s has nil operand %d", b.Name, in.Op, ai)
+				case *Const:
+				case *Param:
+					if !defined[v] {
+						addf("block %s: operand %%%s is not a parameter of this function", b.Name, v.Name)
+					}
+				case *Instr:
+					if !defined[v] {
+						addf("block %s: operand %%%s not defined in this function", b.Name, v.Name)
+					}
+				default:
+					addf("block %s: unknown operand kind %T", b.Name, a)
+				}
+			}
+		}
+	}
+
+	// Dominance: definitions must dominate non-phi uses; phi operands
+	// must dominate the end of their incoming edge's block.
+	if len(probs) == 0 {
+		dom := dominators(f)
+		probs = append(probs, checkDominance(f, dom)...)
+	}
+
+	if len(probs) > 0 {
+		return &VerifyError{Func: f.Name, Problems: probs}
+	}
+	return nil
+}
+
+func checkArity(in *Instr) string {
+	want := -1
+	switch in.Op {
+	case OpAlloc, OpCmp:
+		want = 2
+	case OpLoad, OpPrefetch:
+		want = 1
+	case OpBr:
+		want = 0
+	case OpStore:
+		want = 2
+	case OpGEP, OpSelect:
+		want = 3
+	case OpCBr:
+		want = 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMin, OpMax:
+		want = 2
+	}
+	if want >= 0 && len(in.Args) != want {
+		return fmt.Sprintf("%s has %d operands, want %d", in.Op, len(in.Args), want)
+	}
+	switch in.Op {
+	case OpBr:
+		if len(in.Targets) != 1 {
+			return "br must have exactly 1 target"
+		}
+	case OpCBr:
+		if len(in.Targets) != 2 {
+			return "cbr must have exactly 2 targets"
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			return "ret takes at most one operand"
+		}
+	case OpGEP:
+		if _, ok := in.Args[2].(*Const); !ok {
+			return "gep scale must be a constant"
+		}
+	case OpAlloc:
+		if _, ok := in.Args[1].(*Const); !ok {
+			return "alloc element size must be a constant"
+		}
+	}
+	return ""
+}
+
+// dominators computes the immediate-dominator relation with the simple
+// iterative algorithm (Cooper, Harvey & Kennedy). Returns idom indexed
+// by block; entry maps to itself.
+func dominators(f *Function) map[*Block]*Block {
+	// Reverse postorder over reachable blocks.
+	var order []*Block
+	index := map[*Block]int{}
+	seen := map[*Block]bool{}
+	var dfs func(*Block)
+	var post []*Block
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	entry := f.Entry()
+	dfs(entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		index[post[i]] = len(order)
+		order = append(order, post[i])
+	}
+
+	idom := map[*Block]*Block{entry: entry}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds() {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominators exposes the immediate-dominator map for analyses.
+func Dominators(f *Function) map[*Block]*Block { return dominators(f) }
+
+// Dominates reports whether a dominates b under the idom map.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+func checkDominance(f *Function, idom map[*Block]*Block) []string {
+	var probs []string
+	pos := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	for _, b := range f.Blocks {
+		if _, reachable := idom[b]; !reachable && b != f.Entry() {
+			continue // unreachable blocks are not subject to dominance
+		}
+		for _, in := range b.Instrs {
+			for ai, a := range in.Args {
+				def, ok := a.(*Instr)
+				if !ok {
+					continue
+				}
+				if in.Op == OpPhi {
+					pred := in.Incoming[ai]
+					if _, reach := idom[pred]; !reach {
+						continue
+					}
+					if !Dominates(idom, def.blk, pred) {
+						probs = append(probs, fmt.Sprintf(
+							"phi %%%s: %%%s does not dominate incoming edge from %s",
+							in.Name, def.Name, pred.Name))
+					}
+					continue
+				}
+				if def.blk == b {
+					if pos[def] >= pos[in] {
+						probs = append(probs, fmt.Sprintf(
+							"%%%s used before definition in block %s", def.Name, b.Name))
+					}
+				} else if !Dominates(idom, def.blk, b) {
+					probs = append(probs, fmt.Sprintf(
+						"%%%s (defined in %s) does not dominate use in %s", def.Name, def.blk.Name, b.Name))
+				}
+			}
+		}
+	}
+	return probs
+}

@@ -1,0 +1,363 @@
+// Package opt provides the standard cleanup passes a compiler would run
+// after prefetch generation: constant folding, common-subexpression
+// elimination, dead-code elimination and control-flow simplification.
+//
+// The prefetch pass duplicates address-generation code per chain
+// position (O(n²) in the chain length, §6.2 of the paper), and much of
+// that duplication — bound computations, clamped indices shared between
+// positions — is recoverable by ordinary CSE. cmd/swpfc runs these
+// under -O, and BenchmarkAblationCleanup measures how much of figure
+// 8's instruction overhead they claw back.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Result summarises what the cleanup did to one function.
+type Result struct {
+	Folded     int // instructions replaced by constants
+	CSEHits    int // instructions replaced by earlier identical ones
+	DeadArcs   int // unreachable blocks removed
+	DeadInstrs int // unused pure instructions removed
+	Hoisted    int // loop-invariant instructions moved to preheaders
+}
+
+// Run applies all cleanup passes to every function of the module until
+// a fixed point, returning per-function summaries.
+func Run(m *ir.Module) map[string]*Result {
+	out := make(map[string]*Result, len(m.Funcs))
+	for _, f := range m.Funcs {
+		out[f.Name] = RunFunc(f)
+	}
+	return out
+}
+
+// RunFunc applies the cleanup passes to one function.
+func RunFunc(f *ir.Function) *Result {
+	res := &Result{}
+	for {
+		n := res.Folded + res.CSEHits + res.DeadArcs + res.DeadInstrs + res.Hoisted
+		foldConstants(f, res)
+		cse(f, res)
+		removeUnreachable(f, res)
+		deadCode(f, res)
+		res.Hoisted += LICM(f)
+		if res.Folded+res.CSEHits+res.DeadArcs+res.DeadInstrs+res.Hoisted == n {
+			break
+		}
+	}
+	f.Renumber()
+	return res
+}
+
+// pureOp reports whether the opcode has no side effects and can be
+// folded, shared or removed freely.
+func pureOp(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpMin, ir.OpMax, ir.OpCmp, ir.OpSelect, ir.OpGEP:
+		return true
+	}
+	return false
+}
+
+// foldConstants rewrites pure instructions with all-constant operands
+// into constants, and simplifies identities (x+0, x*1, min(x,x), ...).
+func foldConstants(f *ir.Function, res *Result) {
+	replaceAll := func(old *ir.Instr, v ir.Value) {
+		f.Instrs(func(in *ir.Instr) { in.ReplaceArg(old, v) })
+		old.Block().Remove(old)
+		res.Folded++
+	}
+	for _, b := range f.Blocks {
+		for _, in := range append([]*ir.Instr{}, b.Instrs...) {
+			if !pureOp(in.Op) || in.Block() == nil {
+				continue
+			}
+			if v, ok := evalConst(in); ok {
+				replaceAll(in, v)
+				continue
+			}
+			if v, ok := simplify(in); ok {
+				replaceAll(in, v)
+			}
+		}
+	}
+}
+
+// evalConst evaluates an instruction whose operands are all constants.
+func evalConst(in *ir.Instr) (ir.Value, bool) {
+	args := make([]int64, len(in.Args))
+	for i, a := range in.Args {
+		c, isC := a.(*ir.Const)
+		if !isC {
+			return nil, false
+		}
+		args[i] = c.Val
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		return ir.ConstInt(args[0] + args[1]), true
+	case ir.OpSub:
+		return ir.ConstInt(args[0] - args[1]), true
+	case ir.OpMul:
+		return ir.ConstInt(args[0] * args[1]), true
+	case ir.OpDiv:
+		if args[1] == 0 {
+			return nil, false // preserve the runtime fault
+		}
+		return ir.ConstInt(args[0] / args[1]), true
+	case ir.OpRem:
+		if args[1] == 0 {
+			return nil, false
+		}
+		return ir.ConstInt(args[0] % args[1]), true
+	case ir.OpAnd:
+		return ir.ConstInt(args[0] & args[1]), true
+	case ir.OpOr:
+		return ir.ConstInt(args[0] | args[1]), true
+	case ir.OpXor:
+		return ir.ConstInt(args[0] ^ args[1]), true
+	case ir.OpShl:
+		return ir.ConstInt(args[0] << (uint64(args[1]) & 63)), true
+	case ir.OpShr:
+		return ir.ConstInt(int64(uint64(args[0]) >> (uint64(args[1]) & 63))), true
+	case ir.OpMin:
+		if args[0] < args[1] {
+			return ir.ConstInt(args[0]), true
+		}
+		return ir.ConstInt(args[1]), true
+	case ir.OpMax:
+		if args[0] > args[1] {
+			return ir.ConstInt(args[0]), true
+		}
+		return ir.ConstInt(args[1]), true
+	case ir.OpCmp:
+		if in.Pred.Eval(args[0], args[1]) {
+			return ir.ConstInt(1), true
+		}
+		return ir.ConstInt(0), true
+	case ir.OpSelect:
+		if args[0] != 0 {
+			return ir.ConstInt(args[1]), true
+		}
+		return ir.ConstInt(args[2]), true
+	}
+	return nil, false
+}
+
+// simplify applies algebraic identities with non-constant operands.
+func simplify(in *ir.Instr) (ir.Value, bool) {
+	isZero := func(v ir.Value) bool {
+		c, ok := v.(*ir.Const)
+		return ok && c.Val == 0
+	}
+	isOne := func(v ir.Value) bool {
+		c, ok := v.(*ir.Const)
+		return ok && c.Val == 1
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		if isZero(in.Args[0]) {
+			return in.Args[1], true
+		}
+		if isZero(in.Args[1]) {
+			return in.Args[0], true
+		}
+	case ir.OpSub, ir.OpShl, ir.OpShr, ir.OpOr, ir.OpXor:
+		if isZero(in.Args[1]) && in.Op != ir.OpOr && in.Op != ir.OpXor {
+			return in.Args[0], true
+		}
+		if (in.Op == ir.OpOr || in.Op == ir.OpXor) && isZero(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if (in.Op == ir.OpOr || in.Op == ir.OpXor) && isZero(in.Args[0]) {
+			return in.Args[1], true
+		}
+	case ir.OpMul:
+		if isOne(in.Args[0]) {
+			return in.Args[1], true
+		}
+		if isOne(in.Args[1]) {
+			return in.Args[0], true
+		}
+	case ir.OpDiv:
+		if isOne(in.Args[1]) {
+			return in.Args[0], true
+		}
+	case ir.OpMin, ir.OpMax:
+		if in.Args[0] == in.Args[1] {
+			return in.Args[0], true
+		}
+	case ir.OpSelect:
+		if in.Args[1] == in.Args[2] {
+			return in.Args[1], true
+		}
+	case ir.OpGEP:
+		// gep base, 0, s == base
+		if isZero(in.Args[1]) {
+			return in.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// cse performs dominance-based common-subexpression elimination over
+// pure instructions: an instruction identical to one that dominates it
+// is replaced by the earlier value.
+func cse(f *ir.Function, res *Result) {
+	f.Renumber()
+	idom := ir.Dominators(f)
+	table := map[string][]*ir.Instr{}
+	key := func(in *ir.Instr) string {
+		s := fmt.Sprintf("%d/%d", in.Op, in.Pred)
+		for _, a := range in.Args {
+			switch v := a.(type) {
+			case *ir.Const:
+				s += fmt.Sprintf("/c%d", v.Val)
+			case *ir.Param:
+				s += fmt.Sprintf("/p%d", v.Idx)
+			case *ir.Instr:
+				s += fmt.Sprintf("/i%d", v.ID)
+			}
+		}
+		return s
+	}
+	// Visit blocks in dominance-compatible order (block order works for
+	// the builder/parser layouts where dominators precede dominatees;
+	// correctness is preserved regardless because we check dominance).
+	var victims []*ir.Instr
+	repl := map[*ir.Instr]*ir.Instr{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !pureOp(in.Op) {
+				continue
+			}
+			k := key(in)
+			replaced := false
+			for _, prev := range table[k] {
+				if prev.Block() == in.Block() {
+					if prev.Block().Index(prev) < in.Block().Index(in) {
+						repl[in] = prev
+						victims = append(victims, in)
+						replaced = true
+					}
+				} else if ir.Dominates(idom, prev.Block(), in.Block()) {
+					repl[in] = prev
+					victims = append(victims, in)
+					replaced = true
+				}
+				if replaced {
+					break
+				}
+			}
+			if !replaced {
+				table[k] = append(table[k], in)
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	f.Instrs(func(in *ir.Instr) {
+		for i, a := range in.Args {
+			if v, isInstr := a.(*ir.Instr); isInstr {
+				if r, ok := repl[v]; ok {
+					in.Args[i] = r
+				}
+			}
+		}
+	})
+	for _, v := range victims {
+		v.Block().Remove(v)
+		res.CSEHits++
+	}
+}
+
+// removeUnreachable deletes blocks not reachable from the entry.
+func removeUnreachable(f *ir.Function, res *Result) {
+	reach := map[*ir.Block]bool{}
+	var walk func(*ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Entry())
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+			continue
+		}
+		res.DeadArcs++
+		// Remove phi edges flowing in from the dead block.
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				continue
+			}
+			for _, phi := range s.Phis() {
+				for i := len(phi.Incoming) - 1; i >= 0; i-- {
+					if phi.Incoming[i] == b {
+						phi.Incoming = append(phi.Incoming[:i], phi.Incoming[i+1:]...)
+						phi.Args = append(phi.Args[:i], phi.Args[i+1:]...)
+					}
+				}
+			}
+		}
+	}
+	f.Blocks = kept
+}
+
+// deadCode removes pure instructions (and loads) whose results are
+// never used. Loads are removable because the IR has no volatile
+// accesses; prefetches, stores and terminators are always live.
+func deadCode(f *ir.Function, res *Result) {
+	for {
+		used := map[*ir.Instr]bool{}
+		f.Instrs(func(in *ir.Instr) {
+			for _, a := range in.Args {
+				if v, ok := a.(*ir.Instr); ok {
+					used[v] = true
+				}
+			}
+		})
+		var dead []*ir.Instr
+		f.Instrs(func(in *ir.Instr) {
+			if used[in] || in.IsTerminator() {
+				return
+			}
+			switch in.Op {
+			case ir.OpStore, ir.OpPrefetch, ir.OpCall, ir.OpRet, ir.OpAlloc:
+				return // side effects (allocs define memory identity)
+			case ir.OpLoad:
+				// Unused loads are dead: no volatile semantics.
+			case ir.OpPhi:
+				// Unused phis are dead too.
+			default:
+				if !pureOp(in.Op) {
+					return
+				}
+			}
+			dead = append(dead, in)
+		})
+		if len(dead) == 0 {
+			return
+		}
+		// Remove in deterministic order.
+		sort.Slice(dead, func(i, j int) bool { return dead[i].ID > dead[j].ID })
+		for _, in := range dead {
+			in.Block().Remove(in)
+			res.DeadInstrs++
+		}
+	}
+}

@@ -1,0 +1,549 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func countOps(f *ir.Function, op ir.Op) int {
+	n := 0
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `module m
+func f(%x: i64) -> i64 {
+entry:
+  %a = add 2, 3
+  %b = mul %a, 4
+  %c = min %b, 100
+  %d = add %x, %c
+  ret %d
+}
+`
+	m := ir.MustParse(src)
+	res := RunFunc(m.Func("f"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if res.Folded < 3 {
+		t.Errorf("folded %d, want >= 3", res.Folded)
+	}
+	// Only the %x + 20 add should survive.
+	f := m.Func("f")
+	if n := countOps(f, ir.OpAdd); n != 1 {
+		t.Errorf("%d adds remain, want 1:\n%s", n, m.String())
+	}
+	if countOps(f, ir.OpMul)+countOps(f, ir.OpMin) != 0 {
+		t.Errorf("constant ops survived:\n%s", m.String())
+	}
+}
+
+func TestIdentitySimplification(t *testing.T) {
+	src := `module m
+func f(%x: i64, %p: ptr) -> i64 {
+entry:
+  %a = add %x, 0
+  %b = mul %a, 1
+  %c = min %b, %b
+  %g = gep %p, 0, 8
+  %v = load i64, %g
+  %d = add %c, %v
+  ret %d
+}
+`
+	m := ir.MustParse(src)
+	RunFunc(m.Func("f"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	f := m.Func("f")
+	if countOps(f, ir.OpMul)+countOps(f, ir.OpMin)+countOps(f, ir.OpGEP) != 0 {
+		t.Errorf("identities survived:\n%s", m.String())
+	}
+	// Load must now use %p directly.
+	var load *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLoad {
+			load = in
+		}
+	})
+	if _, isParam := load.Args[0].(*ir.Param); !isParam {
+		t.Errorf("load address not simplified to the parameter: %s", load.Format())
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	src := `module m
+func f() -> i64 {
+entry:
+  %a = div 1, 0
+  ret %a
+}
+`
+	m := ir.MustParse(src)
+	RunFunc(m.Func("f"))
+	if countOps(m.Func("f"), ir.OpDiv) != 1 {
+		t.Error("division by zero must not be folded away")
+	}
+}
+
+func TestCSE(t *testing.T) {
+	src := `module m
+func f(%x: i64, %n: i64) -> i64 {
+entry:
+  %a = add %x, %n
+  %b = add %x, %n
+  %c = mul %a, %b
+  %d = add %x, %n
+  %e = add %c, %d
+  ret %e
+}
+`
+	m := ir.MustParse(src)
+	res := RunFunc(m.Func("f"))
+	if res.CSEHits != 2 {
+		t.Errorf("CSE hits = %d, want 2:\n%s", res.CSEHits, m.String())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestCSEAcrossDominatingBlocks(t *testing.T) {
+	src := `module m
+func f(%x: i64, %c: i64) -> i64 {
+entry:
+  %a = mul %x, 7
+  cbr %c, then, else
+then:
+  %b = mul %x, 7
+  ret %b
+else:
+  %d = mul %x, 7
+  ret %d
+}
+`
+	m := ir.MustParse(src)
+	res := RunFunc(m.Func("f"))
+	if res.CSEHits != 2 {
+		t.Errorf("CSE hits = %d, want 2", res.CSEHits)
+	}
+}
+
+func TestCSEDoesNotMergeAcrossSiblings(t *testing.T) {
+	src := `module m
+func f(%x: i64, %c: i64) -> i64 {
+entry:
+  cbr %c, then, else
+then:
+  %a = mul %x, 7
+  br join
+else:
+  %b = mul %x, 7
+  br join
+join:
+  %p = phi i64 [then: %a, else: %b]
+  ret %p
+}
+`
+	m := ir.MustParse(src)
+	RunFunc(m.Func("f"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify after sibling CSE attempt: %v\n%s", err, m.String())
+	}
+}
+
+func TestCSEDoesNotMergeLoads(t *testing.T) {
+	// Loads are not pure (a store may intervene): they must survive.
+	src := `module m
+func f(%p: ptr) -> i64 {
+entry:
+  %a = load i64, %p
+  store i64, %p, 42
+  %b = load i64, %p
+  %c = add %a, %b
+  ret %c
+}
+`
+	m := ir.MustParse(src)
+	RunFunc(m.Func("f"))
+	if countOps(m.Func("f"), ir.OpLoad) != 2 {
+		t.Error("CSE merged loads across a store")
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	src := `module m
+func f(%p: ptr, %x: i64) -> i64 {
+entry:
+  %unused1 = add %x, 1
+  %unused2 = mul %unused1, 3
+  %deadload = load i64, %p
+  store i64, %p, %x
+  prefetch %p
+  ret %x
+}
+`
+	m := ir.MustParse(src)
+	res := RunFunc(m.Func("f"))
+	if res.DeadInstrs != 3 {
+		t.Errorf("dead instrs = %d, want 3:\n%s", res.DeadInstrs, m.String())
+	}
+	f := m.Func("f")
+	if countOps(f, ir.OpStore) != 1 || countOps(f, ir.OpPrefetch) != 1 {
+		t.Error("side-effecting instructions removed")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	src := `module m
+func f(%x: i64) -> i64 {
+entry:
+  br live
+dead:
+  %d = add %x, 1
+  br live
+live:
+  %p = phi i64 [entry: %x, dead: %d]
+  ret %p
+}
+`
+	m := ir.MustParse(src)
+	res := RunFunc(m.Func("f"))
+	if res.DeadArcs != 1 {
+		t.Errorf("dead blocks = %d, want 1", res.DeadArcs)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v (phi edge from dead block must be pruned)\n%s", err, m.String())
+	}
+	if m.Func("f").Block("dead") != nil {
+		t.Error("dead block survived")
+	}
+}
+
+// TestCleanupAfterPrefetchPass is the integration the package exists
+// for: pass output shrinks under cleanup but keeps all prefetches and
+// the same semantics.
+func TestCleanupAfterPrefetchPass(t *testing.T) {
+	for _, w := range workloads.Tiny() {
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Plain()
+			prefetch.Run(inst.Mod, prefetch.DefaultOptions())
+			before := 0
+			pfBefore := 0
+			for _, f := range inst.Mod.Funcs {
+				before += f.NumInstrs()
+				pfBefore += countOps(f, ir.OpPrefetch)
+			}
+			Run(inst.Mod)
+			if err := inst.Mod.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			after := 0
+			pfAfter := 0
+			for _, f := range inst.Mod.Funcs {
+				after += f.NumInstrs()
+				pfAfter += countOps(f, ir.OpPrefetch)
+			}
+			if pfAfter != pfBefore {
+				t.Errorf("cleanup changed prefetch count: %d -> %d", pfBefore, pfAfter)
+			}
+			if after > before {
+				t.Errorf("cleanup grew the function: %d -> %d", before, after)
+			}
+			// Semantics preserved: run the cleaned kernel.
+			mach := interp.New(inst.Mod, sim.DefaultConfig())
+			if err := inst.Run(mach); err != nil {
+				t.Fatalf("cleaned kernel wrong: %v", err)
+			}
+		})
+	}
+}
+
+// TestQuickCleanupPreservesSemantics folds/CSEs random straight-line
+// programs and compares interpreter results before and after.
+func TestQuickCleanupPreservesSemantics(t *testing.T) {
+	build := func(r *rand.Rand) *ir.Module {
+		m := ir.NewModule("rand")
+		f := m.NewFunc("f", ir.I64, &ir.Param{Name: "x", Typ: ir.I64})
+		b := ir.NewBuilder(f)
+		vals := []ir.Value{f.Param("x"), ir.ConstInt(int64(r.Intn(7))), ir.ConstInt(int64(r.Intn(100) - 50))}
+		n := 3 + r.Intn(25)
+		for i := 0; i < n; i++ {
+			x := vals[r.Intn(len(vals))]
+			y := vals[r.Intn(len(vals))]
+			var v *ir.Instr
+			switch r.Intn(8) {
+			case 0:
+				v = b.Add(x, y)
+			case 1:
+				v = b.Sub(x, y)
+			case 2:
+				v = b.Mul(x, y)
+			case 3:
+				v = b.And(x, y)
+			case 4:
+				v = b.Or(x, y)
+			case 5:
+				v = b.Min(x, y)
+			case 6:
+				v = b.Max(x, y)
+			default:
+				c := b.Cmp(ir.Pred(r.Intn(10)), x, y)
+				v = b.Select(c, x, y)
+			}
+			vals = append(vals, v)
+		}
+		b.Ret(vals[len(vals)-1])
+		f.Renumber()
+		return m
+	}
+	err := quick.Check(func(seed int64, arg int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m1 := build(r)
+		text := m1.String()
+		m2 := ir.MustParse(text)
+		RunFunc(m2.Func("f"))
+		if err := m2.Verify(); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		arg &= 0xffff
+		v1, err1 := interp.New(m1, sim.DefaultConfig()).Run("f", arg)
+		v2, err2 := interp.New(m2, sim.DefaultConfig()).Run("f", arg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("fault behaviour diverged: %v vs %v", err1, err2)
+			return false
+		}
+		return err1 != nil || v1 == v2
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWholeModule(t *testing.T) {
+	src := `module m
+func a(%x: i64) -> i64 {
+entry:
+  %v = add 1, 2
+  %w = add %x, %v
+  ret %w
+}
+
+func b(%x: i64) -> i64 {
+entry:
+  %v = call i64 @a(%x)
+  ret %v
+}
+`
+	m := ir.MustParse(src)
+	res := Run(m)
+	if len(res) != 2 {
+		t.Fatalf("results for %d functions, want 2", len(res))
+	}
+	if res["a"].Folded == 0 {
+		t.Error("nothing folded in a")
+	}
+	if !strings.Contains(m.String(), "call i64 @a") {
+		t.Error("call removed")
+	}
+}
+
+func TestLICMHoistsInvariantBound(t *testing.T) {
+	// The n-1 bound computation inside the loop must move to the
+	// preheader; the induction-variable add must stay.
+	src := `module m
+func f(%a: ptr, %n: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %s = phi i64 [entry: 0, body: %s2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %bound = sub %n, 1
+  %adv = add %i, 64
+  %cl = min %adv, %bound
+  %ad = gep %a, %cl, 8
+  prefetch %ad
+  %a2 = gep %a, %i, 8
+  %v = load i64, %a2
+  %s2 = add %s, %v
+  %i2 = add %i, 1
+  br header
+exit:
+  ret %s
+}
+`
+	m := ir.MustParse(src)
+	n := LICM(m.Func("f"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	if n != 1 {
+		t.Errorf("hoisted %d instructions, want 1 (the bound)\n%s", n, m.String())
+	}
+	entry := m.Func("f").Block("entry")
+	foundSub := false
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpSub {
+			foundSub = true
+		}
+	}
+	if !foundSub {
+		t.Errorf("bound not in preheader:\n%s", m.String())
+	}
+}
+
+func TestLICMDoesNotHoistDivision(t *testing.T) {
+	src := `module m
+func f(%n: i64, %d: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %q = div 100, %d
+  %i2 = add %i, %q
+  br header
+exit:
+  ret %i
+}
+`
+	m := ir.MustParse(src)
+	LICM(m.Func("f"))
+	body := m.Func("f").Block("body")
+	found := false
+	for _, in := range body.Instrs {
+		if in.Op == ir.OpDiv {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("division hoisted out of a possibly-zero-trip loop")
+	}
+}
+
+func TestLICMDoesNotHoistConditional(t *testing.T) {
+	// An instruction in a conditionally executed block must stay.
+	src := `module m
+func f(%n: i64, %x: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, latch: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %p = rem %i, 2
+  %pc = cmp eq %p, 0
+  cbr %pc, then, latch
+then:
+  %inv = mul %x, 17
+  br latch
+latch:
+  %i2 = add %i, 1
+  br header
+exit:
+  ret %i
+}
+`
+	m := ir.MustParse(src)
+	LICM(m.Func("f"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	then := m.Func("f").Block("then")
+	found := false
+	for _, in := range then.Instrs {
+		if in.Op == ir.OpMul {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("conditionally executed instruction was hoisted")
+	}
+}
+
+func TestLICMCascadesThroughNest(t *testing.T) {
+	// An invariant in the inner loop that depends on an outer-loop value
+	// moves to the inner preheader; a fully invariant one cascades all
+	// the way out.
+	src := `module m
+func f(%a: ptr, %rows: i64, %cols: i64) -> i64 {
+entry:
+  br oh
+oh:
+  %r = phi i64 [entry: 0, olatch: %r2]
+  %oc = cmp lt %r, %rows
+  cbr %oc, pre, oexit
+pre:
+  br ih
+ih:
+  %cidx = phi i64 [pre: 0, ibody: %c2]
+  %ic = cmp lt %cidx, %cols
+  cbr %ic, ibody, olatch
+ibody:
+  %full = mul %cols, 8
+  %rowoff = mul %r, %cols
+  %idx = add %rowoff, %cidx
+  %ad = gep %a, %idx, 8
+  %v = load i64, %ad
+  %c2 = add %cidx, 1
+  br ih
+olatch:
+  %r2 = add %r, 1
+  br oh
+oexit:
+  ret %rows
+}
+`
+	m := ir.MustParse(src)
+	LICM(m.Func("f"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	f := m.Func("f")
+	// %rowoff (depends on outer IV) belongs in "pre"; %full (fully
+	// invariant) belongs in "entry".
+	inBlock := func(name string, op ir.Op) bool {
+		for _, in := range f.Block(name).Instrs {
+			if in.Op == op && len(in.Args) == 2 {
+				if c, ok := in.Args[1].(*ir.Const); ok && c.Val == 8 && op == ir.OpMul {
+					return true
+				}
+				if op != ir.OpMul {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !inBlock("entry", ir.OpMul) {
+		t.Errorf("fully invariant mul not in entry:\n%s", m.String())
+	}
+	ibody := f.Block("ibody")
+	for _, in := range ibody.Instrs {
+		if in.Op == ir.OpMul {
+			t.Errorf("mul left in inner body:\n%s", m.String())
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package prefetch
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// kernel builds b[a[i]] variants with configurable loop shape for
+// exercising the clamp-planning rules of §4.2.
+func clampKernel(limitPred string, step int64, allocSizes bool) string {
+	alloc := ""
+	arrays := "%a: ptr, %b: ptr, "
+	if allocSizes {
+		arrays = ""
+		alloc = "  %a = alloc %n, 4\n  %b = alloc 65536, 4\n"
+	}
+	return fmt.Sprintf(`module m
+func f(%s%%n: i64) -> void {
+entry:
+%s  br header
+header:
+  %%i = phi i64 [entry: 0, body: %%i2]
+  %%c = cmp %s %%i, %%n
+  cbr %%c, body, exit
+body:
+  %%t1 = gep %%a, %%i, 4
+  %%t2 = load i32, %%t1
+  %%t3 = gep %%b, %%t2, 4
+  %%t4 = load i32, %%t3
+  %%i2 = add %%i, %d
+  br header
+exit:
+  ret
+}
+`, arrays, alloc, limitPred, step)
+}
+
+func passOn(t *testing.T, src string, opts Options) (*ir.Module, *Result) {
+	t.Helper()
+	m := ir.MustParse(src)
+	res := Run(m, opts)["f"]
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	return m, res
+}
+
+func TestClampStrategyAllocSize(t *testing.T) {
+	// With visible allocations, strategy A clamps against the element
+	// count, not the loop bound: look for "min" against n-1 via an add.
+	m, res := passOn(t, clampKernel("lt", 1, true), Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d", len(res.Emitted))
+	}
+	// The bound for array a (size %n) must be computed as %n + -1.
+	text := m.String()
+	if !strings.Contains(text, "add %n, -1") {
+		t.Errorf("alloc-size bound missing:\n%s", text)
+	}
+}
+
+func TestClampStrategyLoopLimit(t *testing.T) {
+	// Parameter arrays: strategy B uses the loop bound (n-1 for <).
+	m, res := passOn(t, clampKernel("lt", 1, false), Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d", len(res.Emitted))
+	}
+	if !strings.Contains(m.String(), "add %n, -1") {
+		t.Errorf("loop-limit bound missing:\n%s", m.String())
+	}
+}
+
+func TestClampLoopLimitLE(t *testing.T) {
+	// i <= n iterates to n inclusive: the bound is n itself (no -1 add;
+	// min directly against %n).
+	m, res := passOn(t, clampKernel("le", 1, false), Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d; rejections %+v", len(res.Emitted), res.Rejections)
+	}
+	if strings.Contains(m.String(), "add %n, -1") {
+		t.Errorf("LE bound must not subtract 1:\n%s", m.String())
+	}
+	if !strings.Contains(m.String(), "min") {
+		t.Error("clamp missing")
+	}
+}
+
+func TestClampRejectsNonUnitStepWithoutAllocs(t *testing.T) {
+	// Step 2 with only the loop bound available: the clamped index may
+	// not correspond to an executed iteration, so the pass must reject.
+	_, res := passOn(t, clampKernel("lt", 2, false), Options{C: 64})
+	if len(res.Emitted) != 0 {
+		t.Fatalf("emitted %d prefetches for non-unit step without size info", len(res.Emitted))
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectNotCanonical {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectNotCanonical, got %+v", res.Rejections)
+	}
+}
+
+func TestClampAcceptsNonUnitStepWithAllocs(t *testing.T) {
+	// Step 2 with visible allocations: strategy A's bound covers any
+	// in-allocation index for the two-load chain.
+	_, res := passOn(t, clampKernel("lt", 2, true), Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d, want 2; rejections %+v", len(res.Emitted), res.Rejections)
+	}
+}
+
+func TestClampRejectsMultiExitLoopWithoutAllocs(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %b: ptr, %n: i64, %stop: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, latch: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %e = cmp eq %t4, %stop
+  cbr %e, exit, latch
+latch:
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	_, res := passOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 0 {
+		t.Fatal("multi-exit loop must be rejected without size info")
+	}
+}
+
+func TestClampIndirectIndexRejected(t *testing.T) {
+	// a[i*2] is not a direct index: strategy B requires base[i] (§4.2's
+	// prototype restriction).
+	src := `module m
+func f(%a: ptr, %b: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %ix = mul %i, 2
+  %t1 = gep %a, %ix, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	_, res := passOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 0 {
+		t.Fatal("scaled index must be rejected")
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectNoSizeInfo {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectNoSizeInfo, got %+v", res.Rejections)
+	}
+}
+
+func TestOffsetScalesWithStep(t *testing.T) {
+	// Step 4: the emitted advance must be offset*step = 64*4 = 256.
+	m, res := passOn(t, clampKernel("lt", 4, true), Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d; rejections: %+v", len(res.Emitted), res.Rejections)
+	}
+	if !strings.Contains(m.String(), "add %i, 256") {
+		t.Errorf("advance not scaled by step:\n%s", m.String())
+	}
+}
+
+func TestConstantLimitFoldsBound(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %b: ptr) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, 1000
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	m, res := passOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d", len(res.Emitted))
+	}
+	// Constant bound folds to 999 directly, with no add instruction.
+	if !strings.Contains(m.String(), "999") {
+		t.Errorf("folded bound missing:\n%s", m.String())
+	}
+}

@@ -1,0 +1,244 @@
+package prefetch
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// candidate is the result of the depth-first search from a target load:
+// the induction variable reached, and every instruction on the paths
+// from it to the load (Algorithm 1, lines 1-24).
+type candidate struct {
+	iv   *ir.Instr
+	loop *analysis.Loop
+	set  map[*ir.Instr]bool
+	// subs maps non-induction phis to the outer-loop values substituted
+	// for them by the loop-hoisting extension (§4.6).
+	subs map[*ir.Instr]ir.Value
+	// hoisted is set when subs is non-empty.
+	hoisted bool
+	// poisonCall / poisonPhi record that a path to the induction
+	// variable runs through a function call or a non-induction phi,
+	// which the filters of Algorithm 1 (lines 35, 40) reject.
+	poisonCall bool
+	poisonPhi  bool
+}
+
+// dfs walks the data-dependence graph backwards from the load,
+// collecting candidate induction variables. It returns nil when no
+// induction variable is reachable.
+func (st *passState) dfs(ld *ir.Instr) *candidate {
+	visited := map[*ir.Instr]*candidate{}
+	c := st.dfsInstr(ld, visited, 0)
+	if c == nil || c.iv == nil {
+		if c != nil && (c.poisonCall || c.poisonPhi) {
+			return c // report the poison as a rejection
+		}
+		return nil
+	}
+	return c
+}
+
+const maxDFSDepth = 128
+
+// dfsInstr returns the merged candidate for paths starting at in, with
+// in itself included in the instruction set.
+func (st *passState) dfsInstr(in *ir.Instr, visited map[*ir.Instr]*candidate, depth int) *candidate {
+	if depth > maxDFSDepth {
+		return nil
+	}
+	if c, ok := visited[in]; ok {
+		return cloneCandidate(c)
+	}
+
+	// Collect one candidate per operand path (Algorithm 1, lines 3-10).
+	var cands []*candidate
+	poisonCall, poisonPhi := false, false
+	hoistedAny := false
+	var mergedSubs map[*ir.Instr]ir.Value
+
+	for _, o := range in.Args {
+		def, isInstr := o.(*ir.Instr)
+		if !isInstr {
+			continue // constants and parameters terminate the path
+		}
+		// Found an induction variable: this path is complete (line 5).
+		if l, isIV := st.ivLoop[def]; isIV {
+			cands = append(cands, &candidate{iv: def, loop: l, set: map[*ir.Instr]bool{in: true}})
+			continue
+		}
+		// Stop at instructions not inside any loop (§4.1).
+		defLoop := st.li.LoopOf(def.Block())
+		if defLoop == nil {
+			continue
+		}
+		switch def.Op {
+		case ir.OpPhi:
+			// A non-induction phi. With hoisting enabled and a unique
+			// incoming value flowing in from outside the phi's loop, the
+			// pass substitutes that value and keeps searching (§4.6).
+			if st.opts.Hoist {
+				if sub := outerIncoming(def, defLoop); sub != nil {
+					sc := st.dfsValue(sub, in, visited, depth+1)
+					if sc != nil && sc.iv != nil {
+						sc.hoisted = true
+						if sc.subs == nil {
+							sc.subs = map[*ir.Instr]ir.Value{}
+						}
+						sc.subs[def] = sub
+						cands = append(cands, sc)
+						continue
+					}
+				}
+			}
+			poisonPhi = true
+		case ir.OpCall:
+			if st.opts.AllowPureCalls && st.pure.IsPure(def.Callee) {
+				if sc := st.dfsInstr(def, visited, depth+1); sc != nil && sc.iv != nil {
+					sc.set[in] = true
+					cands = append(cands, sc)
+					poisonCall = poisonCall || sc.poisonCall
+					poisonPhi = poisonPhi || sc.poisonPhi
+				}
+				continue
+			}
+			// A call on the path: search through it so that reaching an
+			// induction variable triggers an explicit rejection rather
+			// than silence (line 35).
+			if sc := st.dfsInstr(def, visited, depth+1); sc != nil && sc.iv != nil {
+				poisonCall = true
+			}
+		default:
+			sc := st.dfsInstr(def, visited, depth+1)
+			if sc == nil {
+				continue
+			}
+			poisonCall = poisonCall || sc.poisonCall
+			poisonPhi = poisonPhi || sc.poisonPhi
+			if sc.iv != nil {
+				sc.set[in] = true
+				cands = append(cands, sc)
+				if sc.hoisted {
+					hoistedAny = true
+					mergedSubs = mergeSubs(mergedSubs, sc.subs)
+				}
+			}
+		}
+	}
+
+	merged := mergeCandidates(cands)
+	if merged == nil {
+		if poisonCall || poisonPhi {
+			merged = &candidate{poisonCall: poisonCall, poisonPhi: poisonPhi}
+		}
+		visited[in] = merged
+		return cloneCandidate(merged)
+	}
+	merged.poisonCall = merged.poisonCall || poisonCall
+	merged.poisonPhi = merged.poisonPhi || poisonPhi
+	merged.hoisted = merged.hoisted || hoistedAny
+	merged.subs = mergeSubs(merged.subs, mergedSubs)
+	visited[in] = merged
+	return cloneCandidate(merged)
+}
+
+// dfsValue continues the search through a substituted value: user is
+// the instruction whose operand was substituted.
+func (st *passState) dfsValue(v ir.Value, user *ir.Instr, visited map[*ir.Instr]*candidate, depth int) *candidate {
+	def, isInstr := v.(*ir.Instr)
+	if !isInstr {
+		return nil
+	}
+	if l, isIV := st.ivLoop[def]; isIV {
+		return &candidate{iv: def, loop: l, set: map[*ir.Instr]bool{user: true}}
+	}
+	if st.li.LoopOf(def.Block()) == nil {
+		return nil
+	}
+	sc := st.dfsInstr(def, visited, depth)
+	if sc == nil || sc.iv == nil {
+		return nil
+	}
+	sc.set[user] = true
+	return sc
+}
+
+// outerIncoming returns the unique incoming value of the phi that flows
+// in from outside the given loop, or nil.
+func outerIncoming(phi *ir.Instr, l *analysis.Loop) ir.Value {
+	var out ir.Value
+	for i, pred := range phi.Incoming {
+		if !l.Contains(pred) {
+			if out != nil {
+				return nil // multiple outer entries
+			}
+			out = phi.Args[i]
+		}
+	}
+	return out
+}
+
+// mergeCandidates implements lines 12-24 of Algorithm 1: zero paths
+// yield nil, one path yields itself, and multiple paths select the
+// induction variable of the innermost (deepest) loop, merging the sets
+// of every path that reaches that variable.
+func mergeCandidates(cands []*candidate) *candidate {
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.loop.Depth > best.loop.Depth {
+			best = c
+		}
+	}
+	out := &candidate{iv: best.iv, loop: best.loop, set: map[*ir.Instr]bool{}}
+	for _, c := range cands {
+		if c.iv != best.iv {
+			continue
+		}
+		for in := range c.set {
+			out.set[in] = true
+		}
+		out.poisonCall = out.poisonCall || c.poisonCall
+		out.poisonPhi = out.poisonPhi || c.poisonPhi
+		out.hoisted = out.hoisted || c.hoisted
+		out.subs = mergeSubs(out.subs, c.subs)
+	}
+	return out
+}
+
+func mergeSubs(dst, src map[*ir.Instr]ir.Value) map[*ir.Instr]ir.Value {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = map[*ir.Instr]ir.Value{}
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func cloneCandidate(c *candidate) *candidate {
+	if c == nil {
+		return nil
+	}
+	out := &candidate{
+		iv: c.iv, loop: c.loop,
+		poisonCall: c.poisonCall, poisonPhi: c.poisonPhi,
+		hoisted: c.hoisted,
+	}
+	if c.set != nil {
+		out.set = make(map[*ir.Instr]bool, len(c.set))
+		for k := range c.set {
+			out.set[k] = true
+		}
+	}
+	out.subs = mergeSubs(nil, c.subs)
+	return out
+}

@@ -1,0 +1,472 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// chain is a validated candidate in program order, ready for emission.
+type chain struct {
+	target *ir.Instr
+	iv     *ir.Instr
+	loop   *analysis.Loop
+	set    map[*ir.Instr]bool
+	order  []*ir.Instr // set in program order; target is last
+	loads  []*ir.Instr // loads within order; positions 0..t-1
+	subs   map[*ir.Instr]ir.Value
+	hoist  bool
+
+	clamp clampPlan
+}
+
+// clampPlan records how the look-ahead induction variable is bounded so
+// that duplicated intermediate loads cannot fault (§4.2).
+type clampPlan struct {
+	// bound is the inclusive extreme value of the induction variable
+	// (maximum for upward loops, minimum for downward); nil when the
+	// bound must be computed at runtime from boundBase.
+	bound ir.Value
+	// boundBase, boundAdj: bound = boundBase + boundAdj, emitted as an
+	// add when boundBase is not a constant.
+	boundBase ir.Value
+	boundAdj  int64
+	// upward selects min-clamping (true) or max-clamping (false).
+	upward bool
+}
+
+// orderChain validates operand availability and sorts the candidate set
+// into program order. It returns nil when a set instruction uses a
+// loop-variant value that is neither the induction variable, part of
+// the set, nor covered by a hoisting substitution.
+func (st *passState) orderChain(c *candidate) *chain {
+	var order []*ir.Instr
+	for in := range c.set {
+		order = append(order, in)
+	}
+	sortInstrsByID(order)
+
+	ch := &chain{
+		iv:    c.iv,
+		loop:  c.loop,
+		set:   c.set,
+		subs:  c.subs,
+		hoist: c.hoisted,
+	}
+	ch.order = order
+	ch.target = order[len(order)-1]
+	if ch.target.Op != ir.OpLoad {
+		return nil
+	}
+	for _, in := range order {
+		if in.Op == ir.OpLoad {
+			ch.loads = append(ch.loads, in)
+		}
+		for _, o := range in.Args {
+			if o == ir.Value(c.iv) || c.set[instrOf(o)] {
+				continue
+			}
+			if def, isPhi := o.(*ir.Instr); isPhi && c.subs != nil {
+				if _, subbed := c.subs[def]; subbed {
+					continue
+				}
+			}
+			if !st.semanticallyInvariant(o, c.loop, map[*ir.Instr]bool{}) {
+				return nil
+			}
+		}
+	}
+	return ch
+}
+
+func instrOf(v ir.Value) *ir.Instr {
+	in, _ := v.(*ir.Instr)
+	return in
+}
+
+// semanticallyInvariant reports whether v holds the same value on every
+// iteration of loop l: it is defined outside l, or is pure arithmetic
+// over invariant operands. Loads, calls and phis inside the loop are
+// variant.
+func (st *passState) semanticallyInvariant(v ir.Value, l *analysis.Loop, seen map[*ir.Instr]bool) bool {
+	in, isInstr := v.(*ir.Instr)
+	if !isInstr {
+		return true
+	}
+	if !l.Contains(in.Block()) {
+		return true
+	}
+	if seen[in] {
+		return false
+	}
+	seen[in] = true
+	switch in.Op {
+	case ir.OpPhi, ir.OpLoad, ir.OpCall, ir.OpAlloc:
+		return false
+	}
+	for _, o := range in.Args {
+		if !st.semanticallyInvariant(o, l, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSafety applies the fault-avoidance rules of §4.2 and computes
+// the clamping plan.
+func (st *passState) checkSafety(ch *chain) RejectReason {
+	// Rule: every duplicated instruction must execute on every loop
+	// iteration, so that the values observed at look-ahead time equal
+	// those the program will itself compute (§4.2: loads must not be
+	// conditional on loop-variant values). Hoisted chains (§4.6) relax
+	// this for the target only: the target load lives in an inner loop
+	// and is replaced by a non-faulting prefetch, so only the
+	// intermediate loads must be guaranteed to execute (§4.6: "provided
+	// we can guarantee execution of any of the original loads we
+	// duplicate").
+	for _, in := range ch.order {
+		if ch.hoist && (in == ch.target || in.Op != ir.OpLoad) {
+			continue
+		}
+		for _, latch := range ch.loop.Latches {
+			if !ir.Dominates(st.idom, in.Block(), latch) {
+				return RejectConditional
+			}
+		}
+	}
+
+	// Rule: no stores in the loop to any array an intermediate load
+	// reads (Algorithm 1 line 37).
+	se := st.sideEffects(ch.loop)
+	for _, ld := range ch.loads[:len(ch.loads)-1] {
+		base := analysis.PointerBase(ld.Args[0]).Base
+		if se.MayBeClobbered(base) {
+			return RejectClobbered
+		}
+	}
+
+	return st.planClamp(ch)
+}
+
+// planClamp decides how to bound the look-ahead induction variable.
+// Two strategies, per §4.2: allocation-size information when the
+// look-ahead array's allocation is visible, otherwise the loop bound
+// (which requires a single-exit loop, unit step, and the induction
+// variable used as a direct index).
+func (st *passState) planClamp(ch *chain) RejectReason {
+	first := ch.loads[0]
+	gep := instrOf(first.Args[0])
+	if gep == nil || gep.Op != ir.OpGEP || !ch.set[gep] {
+		return RejectNoSizeInfo
+	}
+	idx := gep.Args[1]
+	direct := idx == ir.Value(ch.iv)
+	up := ch.loop.Step > 0
+
+	// Strategy A: allocation size. Requires a direct index so that
+	// clamping the index itself stays within the allocation.
+	if direct {
+		info := analysis.PointerBase(gep.Args[0])
+		if alloc, isAlloc := info.Base.(*ir.Instr); isAlloc && info.Elems != nil {
+			if ir.Dominates(st.idom, alloc.Block(), ch.target.Block()) &&
+				st.valueAvailable(info.Elems, ch.target) {
+				// Deep chains (three or more loads) additionally need
+				// value equivalence with a future iteration: the clamped
+				// index must be one the loop itself executes, which the
+				// allocation bound alone cannot guarantee for non-unit
+				// steps.
+				if len(ch.loads) > 2 && absStep(ch.loop.Step) != 1 {
+					return RejectNotCanonical
+				}
+				if up {
+					ch.clamp = clampPlan{boundBase: info.Elems, boundAdj: -1, upward: true}
+				} else {
+					ch.clamp = clampPlan{bound: ir.ConstInt(0), upward: false}
+				}
+				ch.clamp.fold()
+				return RejectNone
+			}
+		}
+	}
+
+	// Strategy B: loop bound. Conditions from §4.2: single termination
+	// condition, monotonic unit-step canonical induction variable, and
+	// direct indexing of the look-ahead array.
+	if !direct {
+		return RejectNoSizeInfo
+	}
+	if ch.loop.Limit == nil || absStep(ch.loop.Step) != 1 || !ch.loop.SingleExit() {
+		return RejectNotCanonical
+	}
+	if !st.valueAvailable(ch.loop.Limit, ch.target) {
+		return RejectNotCanonical
+	}
+	adj := int64(0)
+	switch ch.loop.LimitPred {
+	case ir.PredLT, ir.PredULT, ir.PredNE:
+		adj = -1
+	case ir.PredLE, ir.PredULE:
+		adj = 0
+	case ir.PredGT, ir.PredUGT:
+		adj = 1
+	case ir.PredGE, ir.PredUGE:
+		adj = 0
+	default:
+		return RejectNotCanonical
+	}
+	if up && adj > 0 || !up && adj < 0 {
+		return RejectNotCanonical // bound direction disagrees with step
+	}
+	ch.clamp = clampPlan{boundBase: ch.loop.Limit, boundAdj: adj, upward: up}
+	ch.clamp.fold()
+	return RejectNone
+}
+
+func absStep(s int64) int64 {
+	if s < 0 {
+		return -s
+	}
+	return s
+}
+
+// fold turns a constant boundBase into a ready-made bound value.
+func (cp *clampPlan) fold() {
+	if cp.bound != nil {
+		return
+	}
+	if c, isConst := cp.boundBase.(*ir.Const); isConst {
+		cp.bound = ir.ConstInt(c.Val + cp.boundAdj)
+		cp.boundBase = nil
+	} else if cp.boundAdj == 0 {
+		cp.bound = cp.boundBase
+		cp.boundBase = nil
+	}
+}
+
+// valueAvailable reports whether v is usable as an operand of code
+// inserted immediately before user: constants and parameters always
+// are; instructions must dominate the insertion point.
+func (st *passState) valueAvailable(v ir.Value, user *ir.Instr) bool {
+	def, isInstr := v.(*ir.Instr)
+	if !isInstr {
+		return true
+	}
+	if def.Block() == user.Block() {
+		return def.Block().Index(def) < def.Block().Index(user)
+	}
+	return ir.Dominates(st.idom, def.Block(), user.Block())
+}
+
+// emitChain generates prefetch code for every selected position of the
+// chain and inserts it immediately before the target load (Algorithm 1
+// lines 43-54).
+func (st *passState) emitChain(ch *chain) {
+	t := len(ch.loads)
+	positions := st.selectPositions(t)
+
+	var newCode []*ir.Instr
+	for _, l := range positions {
+		offIters := Offset(st.opts.C, t, l)
+		if st.opts.FlatOffset {
+			offIters = st.opts.C
+		}
+		key := fmt.Sprintf("%s@%d", st.lineKey(ch.loads[l]), offIters)
+		if st.emittedKeys[key] {
+			continue
+		}
+		st.emittedKeys[key] = true
+		code, pf := st.emitPosition(ch, l, offIters)
+		newCode = append(newCode, code...)
+		st.res.Emitted = append(st.res.Emitted, Emitted{
+			Target:   ch.loads[l],
+			Prefetch: pf,
+			Position: l,
+			ChainLen: t,
+			Offset:   offIters,
+			Hoisted:  ch.hoist,
+		})
+	}
+	if len(newCode) == 0 {
+		return
+	}
+	ch.target.Block().InsertBefore(ch.target, newCode...)
+	st.f.Renumber()
+	if ch.hoist {
+		st.hoistCode(ch, newCode)
+	}
+	if st.opts.SplitLoops && !ch.hoist {
+		maxOff := int64(0)
+		for _, e := range st.res.Emitted {
+			if e.Offset > maxOff {
+				maxOff = e.Offset
+			}
+		}
+		st.noteEmission(ch.loop, maxOff, newCode)
+	}
+}
+
+// cacheLineSize is the line granularity assumed for prefetch
+// deduplication. Two loads off the same base at constant offsets within
+// one line (e.g. adjacent fields of a 64-byte hash bucket) need only
+// one prefetch; emitting both would double code size for no coverage.
+const cacheLineSize = 64
+
+// lineKey returns a deduplication key for the load: loads from the same
+// base value at constant indices within one cache line share a key, so
+// only the first emits a prefetch. Other loads key on their identity.
+func (st *passState) lineKey(ld *ir.Instr) string {
+	gep := instrOf(ld.Args[0])
+	if gep != nil && gep.Op == ir.OpGEP {
+		if cidx, isConst := gep.Args[1].(*ir.Const); isConst {
+			scale := gep.Args[2].(*ir.Const).Val
+			line := cidx.Val * scale / cacheLineSize
+			return fmt.Sprintf("line:%p:%d", gep.Args[0], line)
+		}
+	}
+	return fmt.Sprintf("load:%p", ld)
+}
+
+// selectPositions returns the chain positions (l values) to prefetch,
+// honouring the stride-companion and stagger-depth options.
+func (st *passState) selectPositions(t int) []int {
+	var out []int
+	if !st.opts.NoStrideCompanion {
+		out = append(out, 0)
+	}
+	last := t - 1
+	if st.opts.MaxStaggerDepth > 0 && st.opts.MaxStaggerDepth < last {
+		last = st.opts.MaxStaggerDepth
+	}
+	for l := 1; l <= last; l++ {
+		out = append(out, l)
+	}
+	if len(out) == 0 {
+		out = []int{t - 1}
+	}
+	return out
+}
+
+// emitPosition generates the code for one staggered prefetch: the
+// clamped induction variable, copies of the address-generation prefix,
+// and the final prefetch instruction. Returns the new instructions in
+// execution order and the prefetch itself.
+func (st *passState) emitPosition(ch *chain, l int, offIters int64) ([]*ir.Instr, *ir.Instr) {
+	var code []*ir.Instr
+	fresh := func(op ir.Op, typ ir.Type, args ...ir.Value) *ir.Instr {
+		in := &ir.Instr{Op: op, Typ: typ, Args: args}
+		if op.HasResult() && typ != ir.Void {
+			in.Name = st.f.FreshName("pf")
+		}
+		code = append(code, in)
+		return in
+	}
+
+	// Clamped look-ahead induction variable:
+	//   adv   = iv + offIters*step
+	//   bound = <per clamp plan>
+	//   iv'   = min(adv, bound)   (max for downward loops)
+	adv := fresh(ir.OpAdd, ir.I64, ch.iv, ir.ConstInt(offIters*ch.loop.Step))
+	bound := ch.clamp.bound
+	if bound == nil {
+		bound = fresh(ir.OpAdd, ir.I64, ch.clamp.boundBase, ir.ConstInt(ch.clamp.boundAdj))
+	}
+	var clamped *ir.Instr
+	if ch.clamp.upward {
+		clamped = fresh(ir.OpMin, ir.I64, adv, bound)
+	} else {
+		clamped = fresh(ir.OpMax, ir.I64, adv, bound)
+	}
+	clamped.Hint = fmt.Sprintf("prefetch lookahead +%d", offIters)
+
+	// Copy the chain prefix up to and including the position's load;
+	// the load itself becomes the prefetch (line 52).
+	vmap := map[ir.Value]ir.Value{ir.Value(ch.iv): clamped}
+	for p, sub := range ch.subs {
+		vmap[ir.Value(p)] = sub
+	}
+	posLoad := ch.loads[l]
+	var pf *ir.Instr
+	for _, in := range ch.order {
+		if in.ID > posLoad.ID {
+			break
+		}
+		mapped := make([]ir.Value, len(in.Args))
+		for i, a := range in.Args {
+			if m, ok := vmap[a]; ok {
+				mapped[i] = m
+			} else {
+				mapped[i] = a
+			}
+		}
+		if in == posLoad {
+			pf = fresh(ir.OpPrefetch, ir.Void, mapped[0])
+			pf.Hint = fmt.Sprintf("auto l=%d t=%d off=%d", l, len(ch.loads), offIters)
+			break
+		}
+		cp := fresh(in.Op, in.Typ, mapped...)
+		cp.Pred = in.Pred
+		cp.Callee = in.Callee
+		vmap[ir.Value(in)] = cp
+	}
+	return code, pf
+}
+
+// hoistCode implements the second half of §4.6: after emission, move
+// the generated instructions out of the innermost loop containing the
+// target when they are invariant there, so a hoisted prefetch executes
+// once per outer iteration instead of once per inner iteration.
+func (st *passState) hoistCode(ch *chain, code []*ir.Instr) {
+	inner := st.li.LoopOf(ch.target.Block())
+	if inner == nil || inner == ch.loop || !ch.loop.ContainsLoop(inner) {
+		return
+	}
+	pre := preheader(inner)
+	if pre == nil {
+		return
+	}
+	hoisted := map[*ir.Instr]bool{}
+	invariant := func(v ir.Value) bool {
+		def := instrOf(v)
+		if def == nil {
+			return true
+		}
+		if hoisted[def] {
+			return true
+		}
+		return !inner.Contains(def.Block())
+	}
+	term := pre.Term()
+	for _, in := range code {
+		ok := true
+		for _, a := range in.Args {
+			if !invariant(a) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		in.Block().Remove(in)
+		pre.InsertBefore(term, in)
+		hoisted[in] = true
+	}
+	st.f.Renumber()
+}
+
+// preheader returns the unique out-of-loop predecessor of the loop
+// header, or nil.
+func preheader(l *analysis.Loop) *ir.Block {
+	var pre *ir.Block
+	for _, p := range l.Header.Preds() {
+		if l.Contains(p) {
+			continue
+		}
+		if pre != nil {
+			return nil
+		}
+		pre = p
+	}
+	return pre
+}

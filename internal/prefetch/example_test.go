@@ -1,0 +1,57 @@
+package prefetch_test
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/prefetch"
+)
+
+// Example runs the pass over the paper's running example (figure 3):
+// buckets[keys[i]]++ becomes two staggered prefetches, the indirect one
+// through a clamped real load of the look-ahead index.
+func Example() {
+	mod := ir.MustParse(`module example
+
+func histogram(%keys: ptr, %buckets: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %ka = gep %keys, %i, 4
+  %k = load i32, %ka
+  %ba = gep %buckets, %k, 4
+  %v = load i32, %ba
+  %v2 = add %v, 1
+  store i32, %ba, %v2
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`)
+	res := prefetch.Run(mod, prefetch.Options{C: 64})["histogram"]
+	for _, e := range res.Emitted {
+		fmt.Printf("prefetch for %%%s: position %d of %d, offset %d\n",
+			e.Target.Name, e.Position, e.ChainLen, e.Offset)
+	}
+	// Output:
+	// prefetch for %k: position 0 of 2, offset 64
+	// prefetch for %v: position 1 of 2, offset 32
+}
+
+// ExampleOffset shows eq. (1)'s staggering for a four-deep chain like
+// HJ-8's (§5.1 uses c=16: offsets 16, 12, 8, 4).
+func ExampleOffset() {
+	for l := 0; l < 4; l++ {
+		fmt.Println(prefetch.Offset(16, 4, l))
+	}
+	// Output:
+	// 16
+	// 12
+	// 8
+	// 4
+}

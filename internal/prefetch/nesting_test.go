@@ -1,0 +1,194 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// outerIVSrc loads b[a[r]] inside an inner loop, where r is the OUTER
+// induction variable. The chain's instructions live in the inner body,
+// which does not dominate the outer latch (the inner loop may run zero
+// iterations), so the base pass must reject it as conditional; the
+// hoisting extension may substitute and emit.
+const outerIVSrc = `module m
+
+func f(%a: ptr, %b: ptr, %rows: i64, %reps: i64) -> i64 {
+entry:
+  br oh
+oh:
+  %r = phi i64 [entry: 0, olatch: %r2]
+  %acc = phi i64 [entry: 0, olatch: %acc3]
+  %oc = cmp lt %r, %rows
+  cbr %oc, obody, oexit
+obody:
+  br ih
+ih:
+  %k = phi i64 [obody: 0, ibody: %k2]
+  %acc2 = phi i64 [obody: %acc, ibody: %accn]
+  %ic = cmp lt %k, %reps
+  cbr %ic, ibody, olatch
+ibody:
+  %t1 = gep %a, %r, 8
+  %t2 = load i64, %t1
+  %t3 = gep %b, %t2, 8
+  %t4 = load i64, %t3
+  %accn = add %acc2, %t4
+  %k2 = add %k, 1
+  br ih
+olatch:
+  %acc3 = phi i64 [ih: %acc2]
+  %r2 = add %r, 1
+  br oh
+oexit:
+  ret %acc
+}
+`
+
+func TestOuterIVChainInInnerLoopRejected(t *testing.T) {
+	m := ir.MustParse(outerIVSrc)
+	res := Run(m, Options{C: 64, Hoist: false})["f"]
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(res.Emitted) != 0 {
+		t.Fatalf("emitted %d prefetches; inner-body chains on the outer IV cannot be proven unconditional", len(res.Emitted))
+	}
+	saw := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectConditional {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("expected RejectConditional, got %+v", res.Rejections)
+	}
+}
+
+// TestInnerChainUsesOuterInvariantBase: the reverse nesting — an inner
+// IV chain whose gep base expression involves the outer IV through
+// loop-invariant arithmetic — must be accepted (the r*cols+j pattern).
+func TestInnerChainUsesOuterInvariantBase(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %b: ptr, %rows: i64, %cols: i64) -> i64 {
+entry:
+  br oh
+oh:
+  %r = phi i64 [entry: 0, olatch: %r2]
+  %oc = cmp lt %r, %rows
+  cbr %oc, obody, oexit
+obody:
+  br ih
+ih:
+  %j = phi i64 [obody: 0, ibody: %j2]
+  %ic = cmp lt %j, %cols
+  cbr %ic, ibody, olatch
+ibody:
+  %rowoff = mul %r, %cols
+  %idx = add %rowoff, %j
+  %t1 = gep %a, %j, 8
+  %t2 = load i64, %t1
+  %t3 = add %t2, %idx
+  %t4 = gep %b, %t3, 8
+  %t5 = load i64, %t4
+  %j2 = add %j, 1
+  br ih
+olatch:
+  %r2 = add %r, 1
+  br oh
+oexit:
+  ret %rows
+}
+`
+	m := ir.MustParse(src)
+	res := Run(m, Options{C: 64})["f"]
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	if len(res.Emitted) != 2 {
+		for _, r := range res.Rejections {
+			t.Logf("rejection: %%%s: %s", r.Load.Name, r.Reason)
+		}
+		t.Fatalf("emitted %d, want 2 (stride + indirect with invariant addend)", len(res.Emitted))
+	}
+}
+
+// TestTripleNesting: the innermost of three induction variables drives
+// the look-ahead when a chain references all three.
+func TestTripleNesting(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %b: ptr, %n: i64) -> i64 {
+entry:
+  br h1
+h1:
+  %i = phi i64 [entry: 0, l1: %i2]
+  %c1 = cmp lt %i, %n
+  cbr %c1, b1, exit
+b1:
+  br h2
+h2:
+  %j = phi i64 [b1: 0, l2: %j2]
+  %c2 = cmp lt %j, %n
+  cbr %c2, b2, l1
+b2:
+  br h3
+h3:
+  %k = phi i64 [b2: 0, b3: %k2]
+  %c3 = cmp lt %k, %n
+  cbr %c3, b3, l2
+b3:
+  %t1 = gep %a, %k, 8
+  %t2 = load i64, %t1
+  %t3 = gep %b, %t2, 8
+  %t4 = load i64, %t3
+  %k2 = add %k, 1
+  br h3
+l2:
+  %j2 = add %j, 1
+  br h2
+l1:
+  %i2 = add %i, 1
+  br h1
+exit:
+  ret %n
+}
+`
+	m := ir.MustParse(src)
+	res := Run(m, Options{C: 64})["f"]
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d, want 2", len(res.Emitted))
+	}
+	// The advance must be on %k (the innermost IV).
+	f := m.Func("f")
+	k := f.Block("h3").Phis()[0]
+	for _, e := range res.Emitted {
+		addr := e.Prefetch.Args[0]
+		usesK := false
+		seen := map[*ir.Instr]bool{}
+		var walk func(v ir.Value)
+		walk = func(v ir.Value) {
+			in, ok := v.(*ir.Instr)
+			if !ok || seen[in] {
+				return
+			}
+			seen[in] = true
+			if in == k {
+				usesK = true
+				return
+			}
+			if in.Op == ir.OpPhi {
+				return
+			}
+			for _, a := range in.Args {
+				walk(a)
+			}
+		}
+		walk(addr)
+		if !usesK {
+			t.Errorf("prefetch at position %d does not advance the innermost IV", e.Position)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package prefetch implements the automatic software-prefetch
+// generation pass of Ainsworth & Jones, "Software Prefetching for
+// Indirect Memory Accesses" (CGO 2017), Algorithm 1.
+//
+// The pass finds loads inside loops whose addresses are computed
+// (directly or through intermediate loads) from a loop induction
+// variable, duplicates the address-generation code at a configurable
+// look-ahead offset, clamps the induction variable so the duplicated
+// loads cannot fault (§4.2), and replaces the final duplicated load
+// with a prefetch instruction (§4.3). Look-ahead distances follow the
+// scheduling formula of §4.4:
+//
+//	offset(l) = c * (t - l) / t
+//
+// where t is the number of loads in the chain, l the position of the
+// load within it, and c a per-microarchitecture constant (64 in the
+// paper, for every system evaluated).
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Mode selects the pass variant.
+type Mode int
+
+const (
+	// ModeFull is the paper's pass (§4).
+	ModeFull Mode = iota
+	// ModeSimpleStrideIndirect mimics the Intel compiler's restricted
+	// stride-indirect prefetcher used as the "ICC-generated" baseline in
+	// figure 4(d): only direct a[b[i]] patterns with statically known
+	// array bounds are transformed; chains involving extra address
+	// computation (hashing) or unknown sizes are skipped.
+	ModeSimpleStrideIndirect
+)
+
+// Options configures the pass.
+type Options struct {
+	// C is the look-ahead constant c of eq. (1). The paper sets 64.
+	C int64
+	// Mode selects the full pass or the restricted ICC-like variant.
+	Mode Mode
+	// NoStrideCompanion disables the staggered prefetch of the
+	// sequentially accessed look-ahead array (the "Indirect Only"
+	// configuration of figure 5). The default (false) staggers
+	// prefetches to every load in the chain, which the paper shows is
+	// required for optimal performance (§3).
+	NoStrideCompanion bool
+	// MaxStaggerDepth, when positive, limits how many loads of each
+	// chain receive prefetches, counting from the shallowest indirect
+	// access (figure 7). Zero means no limit.
+	MaxStaggerDepth int
+	// Hoist enables the prefetch loop-hoisting extension of §4.6:
+	// loads in inner loops whose address computation references an
+	// outer-loop value through a phi are prefetched by substituting the
+	// outer-loop incoming value.
+	Hoist bool
+	// AllowPureCalls permits side-effect-free function calls inside
+	// duplicated address-generation code, an extension the paper notes
+	// is possible (§4.1). Off by default, like the paper's prototype.
+	AllowPureCalls bool
+	// FlatOffset disables the per-position scheduling of eq. (1) and
+	// uses the full look-ahead constant c for every load in a chain.
+	// This is an ablation knob: the paper's staggering exists precisely
+	// so each dependent load's input was prefetched c/t iterations
+	// before it is needed.
+	FlatOffset bool
+	// SplitLoops peels the final look-ahead iterations of simple
+	// prefetched loops into a clamp-free main loop plus an epilogue
+	// without prefetches — the bounds-check-hoisting trick §6.1 credits
+	// for the Intel compiler beating the prototype on IS. Off by
+	// default, like the paper's prototype.
+	SplitLoops bool
+}
+
+// DefaultOptions returns the paper's configuration: c = 64, full mode,
+// stride companions on, unlimited stagger depth.
+func DefaultOptions() Options { return Options{C: 64} }
+
+// RejectReason classifies why a candidate load was not prefetched.
+type RejectReason int
+
+// Rejection reasons, mirroring the filters of Algorithm 1 and §4.2.
+const (
+	// RejectNone is the zero value and never appears in results.
+	RejectNone RejectReason = iota
+	// RejectCall: the address-generation code contains a (potentially
+	// side-effecting) function call (Algorithm 1 line 35).
+	RejectCall
+	// RejectNonIVPhi: the code depends on a non-induction-variable phi,
+	// indicating control flow the pass cannot reproduce (line 40).
+	RejectNonIVPhi
+	// RejectClobbered: a data structure used for address generation is
+	// stored to within the loop (§4.2, line 37).
+	RejectClobbered
+	// RejectConditional: an address-generating instruction does not
+	// execute on every loop iteration, so its future value cannot be
+	// guaranteed (§4.2).
+	RejectConditional
+	// RejectNoSizeInfo: neither allocation-size information nor a
+	// usable loop bound is available to clamp intermediate loads (§4.2).
+	RejectNoSizeInfo
+	// RejectNotCanonical: the induction variable is not in canonical
+	// form, or its loop's bound cannot be used (non-unit step,
+	// multiple exits) where the fault-avoidance rules require it.
+	RejectNotCanonical
+	// RejectStrideOnly: the chain contains a single load, i.e. a plain
+	// stride access, which is left to the hardware prefetcher (§4.3).
+	RejectStrideOnly
+	// RejectOperandEscapes: an address-generation instruction uses a
+	// loop-variant value that is neither the induction variable nor
+	// part of the duplicated code.
+	RejectOperandEscapes
+	// RejectModeRestricted: the restricted ICC-like mode skipped a
+	// pattern the full pass would transform.
+	RejectModeRestricted
+)
+
+var rejectNames = map[RejectReason]string{
+	RejectCall:           "contains function call",
+	RejectNonIVPhi:       "contains non-induction phi",
+	RejectClobbered:      "address array stored to in loop",
+	RejectConditional:    "address code conditionally executed",
+	RejectNoSizeInfo:     "no size information for clamping",
+	RejectNotCanonical:   "induction variable not usable for clamping",
+	RejectStrideOnly:     "stride-only access left to hardware prefetcher",
+	RejectOperandEscapes: "uses loop-variant value outside chain",
+	RejectModeRestricted: "pattern outside restricted mode",
+}
+
+func (r RejectReason) String() string {
+	if s, ok := rejectNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("reject(%d)", int(r))
+}
+
+// Rejection records a load the pass considered but did not prefetch.
+type Rejection struct {
+	Load   *ir.Instr
+	Reason RejectReason
+}
+
+// Emitted describes one generated prefetch.
+type Emitted struct {
+	// Target is the original load the prefetch covers.
+	Target *ir.Instr
+	// Prefetch is the emitted prefetch instruction.
+	Prefetch *ir.Instr
+	// Position is l in eq. (1): 0 for the shallowest (stride) load.
+	Position int
+	// ChainLen is t in eq. (1).
+	ChainLen int
+	// Offset is the applied look-ahead in loop iterations.
+	Offset int64
+	// Hoisted reports whether §4.6 loop hoisting produced this prefetch.
+	Hoisted bool
+}
+
+// Result reports what the pass did to one function.
+type Result struct {
+	Func       *ir.Function
+	Emitted    []Emitted
+	Rejections []Rejection
+	// NewInstrs is the total number of instructions added.
+	NewInstrs int
+}
+
+// Prefetches returns the emitted prefetch instructions.
+func (r *Result) Prefetches() []*ir.Instr {
+	out := make([]*ir.Instr, len(r.Emitted))
+	for i := range r.Emitted {
+		out[i] = r.Emitted[i].Prefetch
+	}
+	return out
+}
+
+// RejectionsFor returns the reasons recorded for a given load.
+func (r *Result) RejectionsFor(load *ir.Instr) []RejectReason {
+	var out []RejectReason
+	for _, rej := range r.Rejections {
+		if rej.Load == load {
+			out = append(out, rej.Reason)
+		}
+	}
+	return out
+}
+
+// Run applies the pass to every function of the module and returns
+// per-function results keyed by function name.
+func Run(m *ir.Module, opts Options) map[string]*Result {
+	if opts.C == 0 {
+		opts.C = 64
+	}
+	pure := analysis.PureFunctions(m)
+	results := make(map[string]*Result, len(m.Funcs))
+	for _, f := range m.Funcs {
+		results[f.Name] = runFunc(f, opts, pure)
+	}
+	return results
+}
+
+// RunFunc applies the pass to a single function.
+func RunFunc(f *ir.Function, opts Options) *Result {
+	if opts.C == 0 {
+		opts.C = 64
+	}
+	var pure *analysis.SideEffectInfo
+	if f.Mod != nil {
+		pure = analysis.PureFunctions(f.Mod)
+	} else {
+		pure = analysis.PureFunctions(&ir.Module{})
+	}
+	return runFunc(f, opts, pure)
+}
+
+type passState struct {
+	f    *ir.Function
+	opts Options
+	li   *analysis.LoopInfo
+	idom map[*ir.Block]*ir.Block
+	pure *analysis.SideEffectInfo
+
+	// ivLoop maps each canonical induction-variable phi to its loop.
+	ivLoop map[*ir.Instr]*analysis.Loop
+	// seCache caches per-loop side-effect summaries.
+	seCache map[*analysis.Loop]*analysis.SideEffects
+
+	res *Result
+	// emittedKeys dedups prefetches for shared chain prefixes: two
+	// indirect loads sharing a stride load must not both emit the
+	// stride companion.
+	emittedKeys map[string]bool
+	// split accumulates per-loop emission facts for Options.SplitLoops.
+	split map[*analysis.Loop]*splitInfo
+}
+
+func runFunc(f *ir.Function, opts Options, pure *analysis.SideEffectInfo) *Result {
+	f.Renumber()
+	st := &passState{
+		f:           f,
+		opts:        opts,
+		li:          analysis.FindLoops(f),
+		idom:        ir.Dominators(f),
+		pure:        pure,
+		ivLoop:      map[*ir.Instr]*analysis.Loop{},
+		seCache:     map[*analysis.Loop]*analysis.SideEffects{},
+		res:         &Result{Func: f},
+		emittedKeys: map[string]bool{},
+	}
+	for _, l := range st.li.Loops {
+		if l.IndVar != nil {
+			st.ivLoop[l.IndVar] = l
+		}
+	}
+
+	// Snapshot the loads inside loops before mutation (Algorithm 1,
+	// line 30): the pass must not reprocess its own output.
+	var loads []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLoad && st.li.LoopOf(in.Block()) != nil {
+			loads = append(loads, in)
+		}
+	})
+
+	before := f.NumInstrs()
+	for _, ld := range loads {
+		st.processLoad(ld)
+	}
+	if opts.SplitLoops {
+		st.applySplits()
+	}
+	f.Renumber()
+	st.res.NewInstrs = f.NumInstrs() - before
+	return st.res
+}
+
+func (st *passState) sideEffects(l *analysis.Loop) *analysis.SideEffects {
+	if se, ok := st.seCache[l]; ok {
+		return se
+	}
+	se := analysis.LoopSideEffects(l)
+	st.seCache[l] = &se
+	return &se
+}
+
+func (st *passState) reject(ld *ir.Instr, r RejectReason) {
+	st.res.Rejections = append(st.res.Rejections, Rejection{Load: ld, Reason: r})
+}
+
+// processLoad runs the DFS and, if a viable candidate emerges, emits
+// prefetch code for the whole chain.
+func (st *passState) processLoad(ld *ir.Instr) {
+	cand := st.dfs(ld)
+	if cand == nil {
+		return // no induction variable found; not a rejection, just not a target
+	}
+	if cand.poisonCall {
+		st.reject(ld, RejectCall)
+		return
+	}
+	if cand.poisonPhi {
+		st.reject(ld, RejectNonIVPhi)
+		return
+	}
+
+	chain := st.orderChain(cand)
+	if chain == nil {
+		st.reject(ld, RejectOperandEscapes)
+		return
+	}
+	if len(chain.loads) < 2 {
+		// A pure stride access: leave it to the hardware stride
+		// prefetcher (§4.3).
+		st.reject(ld, RejectStrideOnly)
+		return
+	}
+	if st.opts.Mode == ModeSimpleStrideIndirect && !st.simplePatternOK(chain) {
+		st.reject(ld, RejectModeRestricted)
+		return
+	}
+	if reason := st.checkSafety(chain); reason != RejectNone {
+		st.reject(ld, reason)
+		return
+	}
+	st.emitChain(chain)
+}
+
+// simplePatternOK implements the ICC-like restriction: exactly two
+// loads, no arithmetic between them other than address computation
+// (gep), and statically known allocation sizes for both arrays.
+func (st *passState) simplePatternOK(c *chain) bool {
+	if len(c.loads) != 2 {
+		return false
+	}
+	for _, in := range c.order {
+		switch in.Op {
+		case ir.OpLoad, ir.OpGEP:
+		default:
+			return false
+		}
+	}
+	for _, ld := range c.loads {
+		info := analysis.PointerBase(ld.Args[0])
+		alloc, isAlloc := info.Base.(*ir.Instr)
+		if !isAlloc || alloc.Op != ir.OpAlloc || info.Elems == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Offset computes eq. (1): the look-ahead in iterations for the load at
+// position l of a chain of t loads, with constant c. The result is at
+// least 1 so that a prefetch is never issued for the current iteration.
+func Offset(c int64, t, l int) int64 {
+	if t <= 0 {
+		return c
+	}
+	off := c * int64(t-l) / int64(t)
+	if off < 1 {
+		off = 1
+	}
+	return off
+}
+
+// sortInstrsByID sorts instructions into program order.
+func sortInstrsByID(ins []*ir.Instr) {
+	sort.Slice(ins, func(i, j int) bool { return ins[i].ID < ins[j].ID })
+}

@@ -1,0 +1,666 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// isSrc is the integer-sort kernel of figure 3(a): b[a[i]]++ with the
+// array sizes visible as allocs.
+const isSrc = `module is
+
+func is(%n: i64) -> void {
+entry:
+  %a = alloc %n, 4
+  %b = alloc 65536, 4
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %t5 = add %t4, 1
+  store i32, %t3, %t5
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+
+func runOn(t *testing.T, src string, opts Options) (*ir.Module, *Result) {
+	t.Helper()
+	m := ir.MustParse(src)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("input does not verify: %v", err)
+	}
+	results := Run(m, opts)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("output does not verify: %v\n%s", err, m.String())
+	}
+	for _, f := range m.Funcs {
+		if r, ok := results[f.Name]; ok && len(r.Emitted) > 0 {
+			return m, r
+		}
+	}
+	// Fall back to the first function's result.
+	return m, results[m.Funcs[0].Name]
+}
+
+// TestAlgorithmExample reproduces the worked example of figure 3: the
+// pass must emit two prefetches, an indirect one at offset c/2 through
+// a clamped real load, and a stride companion at offset c.
+func TestAlgorithmExample(t *testing.T) {
+	m, res := runOn(t, isSrc, Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d prefetches, want 2:\n%s", len(res.Emitted), m.String())
+	}
+	byPos := map[int]Emitted{}
+	for _, e := range res.Emitted {
+		byPos[e.Position] = e
+	}
+	stride, ok0 := byPos[0]
+	indirect, ok1 := byPos[1]
+	if !ok0 || !ok1 {
+		t.Fatalf("positions wrong: %+v", res.Emitted)
+	}
+	// Figure 3(c): offsets 64 and 32 for c=64, t=2.
+	if stride.Offset != 64 {
+		t.Errorf("stride offset = %d, want 64", stride.Offset)
+	}
+	if indirect.Offset != 32 {
+		t.Errorf("indirect offset = %d, want 32", indirect.Offset)
+	}
+	if stride.ChainLen != 2 || indirect.ChainLen != 2 {
+		t.Errorf("chain length = %d/%d, want 2", stride.ChainLen, indirect.ChainLen)
+	}
+
+	// The indirect prefetch address must come through a real load copy.
+	addr, _ := indirect.Prefetch.Args[0].(*ir.Instr)
+	if addr == nil || addr.Op != ir.OpGEP {
+		t.Fatalf("indirect prefetch address is %v, want gep", indirect.Prefetch.Args[0])
+	}
+	loadCopy, _ := addr.Args[1].(*ir.Instr)
+	if loadCopy == nil || loadCopy.Op != ir.OpLoad {
+		t.Fatalf("indirect prefetch index is %v, want load copy", addr.Args[1])
+	}
+
+	// The clamp must appear: a min against the a array's element count
+	// derived bound (n-1) feeding the intermediate load's gep.
+	gepA, _ := loadCopy.Args[0].(*ir.Instr)
+	if gepA == nil || gepA.Op != ir.OpGEP {
+		t.Fatalf("load copy address is %v, want gep", loadCopy.Args[0])
+	}
+	clamp, _ := gepA.Args[1].(*ir.Instr)
+	if clamp == nil || clamp.Op != ir.OpMin {
+		t.Fatalf("intermediate index is %v, want min clamp", gepA.Args[1])
+	}
+
+	// All generated code must sit immediately before the original load.
+	f := m.Func("is")
+	body := f.Block("body")
+	var origLoad *ir.Instr
+	for _, in := range body.Instrs {
+		if in.Op == ir.OpLoad && in.Name == "t4" {
+			origLoad = in
+		}
+	}
+	if origLoad == nil {
+		t.Fatal("original load lost")
+	}
+	pfSeen := 0
+	for _, in := range body.Instrs {
+		if in.Op == ir.OpPrefetch {
+			if body.Index(in) > body.Index(origLoad) {
+				t.Error("prefetch after original load")
+			}
+			pfSeen++
+		}
+	}
+	if pfSeen != 2 {
+		t.Errorf("prefetches in body = %d, want 2", pfSeen)
+	}
+}
+
+func TestOffsetFormula(t *testing.T) {
+	cases := []struct {
+		c    int64
+		t, l int
+		want int64
+	}{
+		{64, 2, 0, 64}, // listing 1: stride prefetch at c
+		{64, 2, 1, 32}, // listing 1: indirect prefetch at c/2
+		{16, 4, 0, 16}, // HJ-8 staggering: 16, 12, 8, 4 (§5.1)
+		{16, 4, 1, 12},
+		{16, 4, 2, 8},
+		{16, 4, 3, 4},
+		{64, 1, 0, 64},
+		{4, 8, 7, 1}, // floors to 0, clamped to 1
+		{0, 2, 0, 0}, // c=0 handled by caller defaulting; Offset(0,...)=max(0*...,1)
+	}
+	for _, c := range cases {
+		got := Offset(c.c, c.t, c.l)
+		if c.c == 0 {
+			if got != 1 {
+				t.Errorf("Offset(0,%d,%d) = %d, want 1", c.t, c.l, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Offset(%d,%d,%d) = %d, want %d", c.c, c.t, c.l, got, c.want)
+		}
+	}
+}
+
+func TestStrideOnlyLeftToHardware(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %n: i64) -> i64 {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %s = phi i64 [entry: 0, body: %s2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %addr = gep %a, %i, 8
+  %v = load i64, %addr
+  %s2 = add %s, %v
+  %i2 = add %i, 1
+  br header
+exit:
+  ret %s
+}
+`
+	m, res := runOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 0 {
+		t.Fatalf("emitted %d prefetches for pure stride, want 0:\n%s", len(res.Emitted), m.String())
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectStrideOnly {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectStrideOnly, got %+v", res.Rejections)
+	}
+}
+
+func TestNoStrideCompanion(t *testing.T) {
+	m, res := runOn(t, isSrc, Options{C: 64, NoStrideCompanion: true})
+	if len(res.Emitted) != 1 {
+		t.Fatalf("emitted %d, want 1 (indirect only):\n%s", len(res.Emitted), m.String())
+	}
+	if res.Emitted[0].Position != 1 {
+		t.Errorf("position = %d, want 1", res.Emitted[0].Position)
+	}
+}
+
+// hashSrc indexes a table through arithmetic on the loaded key, like RA
+// and HJ-2 (§5.1): table[hash(keys[i])]++ with hash = multiplicative.
+const hashSrc = `module ra
+
+func ra(%keys: ptr, %table: ptr, %n: i64, %mask: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %ka = gep %keys, %i, 8
+  %k = load i64, %ka
+  %h1 = mul %k, 2654435761
+  %h2 = shr %h1, 7
+  %h3 = xor %h2, %h1
+  %h = and %h3, %mask
+  %ta = gep %table, %h, 8
+  %v = load i64, %ta
+  %v2 = add %v, 1
+  store i64, %ta, %v2
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+
+func TestHashChainPrefetched(t *testing.T) {
+	m, res := runOn(t, hashSrc, Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d, want 2 (stride + hash indirect):\n%s", len(res.Emitted), m.String())
+	}
+	// The indirect prefetch must replay the hash computation: its
+	// address chain must contain mul/shr/xor/and copies.
+	var indirect Emitted
+	for _, e := range res.Emitted {
+		if e.Position == 1 {
+			indirect = e
+		}
+	}
+	ops := map[ir.Op]bool{}
+	var walk func(v ir.Value)
+	seen := map[*ir.Instr]bool{}
+	walk = func(v ir.Value) {
+		in, ok := v.(*ir.Instr)
+		if !ok || seen[in] {
+			return
+		}
+		seen[in] = true
+		ops[in.Op] = true
+		for _, a := range in.Args {
+			walk(a)
+		}
+	}
+	walk(indirect.Prefetch.Args[0])
+	for _, op := range []ir.Op{ir.OpMul, ir.OpShr, ir.OpXor, ir.OpAnd, ir.OpLoad, ir.OpMin} {
+		if !ops[op] {
+			t.Errorf("hash replay missing %s in prefetch address chain", op)
+		}
+	}
+}
+
+// TestICCModeSkipsHash verifies the restricted mode only picks up pure
+// stride-indirect patterns with known bounds (figure 4d behaviour).
+func TestICCModeSkipsHash(t *testing.T) {
+	_, res := runOn(t, hashSrc, Options{C: 64, Mode: ModeSimpleStrideIndirect})
+	if len(res.Emitted) != 0 {
+		t.Fatalf("restricted mode emitted %d prefetches for hash pattern, want 0", len(res.Emitted))
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectModeRestricted {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectModeRestricted, got %+v", res.Rejections)
+	}
+}
+
+func TestICCModeAcceptsSimpleStrideIndirect(t *testing.T) {
+	_, res := runOn(t, isSrc, Options{C: 64, Mode: ModeSimpleStrideIndirect})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("restricted mode emitted %d for IS pattern, want 2", len(res.Emitted))
+	}
+}
+
+// TestICCModeRejectsUnknownSize: same pattern as IS but with arrays as
+// parameters, so no allocation sizes are visible. The paper reports the
+// Intel pass misses G500's stride-indirects for exactly this reason.
+func TestICCModeRejectsUnknownSize(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %b: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %t5 = add %t4, 1
+  store i32, %t3, %t5
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	_, res := runOn(t, src, Options{C: 64, Mode: ModeSimpleStrideIndirect})
+	if len(res.Emitted) != 0 {
+		t.Fatal("restricted mode must reject parameter arrays")
+	}
+	// The full pass picks it up via the loop bound (strategy B).
+	_, res2 := runOn(t, src, Options{C: 64})
+	if len(res2.Emitted) != 2 {
+		t.Fatalf("full pass emitted %d, want 2", len(res2.Emitted))
+	}
+}
+
+func TestRejectStoreToAddressArray(t *testing.T) {
+	// z is both read for address generation and stored to: x[z[i]]
+	// cannot be prefetched (§4.2's x[y[z[i]]] discussion).
+	src := `module m
+func f(%x: ptr, %z: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %za = gep %z, %i, 8
+  %zv = load i64, %za
+  %xa = gep %x, %zv, 8
+  %xv = load i64, %xa
+  store i64, %za, %xv
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	_, res := runOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 0 {
+		t.Fatal("must not prefetch through a stored-to address array")
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectClobbered {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectClobbered, got %+v", res.Rejections)
+	}
+}
+
+func TestRejectConditionalIntermediateLoad(t *testing.T) {
+	// The intermediate load only executes when a loop-variant condition
+	// holds; its future value cannot be guaranteed (§4.2).
+	src := `module m
+func f(%a: ptr, %b: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, latch: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %p = rem %i, 3
+  %pc = cmp eq %p, 0
+  cbr %pc, inner, latch
+inner:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  br latch
+latch:
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	_, res := runOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 0 {
+		t.Fatal("must not prefetch conditionally executed chains")
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectConditional {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectConditional, got %+v", res.Rejections)
+	}
+}
+
+func TestRejectCallInChain(t *testing.T) {
+	src := `module m
+func hash(%x: i64) -> i64 {
+entry:
+  %h = mul %x, 40503
+  ret %h
+}
+
+func f(%a: ptr, %b: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 8
+  %t2 = load i64, %t1
+  %h = call i64 @hash(%t2)
+  %t3 = gep %b, %h, 8
+  %t4 = load i64, %t3
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	m := ir.MustParse(src)
+	res := Run(m, Options{C: 64})["f"]
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(res.Emitted) != 0 {
+		t.Fatal("calls in the chain must be rejected by default")
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if r.Reason == RejectCall {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected RejectCall, got %+v", res.Rejections)
+	}
+
+	// With the pure-call extension enabled the chain is allowed, and the
+	// emitted code must contain a call copy.
+	m2 := ir.MustParse(src)
+	res2 := Run(m2, Options{C: 64, AllowPureCalls: true})["f"]
+	if err := m2.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(res2.Emitted) != 2 {
+		t.Fatalf("pure-call mode emitted %d, want 2:\n%s", len(res2.Emitted), m2.String())
+	}
+}
+
+func TestMultipleIVsChoosesInnermost(t *testing.T) {
+	// b[a[j]] inside a j-loop nested in an i-loop, where the address
+	// also adds i: the innermost IV (j) must drive the look-ahead.
+	src := `module m
+func f(%a: ptr, %b: ptr, %rows: i64, %cols: i64) -> void {
+entry:
+  br oh
+oh:
+  %i = phi i64 [entry: 0, olatch: %i2]
+  %oc = cmp lt %i, %rows
+  cbr %oc, ih, oexit
+ih:
+  %j = phi i64 [oh: 0, jbody: %j2]
+  %jc = cmp lt %j, %cols
+  cbr %jc, jbody, olatch
+jbody:
+  %t1 = gep %a, %j, 4
+  %t2 = load i32, %t1
+  %t3 = add %t2, %i
+  %t4 = gep %b, %t3, 4
+  %t5 = load i32, %t4
+  %j2 = add %j, 1
+  br ih
+olatch:
+  %i2 = add %i, 1
+  br oh
+oexit:
+  ret
+}
+`
+	m, res := runOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d, want 2:\n%s", len(res.Emitted), m.String())
+	}
+	// Verify the look-ahead advances j, not i: the clamp chain must
+	// reference the j phi.
+	f := m.Func("f")
+	j := f.Block("ih").Phis()[0]
+	i := f.Block("oh").Phis()[0]
+	for _, e := range res.Emitted {
+		usesJ, usesI := false, false
+		seen := map[*ir.Instr]bool{}
+		var walk func(v ir.Value)
+		walk = func(v ir.Value) {
+			in, ok := v.(*ir.Instr)
+			if !ok || seen[in] {
+				return
+			}
+			seen[in] = true
+			if in == j {
+				usesJ = true
+			}
+			if in == i {
+				usesI = true
+			}
+			if in.Op == ir.OpPhi {
+				return
+			}
+			for _, a := range in.Args {
+				walk(a)
+			}
+		}
+		walk(e.Prefetch.Args[0])
+		if !usesJ {
+			t.Errorf("prefetch at position %d does not advance the inner IV", e.Position)
+		}
+		_ = usesI // i may legitimately appear as a loop-invariant addend
+	}
+}
+
+func TestStaggerDepthLimit(t *testing.T) {
+	// A three-deep chain c[b[a[i]]]: depth limit 1 must prefetch only
+	// the stride companion and the first indirect level.
+	src := `module m
+func f(%n: i64) -> void {
+entry:
+  %a = alloc %n, 8
+  %b = alloc 4096, 8
+  %c = alloc 4096, 8
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %cc = cmp lt %i, %n
+  cbr %cc, body, exit
+body:
+  %t1 = gep %a, %i, 8
+  %t2 = load i64, %t1
+  %t3 = gep %b, %t2, 8
+  %t4 = load i64, %t3
+  %t5 = gep %c, %t4, 8
+  %t6 = load i64, %t5
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	m, res := runOn(t, src, Options{C: 64})
+	// Full: the deepest chain has t=3; its positions 0,1,2 are emitted.
+	// The middle load's own chain (t=2) would re-emit positions with
+	// different offsets: dedup by (load, offset) may allow extras, but
+	// position-2 prefetch must exist exactly once.
+	pos2 := 0
+	for _, e := range res.Emitted {
+		if e.Position == 2 {
+			pos2++
+		}
+	}
+	if pos2 != 1 {
+		t.Errorf("deepest prefetch count = %d, want 1:\n%s", pos2, m.String())
+	}
+
+	_, res2 := runOn(t, src, Options{C: 64, MaxStaggerDepth: 1})
+	for _, e := range res2.Emitted {
+		if e.ChainLen == 3 && e.Position > 1 {
+			t.Errorf("stagger depth 1 emitted position %d", e.Position)
+		}
+	}
+}
+
+func TestDownwardLoop(t *testing.T) {
+	src := `module m
+func f(%n: i64) -> void {
+entry:
+  %a = alloc %n, 8
+  %b = alloc 4096, 8
+  %start = sub %n, 1
+  br header
+header:
+  %i = phi i64 [entry: %start, body: %i2]
+  %c = cmp ge %i, 0
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 8
+  %t2 = load i64, %t1
+  %t3 = gep %b, %t2, 8
+  %t4 = load i64, %t3
+  %i2 = sub %i, 1
+  br header
+exit:
+  ret
+}
+`
+	m, res := runOn(t, src, Options{C: 64})
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d for downward loop, want 2:\n%s", len(res.Emitted), m.String())
+	}
+	// Downward loops clamp with max against 0.
+	sawMax := false
+	m.Func("f").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMax {
+			sawMax = true
+		}
+	})
+	if !sawMax {
+		t.Error("downward loop must clamp with max")
+	}
+}
+
+func TestInstructionOverheadCounted(t *testing.T) {
+	m := ir.MustParse(isSrc)
+	before := m.Func("is").NumInstrs()
+	res := Run(m, Options{C: 64})["is"]
+	after := m.Func("is").NumInstrs()
+	if res.NewInstrs != after-before {
+		t.Errorf("NewInstrs = %d, want %d", res.NewInstrs, after-before)
+	}
+	if res.NewInstrs <= 0 {
+		t.Error("pass added no instructions")
+	}
+}
+
+func TestIdempotentOnSecondRun(t *testing.T) {
+	// Running the pass twice must not stack prefetches for the same
+	// loads at the same offsets (dedup is per-run; the second run sees
+	// copies of intermediate loads as new candidates, but their chains
+	// collapse to already-prefetched patterns). We only require output
+	// validity and bounded growth here.
+	m := ir.MustParse(isSrc)
+	Run(m, Options{C: 64})
+	n1 := m.Func("is").NumInstrs()
+	Run(m, Options{C: 64})
+	if err := m.Verify(); err != nil {
+		t.Fatalf("second run broke the IR: %v", err)
+	}
+	n2 := m.Func("is").NumInstrs()
+	if n2 > n1*3 {
+		t.Errorf("second run tripled code size: %d -> %d", n1, n2)
+	}
+}
+
+func TestRejectionStrings(t *testing.T) {
+	for r := RejectCall; r <= RejectModeRestricted; r++ {
+		if strings.HasPrefix(r.String(), "reject(") {
+			t.Errorf("reason %d lacks a name", int(r))
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package prefetch
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Loop splitting (the extension §6.1 credits for the Intel compiler
+// beating the prototype on IS: "reducing overhead by moving the checks
+// on the prefetch to outer loops"; Mowry's dissertation develops the
+// same idea). Instead of clamping every look-ahead index with a min,
+// the loop is split at limit-maxOffset:
+//
+//	for (i = 0; i < n; i++)            for (i = 0; i < n-MAX; i++)
+//	  SWPF(a[min(i+off, n-1)]);          SWPF(a[i+off]);   // no clamp
+//	  body(i);                   ==>     body(i);
+//	                                   for (; i < n; i++)
+//	                                     body(i);          // no prefetch
+//
+// Enabled by Options.SplitLoops. The transformation applies to the
+// common kernel shape — a two-block loop (header with the bound check,
+// one body block that is also the latch), canonical unit-step induction
+// variable, single exit, loop-invariant limit compared with PredLT —
+// and silently leaves other loops clamped.
+
+// splitInfo accumulates what emission did to one loop, so the split
+// can run after all chains are emitted.
+type splitInfo struct {
+	maxOff int64       // largest look-ahead advance applied (iterations)
+	clamps []*ir.Instr // min/max clamp instructions emitted
+	added  []*ir.Instr // every instruction the pass added to this loop
+}
+
+// noteEmission records emitted code for a loop (called by emitChain).
+func (st *passState) noteEmission(l *analysis.Loop, off int64, code []*ir.Instr) {
+	if st.split == nil {
+		st.split = map[*analysis.Loop]*splitInfo{}
+	}
+	si := st.split[l]
+	if si == nil {
+		si = &splitInfo{}
+		st.split[l] = si
+	}
+	if off > si.maxOff {
+		si.maxOff = off
+	}
+	for _, in := range code {
+		if in.Op == ir.OpMin || in.Op == ir.OpMax {
+			si.clamps = append(si.clamps, in)
+		}
+		si.added = append(si.added, in)
+	}
+}
+
+// applySplits runs after all emission; it transforms every splittable
+// loop that received prefetches.
+func (st *passState) applySplits() {
+	for l, si := range st.split {
+		st.splitLoop(l, si)
+	}
+	st.f.Renumber()
+}
+
+// splitLoop performs the transformation on one loop if its shape
+// qualifies; otherwise the clamped form is left untouched.
+func (st *passState) splitLoop(l *analysis.Loop, si *splitInfo) {
+	f := st.f
+
+	// Shape checks: a canonical unit-step loop whose body is a linear
+	// chain of blocks (header -cbr-> b1 -br-> b2 ... -br-> header).
+	if l.IndVar == nil || l.Step != 1 || l.Limit == nil ||
+		l.LimitPred != ir.PredLT || !l.SingleExit() || len(l.Latches) != 1 {
+		return
+	}
+	header := l.Header
+	hterm := header.Term()
+	if hterm == nil || hterm.Op != ir.OpCBr {
+		return
+	}
+	var chainBlocks []*ir.Block
+	for blk := hterm.Targets[0]; blk != header; {
+		if !l.Blocks[blk] || len(chainBlocks) > len(l.Blocks) {
+			return
+		}
+		chainBlocks = append(chainBlocks, blk)
+		t := blk.Term()
+		if t == nil || t.Op != ir.OpBr {
+			return // internal control flow: leave the loop clamped
+		}
+		blk = t.Targets[0]
+	}
+	if len(chainBlocks) == 0 || len(chainBlocks) != len(l.Blocks)-1 {
+		return
+	}
+	body := chainBlocks[len(chainBlocks)-1] // the latch
+	exit := hterm.Targets[1]
+	cmp, ok := hterm.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpCmp || cmp.Args[0] != ir.Value(l.IndVar) || cmp.Args[1] != l.Limit {
+		return
+	}
+	pre := preheader(l)
+	if pre == nil {
+		return
+	}
+	if !st.valueAvailable(l.Limit, pre.Term()) {
+		return
+	}
+	// The exit block must not contain phis (its only predecessor is the
+	// header before the split and the tail header after it, so plain
+	// uses rewrite cleanly but phi edges would need remapping).
+	if len(exit.Phis()) != 0 {
+		return
+	}
+
+	added := map[*ir.Instr]bool{}
+	for _, in := range si.added {
+		added[in] = true
+	}
+
+	// 1. Main-loop bound: limit - maxOff, computed in the preheader.
+	var mainBound ir.Value
+	if c, isConst := l.Limit.(*ir.Const); isConst {
+		mainBound = ir.ConstInt(c.Val - si.maxOff)
+	} else {
+		b := &ir.Instr{Op: ir.OpAdd, Typ: ir.I64, Name: f.FreshName("split"),
+			Args: []ir.Value{l.Limit, ir.ConstInt(-si.maxOff)}}
+		b.Hint = "loop-split bound"
+		pre.InsertBefore(pre.Term(), b)
+		mainBound = b
+	}
+	cmp.ReplaceArg(l.Limit, mainBound)
+
+	// 2. Build the tail loop: clones of the header and the body chain,
+	// without the pass-added instructions.
+	theader := f.NewBlock(header.Name + ".tail")
+	tchain := make([]*ir.Block, len(chainBlocks))
+	for i, cb := range chainBlocks {
+		tchain[i] = f.NewBlock(cb.Name + ".tail")
+	}
+	tbody := tchain[len(tchain)-1]
+
+	vmap := map[ir.Value]ir.Value{}
+	clone := func(in *ir.Instr) *ir.Instr {
+		cp := &ir.Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, Callee: in.Callee}
+		if in.Op.HasResult() && in.Typ != ir.Void {
+			cp.Name = f.FreshName("t")
+		}
+		cp.Args = make([]ir.Value, len(in.Args))
+		for i, a := range in.Args {
+			if m, okm := vmap[a]; okm {
+				cp.Args[i] = m
+			} else {
+				cp.Args[i] = a
+			}
+		}
+		vmap[ir.Value(in)] = cp
+		return cp
+	}
+
+	// Tail header phis: value enters from the main header (the main
+	// loop's exit state) and circulates via the tail body.
+	phis := header.Phis()
+	tphis := make([]*ir.Instr, len(phis))
+	for i, p := range phis {
+		tp := &ir.Instr{Op: ir.OpPhi, Typ: p.Typ, Name: f.FreshName(p.Name + ".t")}
+		theader.Append(tp)
+		vmap[ir.Value(p)] = tp
+		tphis[i] = tp
+	}
+	// Tail condition: iv' < limit (the original bound).
+	tcmp := clone(cmp)
+	tcmp.Args[1] = l.Limit
+	theader.Append(tcmp)
+	tcbr := &ir.Instr{Op: ir.OpCBr, Typ: ir.Void, Args: []ir.Value{tcmp}, Targets: []*ir.Block{tchain[0], exit}}
+	theader.Append(tcbr)
+
+	// Tail chain: original instructions only (no prefetch code), each
+	// block branching to the next clone, the last back to the tail
+	// header.
+	for i, cb := range chainBlocks {
+		for _, in := range cb.Instrs {
+			if added[in] || in.IsTerminator() {
+				continue
+			}
+			tchain[i].Append(clone(in))
+		}
+		next := theader
+		if i+1 < len(tchain) {
+			next = tchain[i+1]
+		}
+		tchain[i].Append(&ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{next}})
+	}
+
+	// Wire tail phi edges: [header: mainPhi, tbody: clone of backedge].
+	for i, p := range phis {
+		back := p.PhiIncoming(body)
+		if back == nil {
+			return // shouldn't happen; bail before mutating edges
+		}
+		tback := back
+		if m, okm := vmap[back]; okm {
+			tback = m
+		}
+		ir.AddIncoming(tphis[i], header, p)
+		ir.AddIncoming(tphis[i], tbody, tback)
+	}
+
+	// 3. The main loop now exits into the tail loop.
+	hterm.Targets[1] = theader
+
+	// 4. Uses of the main phis outside the loop now see the tail phis.
+	inNew := map[*ir.Block]bool{header: true, theader: true}
+	for _, cb := range chainBlocks {
+		inNew[cb] = true
+	}
+	for _, tb := range tchain {
+		inNew[tb] = true
+	}
+	f.Instrs(func(in *ir.Instr) {
+		if inNew[in.Block()] {
+			return
+		}
+		for i, p := range phis {
+			in.ReplaceArg(p, tphis[i])
+		}
+	})
+
+	// 5. Remove the clamps in the main loop: within it, iv+off < limit
+	// by construction. Each min/max collapses to its advanced operand.
+	for _, cl := range si.clamps {
+		if cl.Block() == nil || !l.Blocks[cl.Block()] {
+			continue
+		}
+		adv := cl.Args[0]
+		f.Instrs(func(in *ir.Instr) { in.ReplaceArg(cl, adv) })
+		cl.Block().Remove(cl)
+	}
+}

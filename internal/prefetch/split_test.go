@@ -1,0 +1,224 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+const splitKernel = `module m
+
+func f(%a: ptr, %b: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, body: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %t5 = add %t4, 1
+  store i32, %t3, %t5
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+
+func TestSplitLoopStructure(t *testing.T) {
+	m := ir.MustParse(splitKernel)
+	res := Run(m, Options{C: 64, SplitLoops: true})["f"]
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d", len(res.Emitted))
+	}
+	f := m.Func("f")
+	tail := f.Block("header.tail")
+	if tail == nil {
+		t.Fatalf("no tail loop:\n%s", m.String())
+	}
+	// The main loop must contain no min clamps any more.
+	mainBody := f.Block("body")
+	for _, in := range mainBody.Instrs {
+		if in.Op == ir.OpMin || in.Op == ir.OpMax {
+			t.Errorf("clamp survived in the split main loop: %s", in.Format())
+		}
+	}
+	// The tail must contain the original work but no prefetches.
+	tailBody := f.Block("body.tail")
+	if tailBody == nil {
+		t.Fatal("no tail body")
+	}
+	for _, in := range tailBody.Instrs {
+		if in.Op == ir.OpPrefetch {
+			t.Error("prefetch leaked into the epilogue")
+		}
+	}
+	sawStore := false
+	for _, in := range tailBody.Instrs {
+		if in.Op == ir.OpStore {
+			sawStore = true
+		}
+	}
+	if !sawStore {
+		t.Errorf("epilogue lost the loop body:\n%s", m.String())
+	}
+	// The split bound (n - maxOffset) must exist.
+	if !strings.Contains(m.String(), "loop-split bound") {
+		t.Errorf("split bound missing:\n%s", m.String())
+	}
+}
+
+// TestSplitSemantics runs the split kernel against the unsplit one over
+// boundary-heavy sizes (n smaller, equal and larger than the split
+// point) and compares memory effects via the interpreter.
+func TestSplitSemantics(t *testing.T) {
+	for _, n := range []int64{0, 1, 5, 63, 64, 65, 100, 1000} {
+		run := func(opts Options) []int64 {
+			m := ir.MustParse(splitKernel)
+			Run(m, opts)
+			if err := m.Verify(); err != nil {
+				t.Fatalf("n=%d: verify: %v", n, err)
+			}
+			mach := interp.New(m, sim.DefaultConfig())
+			aBase, _ := mach.Mem.Alloc(maxi(n, 1) * 4)
+			bBase, _ := mach.Mem.Alloc(256 * 4)
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64((i * 7) % 256)
+			}
+			if err := mach.Mem.WriteSlice(aBase, ir.I32, vals); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mach.Run("f", aBase, bBase, n); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			out, err := mach.Mem.ReadSlice(bBase, ir.I32, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		plain := run(Options{C: 64})
+		split := run(Options{C: 64, SplitLoops: true})
+		for i := range plain {
+			if plain[i] != split[i] {
+				t.Fatalf("n=%d: bucket %d differs: %d vs %d", n, i, plain[i], split[i])
+			}
+		}
+	}
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestSplitReducesInstructions: on a memory-bound in-order run the
+// split variant must execute fewer instructions than the clamped one
+// and be at least as fast.
+func TestSplitReducesInstructions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-bound size")
+	}
+	w := workloads.IS(1<<14, 1<<17)
+	cfg := uarch.A53()
+	measure := func(opts Options) (float64, uint64) {
+		inst := w.Plain()
+		Run(inst.Mod, opts)
+		mach := interp.New(inst.Mod, cfg)
+		if err := inst.Run(mach); err != nil {
+			t.Fatal(err)
+		}
+		st := mach.Stats()
+		return st.Cycles, st.Instructions
+	}
+	clampedCyc, clampedInstr := measure(Options{C: 64})
+	splitCyc, splitInstr := measure(Options{C: 64, SplitLoops: true})
+	if splitInstr >= clampedInstr {
+		t.Errorf("split did not reduce instructions: %d vs %d", splitInstr, clampedInstr)
+	}
+	if splitCyc > clampedCyc*1.02 {
+		t.Errorf("split slowed the kernel: %.0f vs %.0f cycles", splitCyc, clampedCyc)
+	}
+	t.Logf("clamped: %.0f cyc / %d instr; split: %.0f cyc / %d instr",
+		clampedCyc, clampedInstr, splitCyc, splitInstr)
+}
+
+// TestSplitSkipsComplexLoops: loops outside the supported shape (extra
+// blocks, non-LT bounds) are left clamped and still correct.
+func TestSplitSkipsComplexLoops(t *testing.T) {
+	src := `module m
+func f(%a: ptr, %b: ptr, %n: i64) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: 0, latch: %i2]
+  %c = cmp lt %i, %n
+  cbr %c, body, exit
+body:
+  %t1 = gep %a, %i, 4
+  %t2 = load i32, %t1
+  %t3 = gep %b, %t2, 4
+  %t4 = load i32, %t3
+  %p = rem %t4, 2
+  %pc = cmp eq %p, 0
+  cbr %pc, even, latch
+even:
+  br latch
+latch:
+  %i2 = add %i, 1
+  br header
+exit:
+  ret
+}
+`
+	m := ir.MustParse(src)
+	Run(m, Options{C: 64, SplitLoops: true})
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	if m.Func("f").Block("header.tail") != nil {
+		t.Error("complex loop was split")
+	}
+	// Clamps must remain.
+	found := false
+	m.Func("f").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMin {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("clamps removed without a split")
+	}
+}
+
+// TestSplitAllWorkloadsStayCorrect: the full suite with splitting on.
+func TestSplitAllWorkloadsStayCorrect(t *testing.T) {
+	for _, w := range workloads.Tiny() {
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Plain()
+			Run(inst.Mod, Options{C: 64, SplitLoops: true})
+			if err := inst.Mod.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			mach := interp.New(inst.Mod, sim.DefaultConfig())
+			if err := inst.Run(mach); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

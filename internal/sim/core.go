@@ -1,0 +1,183 @@
+package sim
+
+// Core is the timing model of one CPU core. It consumes a dynamic
+// instruction stream (driven by the interpreter) and advances a cycle
+// clock.
+//
+// The model issues instructions in order at IssueWidth per cycle.
+// Completion is tracked per instruction:
+//
+//   - out-of-order cores only stall issue when the reorder buffer is
+//     full (the instruction ROBSize ago has not completed), so
+//     independent cache misses overlap up to the MSHR limit — this is
+//     the memory-level parallelism that makes software prefetching
+//     less profitable on Haswell/A57 than on in-order cores (§6.1);
+//   - in-order cores additionally stall issue until the operands of
+//     the issuing instruction are ready (stall-on-use), so a dependent
+//     use after a missing load serialises the loop — the reason the
+//     A53 and Xeon Phi gain 2-8x from software prefetch.
+//
+// Software prefetches never produce a value, so they never stall the
+// core; they occupy an issue slot and memory-system resources only.
+type Core struct {
+	cfg  *Config
+	hier *Hierarchy
+
+	clock   float64
+	rob     []float64 // completion times of the last ROBSize instructions
+	robPos  int
+	retired uint64
+
+	// Branch predictor state: simple deterministic "mispredict every
+	// 1/rate branches" counter, keeping runs reproducible.
+	branchCount uint64
+
+	// Stats.
+	Instructions uint64
+	Prefetches   uint64
+	Branches     uint64
+	Mispredicts  uint64
+}
+
+// NewCore builds a core over a fresh memory hierarchy.
+func NewCore(cfg *Config) *Core {
+	return &Core{
+		cfg:  cfg,
+		hier: NewHierarchy(cfg),
+		rob:  make([]float64, cfg.ROBSize),
+	}
+}
+
+// Hierarchy returns the core's memory system.
+func (c *Core) Hierarchy() *Hierarchy { return c.hier }
+
+// Config returns the machine configuration.
+func (c *Core) Config() *Config { return c.cfg }
+
+// Cycles returns the current clock value.
+func (c *Core) Cycles() float64 { return c.clock }
+
+// issueAt reserves an issue slot: the clock advances by the issue
+// interval, waiting first for a free ROB entry and (on in-order cores)
+// for the operands.
+func (c *Core) issueAt(opsReady float64) float64 {
+	if oldest := c.rob[c.robPos]; oldest > c.clock {
+		c.clock = oldest // ROB full: wait for the oldest to complete
+	}
+	if !c.cfg.OutOfOrder && opsReady > c.clock {
+		c.clock = opsReady // stall-on-use
+	}
+	c.clock += 1 / float64(c.cfg.IssueWidth)
+	c.Instructions++
+	return c.clock
+}
+
+func (c *Core) retire(complete float64) {
+	c.rob[c.robPos] = complete
+	c.robPos++
+	if c.robPos == len(c.rob) {
+		c.robPos = 0
+	}
+	c.retired++
+}
+
+// Op executes a simple ALU instruction with the given latency and
+// returns the time its result is ready.
+func (c *Core) Op(opsReady float64, latency int64) float64 {
+	issue := c.issueAt(opsReady)
+	start := issue
+	if opsReady > start {
+		start = opsReady
+	}
+	complete := start + float64(latency)
+	c.retire(complete)
+	return complete
+}
+
+// Load issues a demand load of addr; the address operands become ready
+// at opsReady. Returns the time the loaded value is available.
+func (c *Core) Load(pc int, addr int64, opsReady float64) float64 {
+	issue := c.issueAt(opsReady)
+	start := issue
+	if opsReady > start {
+		start = opsReady
+	}
+	complete := c.hier.Access(AccessLoad, pc, addr, start)
+	c.retire(complete)
+	return complete
+}
+
+// Store issues a store; the core does not stall on its completion
+// (store buffer), but the access consumes memory-system resources.
+func (c *Core) Store(pc int, addr int64, opsReady float64) float64 {
+	issue := c.issueAt(opsReady)
+	start := issue
+	if opsReady > start {
+		start = opsReady
+	}
+	c.hier.Access(AccessStore, pc, addr, start)
+	c.retire(issue)
+	return issue
+}
+
+// Prefetch issues a software prefetch: one issue slot, a memory access,
+// no stall. valid=false models a prefetch whose address fell outside
+// any mapping — it is dropped (prefetches never fault).
+func (c *Core) Prefetch(pc int, addr int64, opsReady float64, valid bool) float64 {
+	issue := c.issueAt(opsReady)
+	c.Prefetches++
+	if valid {
+		start := issue
+		if opsReady > start {
+			start = opsReady
+		}
+		c.hier.Access(AccessPrefetch, pc, addr, start)
+	}
+	c.retire(issue)
+	return issue
+}
+
+// Branch issues a (conditional) branch, charging the mispredict penalty
+// at the configured rate.
+func (c *Core) Branch(opsReady float64, conditional bool) float64 {
+	issue := c.issueAt(opsReady)
+	if conditional {
+		c.Branches++
+		if c.cfg.MispredictRate > 0 {
+			c.branchCount++
+			interval := uint64(1 / c.cfg.MispredictRate)
+			if interval > 0 && c.branchCount%interval == 0 {
+				c.Mispredicts++
+				// The pipeline restarts after the branch resolves.
+				resolve := issue
+				if opsReady > resolve {
+					resolve = opsReady
+				}
+				c.clock = resolve + float64(c.cfg.MispredictPenalty)
+			}
+		}
+	}
+	c.retire(issue)
+	return issue
+}
+
+// Finish waits for outstanding work and returns the final cycle count.
+func (c *Core) Finish() float64 {
+	if d := c.hier.Drain(); d > c.clock {
+		c.clock = d
+	}
+	return c.clock
+}
+
+// Reset returns the core and hierarchy to a cold state.
+func (c *Core) Reset() {
+	c.clock = 0
+	for i := range c.rob {
+		c.rob[i] = 0
+	}
+	c.robPos = 0
+	c.retired = 0
+	c.branchCount = 0
+	c.Instructions, c.Prefetches, c.Branches, c.Mispredicts = 0, 0, 0, 0
+	c.hier.Reset()
+}

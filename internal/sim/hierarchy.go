@@ -1,0 +1,319 @@
+package sim
+
+// AccessKind distinguishes the flavours of memory access presented to
+// the hierarchy.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessLoad AccessKind = iota
+	AccessStore
+	AccessPrefetch // software prefetch: fills caches, never stalls
+	AccessHW       // hardware-prefetcher fill
+)
+
+// Hierarchy ties together the caches, TLB, DRAM bus, MSHRs and the
+// hardware stride prefetcher of one machine.
+type Hierarchy struct {
+	cfg    *Config
+	caches []*Cache
+	tlb    *TLB
+
+	lineShift uint
+	lineSize  int64
+
+	// DRAM bus: busFree is when the bus next becomes idle. Contention
+	// from other cores (fig. 9) inflates each access's occupancy.
+	busFree   float64
+	occupancy float64 // cycles of bus occupancy per line transfer
+
+	// MSHRs: completion times of outstanding misses.
+	mshr []float64
+
+	// Miss status: in-flight line fills, so that accesses to a line
+	// already being fetched merge instead of issuing twice.
+	inflight map[int64]float64
+
+	// Stride prefetcher state: a limited set of per-4KiB-region stream
+	// trackers, LRU-replaced. Random access patterns allocate and evict
+	// trackers constantly, starving concurrent sequential streams of
+	// coverage — the behaviour of real region-based streamers that
+	// makes software stride prefetches profitable next to indirect
+	// accesses (paper §3, figures 2 and 5).
+	stride      map[int64]*strideEntry
+	strideStamp uint64
+
+	// tracer, when non-nil, records every access (see trace.go).
+	tracer *Tracer
+
+	// Stats.
+	Loads, Stores      uint64
+	SWPrefetches       uint64
+	HWPrefetches       uint64
+	DRAMAccesses       uint64
+	DRAMBytes          uint64
+	MSHRStallCycles    float64
+	LoadStallCycles    float64 // demand-load cycles beyond L1 latency
+	PrefetchLateCycles float64 // demand hits that waited on an in-flight prefetch
+}
+
+type strideEntry struct {
+	lastLine int64
+	stride   int64
+	conf     int
+	used     uint64 // LRU stamp
+}
+
+// NewHierarchy builds the memory system for a machine configuration.
+func NewHierarchy(cfg *Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:      cfg,
+		tlb:      NewTLB(cfg),
+		inflight: map[int64]float64{},
+		stride:   map[int64]*strideEntry{},
+		mshr:     make([]float64, cfg.MSHRs),
+	}
+	for _, cc := range cfg.Caches {
+		h.caches = append(h.caches, NewCache(cc))
+	}
+	h.lineSize = cfg.Caches[0].LineSize
+	for 1<<h.lineShift != h.lineSize {
+		h.lineShift++
+	}
+	h.occupancy = float64(h.lineSize) / cfg.BytesPerCycle
+	if cfg.SharedCores > 1 {
+		load := cfg.ContentionLoad
+		if load == 0 {
+			load = 1
+		}
+		// Each contending core injects `load` times this core's traffic;
+		// bus occupancy per transfer grows accordingly.
+		h.occupancy *= 1 + load*float64(cfg.SharedCores-1)
+	}
+	return h
+}
+
+// Caches exposes the cache levels (L1 first) for statistics.
+func (h *Hierarchy) Caches() []*Cache { return h.caches }
+
+// TLB exposes the TLB for statistics.
+func (h *Hierarchy) TLBStats() *TLB { return h.tlb }
+
+// Access presents one memory access to the hierarchy at time `start`
+// and returns the time its data is available. pc identifies the access
+// site for the stride prefetcher. Stores and prefetches return their
+// completion time too, but callers do not stall on them.
+func (h *Hierarchy) Access(kind AccessKind, pc int, addr int64, start float64) float64 {
+	switch kind {
+	case AccessLoad:
+		h.Loads++
+	case AccessStore:
+		h.Stores++
+	case AccessPrefetch:
+		h.SWPrefetches++
+	case AccessHW:
+		h.HWPrefetches++
+	}
+
+	// Address translation. Prefetches translate too — warming the TLB
+	// is part of the benefit the paper measures (§6.2, fig. 10).
+	t := h.tlb.Translate(addr, start)
+
+	demand := kind == AccessLoad
+	// Hardware prefetches skip levels above their fill level.
+	firstLevel := 0
+	if kind == AccessHW {
+		firstLevel = h.cfg.StrideFillLevel
+		if firstLevel >= len(h.caches) {
+			firstLevel = len(h.caches) - 1
+		}
+	}
+	// Probe the hierarchy top-down.
+	for lvl := firstLevel; lvl < len(h.caches); lvl++ {
+		c := h.caches[lvl]
+		ready, ok := c.Lookup(addr, t, demand)
+		if !ok {
+			t += float64(c.cfg.Latency)
+			continue
+		}
+		done := ready
+		if lat := t + float64(c.cfg.Latency); lat > done {
+			done = lat
+		}
+		if demand && done > ready && ready > t {
+			h.PrefetchLateCycles += done - (t + float64(c.cfg.Latency))
+		}
+		// Fill upper levels.
+		for u := firstLevel; u < lvl; u++ {
+			h.caches[u].Fill(addr, done, kind == AccessPrefetch || kind == AccessHW)
+		}
+		if demand {
+			h.LoadStallCycles += done - start - float64(h.caches[0].cfg.Latency)
+			h.trainStride(pc, addr, start)
+		}
+		if h.tracer != nil {
+			h.tracer.record(TraceEvent{Kind: kind, PC: pc, Addr: addr, Start: start, Complete: done, Level: lvl})
+		}
+		return done
+	}
+
+	// Miss in all levels: go to DRAM.
+	done := h.dramFetch(addr, t, kind, firstLevel)
+	if demand {
+		h.LoadStallCycles += done - start - float64(h.caches[0].cfg.Latency)
+		h.trainStride(pc, addr, start)
+	}
+	if h.tracer != nil {
+		h.tracer.record(TraceEvent{Kind: kind, PC: pc, Addr: addr, Start: start, Complete: done, Level: -1})
+	}
+	return done
+}
+
+// dramFetch fetches a line from memory, merging with in-flight fills,
+// acquiring an MSHR, and arbitrating for the bus.
+func (h *Hierarchy) dramFetch(addr int64, t float64, kind AccessKind, firstLevel int) float64 {
+	line := addr >> h.lineShift
+	if done, ok := h.inflight[line]; ok && done > t {
+		return done
+	}
+
+	// Acquire an MSHR: wait for the earliest outstanding miss if full.
+	slot := 0
+	for i := range h.mshr {
+		if h.mshr[i] < h.mshr[slot] {
+			slot = i
+		}
+	}
+	if h.mshr[slot] > t {
+		h.MSHRStallCycles += h.mshr[slot] - t
+		t = h.mshr[slot]
+	}
+
+	// Bus occupancy.
+	busStart := t
+	if h.busFree > busStart {
+		busStart = h.busFree
+	}
+	h.busFree = busStart + h.occupancy
+	done := busStart + float64(h.cfg.DRAMLatency)
+
+	h.mshr[slot] = done
+	h.inflight[line] = done
+	if len(h.inflight) > 4*len(h.mshr) {
+		for l, d := range h.inflight {
+			if d <= t {
+				delete(h.inflight, l)
+			}
+		}
+	}
+	h.DRAMAccesses++
+	h.DRAMBytes += uint64(h.lineSize)
+
+	// Fill all levels from firstLevel down (inclusive hierarchy).
+	isPf := kind == AccessPrefetch || kind == AccessHW
+	for _, c := range h.caches[firstLevel:] {
+		c.Fill(addr, done, isPf)
+	}
+	return done
+}
+
+// trainStride updates the hardware stride prefetcher on a demand access
+// and issues degree fills once the stride is confident. Trackers are
+// allocated per 4KiB region with limited capacity: interleaved random
+// accesses evict stream trackers before they regain confidence.
+func (h *Hierarchy) trainStride(pc int, addr int64, now float64) {
+	if !h.cfg.StridePrefetch {
+		return
+	}
+	_ = pc
+	line := addr >> h.lineShift
+	region := addr >> 12
+	h.strideStamp++
+	e := h.stride[region]
+	if e == nil {
+		streams := h.cfg.StrideStreams
+		if streams <= 0 {
+			streams = 16
+		}
+		if len(h.stride) >= streams {
+			// Evict the LRU tracker.
+			var victim int64
+			oldest := ^uint64(0)
+			for r, t := range h.stride {
+				if t.used < oldest {
+					oldest = t.used
+					victim = r
+				}
+			}
+			delete(h.stride, victim)
+		}
+		h.stride[region] = &strideEntry{lastLine: line, used: h.strideStamp}
+		return
+	}
+	e.used = h.strideStamp
+	d := line - e.lastLine
+	if d == 0 {
+		return // same line; no information
+	}
+	if d == e.stride {
+		if e.conf < 16 {
+			e.conf++
+		}
+	} else {
+		e.stride = d
+		e.conf = 1
+	}
+	e.lastLine = line
+	if e.conf >= h.cfg.StrideConf && e.stride != 0 {
+		fillLvl := h.cfg.StrideFillLevel
+		if fillLvl >= len(h.caches) {
+			fillLvl = len(h.caches) - 1
+		}
+		for k := 1; k <= h.cfg.StrideDegree; k++ {
+			next := (line + int64(k)*e.stride) << h.lineShift
+			if next < 0 {
+				break
+			}
+			// Real stream prefetchers do not cross 4KiB boundaries.
+			if next>>12 != addr>>12 {
+				break
+			}
+			if _, ok := h.caches[fillLvl].Lookup(next, now, false); ok {
+				continue
+			}
+			h.Access(AccessHW, -pc-1, next, now)
+		}
+	}
+}
+
+// Drain returns the time at which all outstanding misses complete.
+func (h *Hierarchy) Drain() float64 {
+	var max float64
+	for _, d := range h.mshr {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Reset restores the hierarchy to a cold state, keeping configuration.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.caches {
+		c.Reset()
+	}
+	h.tlb.Reset()
+	h.busFree = 0
+	for i := range h.mshr {
+		h.mshr[i] = 0
+	}
+	h.inflight = map[int64]float64{}
+	h.stride = map[int64]*strideEntry{}
+	h.strideStamp = 0
+	h.Loads, h.Stores, h.SWPrefetches, h.HWPrefetches = 0, 0, 0, 0
+	h.DRAMAccesses, h.DRAMBytes = 0, 0
+	h.MSHRStallCycles, h.LoadStallCycles, h.PrefetchLateCycles = 0, 0, 0
+}

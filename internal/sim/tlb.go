@@ -1,0 +1,140 @@
+package sim
+
+// TLB models a two-level data TLB backed by a page-table walker with a
+// limited number of concurrent walks. The walker limit matters: §6.1 of
+// the paper attributes the Cortex-A57's limited prefetch gains on IS
+// and HJ-2 to supporting only a single page-table walk at a time.
+type TLB struct {
+	pageShift uint
+	l1        *tlbArray
+	l2        *tlbArray // nil when disabled
+	l2Latency int64
+	walkLat   int64
+	walkers   []float64 // per-walker busy-until time
+
+	// In-flight walks by page, so concurrent accesses to one page share
+	// a single walk.
+	pending map[int64]float64
+
+	// Stats.
+	Hits, L2Hits, Walks uint64
+	WalkStallCycles     float64
+}
+
+type tlbArray struct {
+	entries map[int64]uint64 // page -> LRU stamp
+	cap     int
+	stamp   uint64
+}
+
+func newTLBArray(capacity int) *tlbArray {
+	return &tlbArray{entries: make(map[int64]uint64, capacity), cap: capacity}
+}
+
+func (t *tlbArray) lookup(page int64) bool {
+	if _, ok := t.entries[page]; !ok {
+		return false
+	}
+	t.stamp++
+	t.entries[page] = t.stamp
+	return true
+}
+
+func (t *tlbArray) insert(page int64) {
+	if len(t.entries) >= t.cap {
+		// Evict LRU.
+		var victim int64
+		var oldest uint64 = ^uint64(0)
+		for p, s := range t.entries {
+			if s < oldest {
+				oldest = s
+				victim = p
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.stamp++
+	t.entries[page] = t.stamp
+}
+
+// NewTLB builds the TLB from a machine configuration.
+func NewTLB(cfg *Config) *TLB {
+	shift := uint(0)
+	for 1<<shift != cfg.PageSize {
+		shift++
+	}
+	t := &TLB{
+		pageShift: shift,
+		l1:        newTLBArray(cfg.TLBEntries),
+		l2Latency: cfg.TLB2Latency,
+		walkLat:   cfg.WalkLatency,
+		walkers:   make([]float64, cfg.PageWalkers),
+		pending:   map[int64]float64{},
+	}
+	if cfg.TLB2Entries > 0 {
+		t.l2 = newTLBArray(cfg.TLB2Entries)
+	}
+	return t
+}
+
+// Translate returns the time at which the physical address is known.
+// On an L1 hit this is `now`. A miss takes the L2 latency or a full
+// page-table walk, serialised on walker availability.
+func (t *TLB) Translate(addr int64, now float64) float64 {
+	page := addr >> t.pageShift
+	if t.l1.lookup(page) {
+		t.Hits++
+		return now
+	}
+	if t.l2 != nil && t.l2.lookup(page) {
+		t.L2Hits++
+		t.l1.insert(page)
+		return now + float64(t.l2Latency)
+	}
+	// Join an in-flight walk for the same page if one exists.
+	if done, ok := t.pending[page]; ok && done > now {
+		return done
+	}
+	// Acquire the least-busy walker.
+	t.Walks++
+	best := 0
+	for i := range t.walkers {
+		if t.walkers[i] < t.walkers[best] {
+			best = i
+		}
+	}
+	start := now
+	if t.walkers[best] > start {
+		t.WalkStallCycles += t.walkers[best] - start
+		start = t.walkers[best]
+	}
+	done := start + float64(t.walkLat)
+	t.walkers[best] = done
+	t.pending[page] = done
+	if len(t.pending) > 64 {
+		for p, d := range t.pending {
+			if d <= now {
+				delete(t.pending, p)
+			}
+		}
+	}
+	t.l1.insert(page)
+	if t.l2 != nil {
+		t.l2.insert(page)
+	}
+	return done
+}
+
+// Reset clears all entries and statistics.
+func (t *TLB) Reset() {
+	t.l1 = newTLBArray(t.l1.cap)
+	if t.l2 != nil {
+		t.l2 = newTLBArray(t.l2.cap)
+	}
+	for i := range t.walkers {
+		t.walkers[i] = 0
+	}
+	t.pending = map[int64]float64{}
+	t.Hits, t.L2Hits, t.Walks = 0, 0, 0
+	t.WalkStallCycles = 0
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEvent records one memory access as observed by the hierarchy.
+type TraceEvent struct {
+	Kind     AccessKind
+	PC       int
+	Addr     int64
+	Start    float64
+	Complete float64
+	// Level is the cache level that served the access (0 = L1), or -1
+	// for DRAM.
+	Level int
+}
+
+// Latency returns the access's total latency in cycles.
+func (e TraceEvent) Latency() float64 { return e.Complete - e.Start }
+
+func (e TraceEvent) String() string {
+	kind := [...]string{"load", "store", "swpf", "hwpf"}[e.Kind]
+	lvl := "DRAM"
+	if e.Level >= 0 {
+		lvl = fmt.Sprintf("L%d", e.Level+1)
+	}
+	return fmt.Sprintf("%10.0f %-5s pc=%-5d addr=%#010x %-4s %6.0f cyc",
+		e.Start, kind, e.PC, e.Addr, lvl, e.Latency())
+}
+
+// Tracer collects the most recent memory accesses in a bounded ring.
+// Attach one with Hierarchy.SetTracer; a nil tracer (the default) costs
+// nothing on the access path.
+type Tracer struct {
+	ring  []TraceEvent
+	next  int
+	total uint64
+	// Filter, when non-nil, selects which events are kept.
+	Filter func(TraceEvent) bool
+}
+
+// NewTracer creates a tracer holding the last n events.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Tracer{ring: make([]TraceEvent, 0, n)}
+}
+
+func (t *Tracer) record(e TraceEvent) {
+	if t.Filter != nil && !t.Filter(e) {
+		return
+	}
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Total returns how many events were recorded (including overwritten).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []TraceEvent {
+	if len(t.ring) < cap(t.ring) {
+		out := make([]TraceEvent, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]TraceEvent, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (t *Tracer) Dump() string {
+	var sb strings.Builder
+	for _, e := range t.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SetTracer attaches (or with nil, detaches) a tracer to the hierarchy.
+func (h *Hierarchy) SetTracer(t *Tracer) { h.tracer = t }

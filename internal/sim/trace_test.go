@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsAccesses(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	tr := NewTracer(16)
+	h.SetTracer(tr)
+	h.Access(AccessLoad, 1, 0, 0)
+	h.Access(AccessLoad, 1, 8, 300) // same line: L1 hit
+	h.Access(AccessPrefetch, 2, 1<<20, 300)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].Level != -1 {
+		t.Errorf("cold miss served by level %d, want DRAM", evs[0].Level)
+	}
+	if evs[1].Level != 0 {
+		t.Errorf("hit served by level %d, want L1", evs[1].Level)
+	}
+	if evs[2].Kind != AccessPrefetch {
+		t.Error("prefetch kind lost")
+	}
+	if evs[0].Latency() <= evs[1].Latency() {
+		t.Error("miss should take longer than hit")
+	}
+	dump := tr.Dump()
+	if !strings.Contains(dump, "DRAM") || !strings.Contains(dump, "L1") || !strings.Contains(dump, "swpf") {
+		t.Errorf("dump missing fields:\n%s", dump)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	tr := NewTracer(4)
+	h.SetTracer(tr)
+	for i := int64(0); i < 10; i++ {
+		h.Access(AccessLoad, int(i), i*4096, float64(i))
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Chronological order, most recent 4 (PCs 6..9).
+	for i, e := range evs {
+		if e.PC != 6+i {
+			t.Errorf("event %d has pc %d, want %d", i, e.PC, 6+i)
+		}
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	tr := NewTracer(16)
+	tr.Filter = func(e TraceEvent) bool { return e.Level == -1 } // DRAM only
+	h.SetTracer(tr)
+	h.Access(AccessLoad, 1, 0, 0)
+	h.Access(AccessLoad, 1, 8, 300) // L1 hit: filtered
+	if len(tr.Events()) != 1 {
+		t.Errorf("filter kept %d events, want 1", len(tr.Events()))
+	}
+}
+
+func TestTracerNilByDefault(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	// Must not panic without a tracer.
+	h.Access(AccessLoad, 1, 0, 0)
+	h.Access(AccessStore, 1, 64, 1)
+}

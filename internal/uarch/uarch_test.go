@@ -1,0 +1,126 @@
+package uarch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAllValidate(t *testing.T) {
+	for _, cfg := range All() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+// TestTable1Relations asserts the structural facts of Table 1 that the
+// paper's analysis relies on.
+func TestTable1Relations(t *testing.T) {
+	hw, phi, a57, a53 := Haswell(), XeonPhi(), A57(), A53()
+
+	// Core types (§5.2): Haswell and A57 are out-of-order; A53 and
+	// Xeon Phi are in-order.
+	if !hw.OutOfOrder || !a57.OutOfOrder {
+		t.Error("Haswell and A57 must be out-of-order")
+	}
+	if phi.OutOfOrder || a53.OutOfOrder {
+		t.Error("Xeon Phi and A53 must be in-order")
+	}
+
+	// Cache hierarchy: only Haswell has an L3.
+	if len(hw.Caches) != 3 {
+		t.Error("Haswell must have three cache levels")
+	}
+	for _, c := range []*sim.Config{phi, a57, a53} {
+		if len(c.Caches) != 2 {
+			t.Errorf("%s must have two cache levels", c.Name)
+		}
+	}
+
+	// Capacity order of the last-level caches mirrors Table 1:
+	// Haswell 8M > A57 2M > A53 1M > Phi 512K (scaled equally).
+	llc := func(c *sim.Config) int64 { return c.Caches[len(c.Caches)-1].Size }
+	if !(llc(hw) > llc(a57) && llc(a57) > llc(a53) && llc(a53) > llc(phi)) {
+		t.Errorf("LLC capacity order wrong: hw=%d a57=%d a53=%d phi=%d",
+			llc(hw), llc(a57), llc(a53), llc(phi))
+	}
+
+	// A57's single page-table walk at a time (§6.1).
+	if a57.PageWalkers != 1 {
+		t.Error("A57 must have exactly one page walker")
+	}
+	if hw.PageWalkers < 2 {
+		t.Error("Haswell supports multiple concurrent walks")
+	}
+
+	// The Phi's memory latency (in cycles) is the highest; its GDDR5
+	// bandwidth is the highest too.
+	for _, c := range []*sim.Config{hw, a57, a53} {
+		if phi.DRAMLatency <= c.DRAMLatency {
+			t.Errorf("Phi DRAM latency must exceed %s", c.Name)
+		}
+		if phi.BytesPerCycle < c.BytesPerCycle {
+			t.Errorf("Phi bandwidth must be at least %s's", c.Name)
+		}
+	}
+
+	// Haswell runs with transparent huge pages by default (§6.2).
+	if hw.PageSize != 2<<20 {
+		t.Error("Haswell default page size must be 2MiB")
+	}
+	for _, c := range []*sim.Config{phi, a57, a53} {
+		if c.PageSize != 4<<10 {
+			t.Errorf("%s must default to 4KiB pages", c.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Haswell", "XeonPhi", "A57", "A53"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("M1") != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+func TestPageVariants(t *testing.T) {
+	hw := Haswell()
+	small := SmallPages(hw)
+	if small.PageSize != 4<<10 {
+		t.Error("SmallPages did not set 4KiB")
+	}
+	if hw.PageSize != 2<<20 {
+		t.Error("SmallPages mutated the original")
+	}
+	huge := HugePages(small)
+	if huge.PageSize != 2<<20 {
+		t.Error("HugePages did not set 2MiB")
+	}
+	if err := small.Validate(); err != nil {
+		t.Errorf("small-page variant invalid: %v", err)
+	}
+}
+
+func TestWithCores(t *testing.T) {
+	hw := Haswell()
+	quad := WithCores(hw, 4)
+	if quad.SharedCores != 4 {
+		t.Error("WithCores did not set SharedCores")
+	}
+	if hw.SharedCores != 0 {
+		t.Error("WithCores mutated the original")
+	}
+}
+
+func TestPresetsAreFresh(t *testing.T) {
+	a := Haswell()
+	a.MSHRs = 1
+	b := Haswell()
+	if b.MSHRs == 1 {
+		t.Error("presets share state")
+	}
+}

@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// CG default geometry: scaled from NAS size B (75k rows, ~13M
+// non-zeros). The dense vector x is deliberately small relative to the
+// other irregular footprints — §5.1 notes CG's irregular dataset is
+// more likely to fit in the L2 cache and stress the TLB less.
+const (
+	// 16384 rows put the dense vector x at 128KiB — above the scaled
+	// Haswell/Phi L2s and at the scaled ARM L2 capacities, matching the
+	// paper's 600KB-vs-256KiB..1MiB relation ("more likely to fit in
+	// the L2 cache" than the other irregular footprints, §5.1). Rows
+	// average ~192 non-zeros like NAS size B's ~180, so the c=64
+	// look-ahead fits within a row and the automatic pass's row-end
+	// clamp costs little.
+	CGDefaultRows      = 16384
+	CGDefaultNNZPerRow = 192
+)
+
+// CG builds the sparse matrix-vector product at the heart of NAS
+// Conjugate Gradient (§5.1):
+//
+//	for (r = 0; r < rows; r++)
+//	  for (j = rowstart[r]; j < rowstart[r+1]; j++)
+//	    y[r] += vals[j] * x[colidx[j]]
+//
+// The indirect access is x[colidx[j]]. The manual variant prefetches
+// colidx[j+c] and x[colidx[j+c/2]], clamping against the global
+// non-zero count so prefetches stream across row boundaries (the
+// automatic pass must clamp at the row end).
+func CG(rows, nnzPerRow int64) *Workload {
+	r := newRNG(0xC6)
+	nnz := rows * nnzPerRow
+	rowstart := make([]int64, rows+1)
+	colidx := make([]int64, 0, nnz)
+	vals := make([]int64, 0, nnz)
+	x := make([]int64, rows)
+	for i := range x {
+		x[i] = r.intn(1 << 20)
+	}
+	for row := int64(0); row < rows; row++ {
+		rowstart[row] = int64(len(colidx))
+		// Row lengths vary a little around the mean, like a real
+		// unstructured matrix.
+		rowLen := nnzPerRow/2 + r.intn(nnzPerRow)
+		for k := int64(0); k < rowLen; k++ {
+			colidx = append(colidx, r.intn(rows))
+			vals = append(vals, r.intn(256))
+		}
+	}
+	rowstart[rows] = int64(len(colidx))
+	total := int64(len(colidx))
+
+	// Reference.
+	want := int64(0)
+	for row := int64(0); row < rows; row++ {
+		sum := int64(0)
+		for j := rowstart[row]; j < rowstart[row+1]; j++ {
+			sum += vals[j] * x[colidx[j]]
+		}
+		want = Checksum(want, sum)
+	}
+
+	w := &Workload{Name: "CG", want: want}
+	w.build = func(v Variant, c int64, _ int) *ir.Module {
+		return buildCG(v, c)
+	}
+	w.exec = func(m *interp.Machine) (int64, error) {
+		alloc := func(vals []int64, t ir.Type) (int64, error) {
+			base, err := m.Mem.Alloc(int64(len(vals)) * t.Size())
+			if err != nil {
+				return 0, err
+			}
+			return base, m.Mem.WriteSlice(base, t, vals)
+		}
+		rsBase, err := alloc(rowstart, ir.I64)
+		if err != nil {
+			return 0, err
+		}
+		ciBase, err := alloc(colidx, ir.I32)
+		if err != nil {
+			return 0, err
+		}
+		vBase, err := alloc(vals, ir.I64)
+		if err != nil {
+			return 0, err
+		}
+		xBase, err := alloc(x, ir.I64)
+		if err != nil {
+			return 0, err
+		}
+		yBase, err := m.Mem.Alloc(rows * 8)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := m.Run("cg", rsBase, ciBase, vBase, xBase, yBase, rows, total); err != nil {
+			return 0, err
+		}
+		y, err := m.Mem.ReadSlice(yBase, ir.I64, rows)
+		if err != nil {
+			return 0, err
+		}
+		sum := int64(0)
+		for _, v := range y {
+			sum = Checksum(sum, v)
+		}
+		return sum, nil
+	}
+	return w
+}
+
+// CGDefault returns CG at the scaled NAS size B.
+func CGDefault() *Workload { return CG(CGDefaultRows, CGDefaultNNZPerRow) }
+
+func buildCG(v Variant, c int64) *ir.Module {
+	m := ir.NewModule("cg")
+	f := m.NewFunc("cg", ir.Void,
+		&ir.Param{Name: "rowstart", Typ: ir.Ptr},
+		&ir.Param{Name: "colidx", Typ: ir.Ptr},
+		&ir.Param{Name: "vals", Typ: ir.Ptr},
+		&ir.Param{Name: "x", Typ: ir.Ptr},
+		&ir.Param{Name: "y", Typ: ir.Ptr},
+		&ir.Param{Name: "rows", Typ: ir.I64},
+		&ir.Param{Name: "nnz", Typ: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	rowstart, colidx, vals := f.Param("rowstart"), f.Param("colidx"), f.Param("vals")
+	x, y, rows, nnz := f.Param("x"), f.Param("y"), f.Param("rows"), f.Param("nnz")
+
+	var nnzm1 *ir.Instr
+	if v == Manual {
+		nnzm1 = b.Sub(nnz, ir.ConstInt(1))
+	}
+
+	entry := b.Block()
+	oh := b.NewBlock("oh")
+	obody := b.NewBlock("obody")
+	ih := b.NewBlock("ih")
+	ibody := b.NewBlock("ibody")
+	iexit := b.NewBlock("iexit")
+	oexit := b.NewBlock("oexit")
+
+	b.Br(oh)
+
+	b.SetBlock(oh)
+	rIdx := b.Named("r").Phi(ir.I64)
+	oc := b.Cmp(ir.PredLT, rIdx, rows)
+	b.CBr(oc, obody, oexit)
+
+	b.SetBlock(obody)
+	jstart := b.Load(ir.I64, b.GEP(rowstart, rIdx, 8))
+	r1 := b.Add(rIdx, ir.ConstInt(1))
+	jend := b.Load(ir.I64, b.GEP(rowstart, r1, 8))
+	b.Br(ih)
+
+	b.SetBlock(ih)
+	j := b.Named("j").Phi(ir.I64)
+	sum := b.Named("sum").Phi(ir.I64)
+	ic := b.Cmp(ir.PredLT, j, jend)
+	b.CBr(ic, ibody, iexit)
+
+	b.SetBlock(ibody)
+	if v == Manual {
+		// Prefetch across row boundaries: clamp against the whole
+		// non-zero range, which the compiler pass cannot prove safe.
+		pj := emitClampedIndex(b, j, c, nnzm1)
+		b.Prefetch(b.GEP(colidx, pj, 4))
+		qj := emitClampedIndex(b, j, c/2, nnzm1)
+		qcol := b.Load(ir.I32, b.GEP(colidx, qj, 4))
+		b.Prefetch(b.GEP(x, qcol, 8))
+		// The vals stream is a plain stride; hardware covers it, as the
+		// paper leaves pure strides to the hardware prefetcher (§4.3).
+	}
+	col := b.Load(ir.I32, b.GEP(colidx, j, 4))
+	xv := b.Load(ir.I64, b.GEP(x, col, 8))
+	vv := b.Load(ir.I64, b.GEP(vals, j, 8))
+	prod := b.Mul(vv, xv)
+	sum2 := b.Add(sum, prod)
+	j2 := b.Add(j, ir.ConstInt(1))
+	b.Br(ih)
+
+	b.SetBlock(iexit)
+	b.Store(ir.I64, b.GEP(y, rIdx, 8), sum)
+	r2 := b.Add(rIdx, ir.ConstInt(1))
+	b.Br(oh)
+
+	ir.AddIncoming(rIdx, entry, ir.ConstInt(0))
+	ir.AddIncoming(rIdx, iexit, r2)
+	ir.AddIncoming(j, obody, jstart)
+	ir.AddIncoming(j, ibody, j2)
+	ir.AddIncoming(sum, obody, ir.ConstInt(0))
+	ir.AddIncoming(sum, ibody, sum2)
+
+	b.SetBlock(oexit)
+	b.Ret(nil)
+	f.Renumber()
+	return m
+}

@@ -1,0 +1,327 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Graph500 default scales: the paper runs -s 16 -e 10 (10MiB) and
+// -s 21 -e 10 (700MiB); scaled to the simulator we shrink each by the
+// workload scale factor while keeping the small/large contrast that
+// figure 4 exploits (different probabilities of data being cached).
+const (
+	G500SmallScale = 14
+	G500LargeScale = 17
+	G500EdgeFactor = 10
+)
+
+// G500 builds the Graph500 seq-csr breadth-first search (§5.1): a
+// Kronecker (R-MAT) graph of 2^scale vertices with edgeFactor edges
+// per vertex is laid out in compressed sparse row format, and the
+// kernel expands one BFS frontier per invocation:
+//
+//	for (idx = 0; idx < wlcnt; idx++) {
+//	  v = wl[idx];
+//	  for (e = xoff[v]; e < xoff[v+1]; e++) {
+//	    u = xadj[e];
+//	    if (parent[u] == -1) { parent[u] = v; next[cnt++] = u; }
+//	  }
+//	}
+//
+// Prefetch opportunities (§5.1): the work list (stride), the vertex
+// offsets via the work list (indirect), the edge list via the vertex
+// offsets (doubly indirect — beyond the automatic pass, which rejects
+// the inner loop's non-induction phi), and the parent array via the
+// edge list inside the inner loop (stride-indirect on the edge index).
+// The manual variant emits all four.
+func G500(scale, edgeFactor int64) *Workload {
+	nverts := int64(1) << uint(scale)
+	nedges := nverts * edgeFactor
+
+	// Kronecker/R-MAT edge generation (A=0.57, B=0.19, C=0.19).
+	r := newRNG(uint64(0x6500 + scale))
+	type edge struct{ u, v int64 }
+	edges := make([]edge, 0, nedges*2)
+	for i := int64(0); i < nedges; i++ {
+		var u, v int64
+		for bit := uint(0); bit < uint(scale); bit++ {
+			p := r.intn(100)
+			switch {
+			case p < 57: // A: (0,0)
+			case p < 76: // B: (0,1)
+				v |= 1 << bit
+			case p < 95: // C: (1,0)
+				u |= 1 << bit
+			default: // D: (1,1)
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, edge{u, v}, edge{v, u}) // undirected
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+
+	// CSR arrays.
+	xoff := make([]int64, nverts+1)
+	xadj := make([]int64, 0, len(edges))
+	{
+		prev := edge{-1, -1}
+		for _, e := range edges {
+			if e == prev {
+				continue // dedup
+			}
+			prev = e
+			xadj = append(xadj, e.v)
+			xoff[e.u+1]++
+		}
+		for i := int64(0); i < nverts; i++ {
+			xoff[i+1] += xoff[i]
+		}
+	}
+
+	// Root: the highest-degree vertex, so the search reaches the giant
+	// component.
+	root := int64(0)
+	for v := int64(1); v < nverts; v++ {
+		if xoff[v+1]-xoff[v] > xoff[root+1]-xoff[root] {
+			root = v
+		}
+	}
+
+	// Reference BFS with identical visit order.
+	parentRef := make([]int64, nverts)
+	for i := range parentRef {
+		parentRef[i] = -1
+	}
+	parentRef[root] = root
+	frontier := []int64{root}
+	for len(frontier) > 0 {
+		var next []int64
+		for _, v := range frontier {
+			for e := xoff[v]; e < xoff[v+1]; e++ {
+				u := xadj[e]
+				if parentRef[u] == -1 {
+					parentRef[u] = v
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	want := int64(0)
+	for v, p := range parentRef {
+		if p != -1 {
+			want = Checksum(want, int64(v)^p)
+		}
+	}
+
+	// Manual depth 1 inserts only the outer-loop (work-list chain)
+	// prefetches; depth 2 adds the inner-loop parent prefetch. The paper
+	// reports inner-loop prefetches are suboptimal on Haswell (§6.1),
+	// so figure 4's best-manual selection tries both.
+	w := &Workload{Name: fmt.Sprintf("G500-s%d", scale), want: want, ManualDepths: 2}
+	w.build = func(v Variant, c int64, depth int) *ir.Module {
+		return buildG500(v, c, depth)
+	}
+	w.exec = func(m *interp.Machine) (int64, error) {
+		alloc := func(vals []int64) (int64, error) {
+			base, err := m.Mem.Alloc(int64(len(vals)) * 8)
+			if err != nil {
+				return 0, err
+			}
+			return base, m.Mem.WriteSlice(base, ir.I64, vals)
+		}
+		xoffBase, err := alloc(xoff)
+		if err != nil {
+			return 0, err
+		}
+		xadjBase, err := alloc(xadj)
+		if err != nil {
+			return 0, err
+		}
+		parent := make([]int64, nverts)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[root] = root
+		parentBase, err := alloc(parent)
+		if err != nil {
+			return 0, err
+		}
+		wlA, err := m.Mem.Alloc(nverts * 8)
+		if err != nil {
+			return 0, err
+		}
+		wlB, err := m.Mem.Alloc(nverts * 8)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Mem.Store(wlA, root, ir.I64); err != nil {
+			return 0, err
+		}
+		// Level-synchronous BFS: one kernel invocation per level, with
+		// the two work lists swapped — timing accumulates across calls.
+		cur, nxt := wlA, wlB
+		cnt := int64(1)
+		for cnt > 0 {
+			cnt2, err := m.Run("bfs_level", cur, cnt, nxt, xoffBase, xadjBase, parentBase)
+			if err != nil {
+				return 0, err
+			}
+			cur, nxt = nxt, cur
+			cnt = cnt2
+		}
+		final, err := m.Mem.ReadSlice(parentBase, ir.I64, nverts)
+		if err != nil {
+			return 0, err
+		}
+		sum := int64(0)
+		for v, p := range final {
+			if p != -1 {
+				sum = Checksum(sum, int64(v)^p)
+			}
+		}
+		return sum, nil
+	}
+	return w
+}
+
+// G500Small returns the scaled -s 16 -e 10 configuration.
+func G500Small() *Workload { return G500(G500SmallScale, G500EdgeFactor) }
+
+// G500Large returns the scaled -s 21 -e 10 configuration.
+func G500Large() *Workload { return G500(G500LargeScale, G500EdgeFactor) }
+
+func buildG500(v Variant, c int64, depth int) *ir.Module {
+	m := ir.NewModule("g500")
+	f := m.NewFunc("bfs_level", ir.I64,
+		&ir.Param{Name: "wl", Typ: ir.Ptr},
+		&ir.Param{Name: "wlcnt", Typ: ir.I64},
+		&ir.Param{Name: "next", Typ: ir.Ptr},
+		&ir.Param{Name: "xoff", Typ: ir.Ptr},
+		&ir.Param{Name: "xadj", Typ: ir.Ptr},
+		&ir.Param{Name: "parent", Typ: ir.Ptr},
+	)
+	b := ir.NewBuilder(f)
+	wl, wlcnt, next := f.Param("wl"), f.Param("wlcnt"), f.Param("next")
+	xoff, xadj, parent := f.Param("xoff"), f.Param("xadj"), f.Param("parent")
+
+	var wlm1 *ir.Instr
+	if v == Manual {
+		wlm1 = b.Sub(wlcnt, ir.ConstInt(1))
+	}
+
+	entry := b.Block()
+	oh := b.NewBlock("oh")
+	obody := b.NewBlock("obody")
+	ih := b.NewBlock("ih")
+	ibody := b.NewBlock("ibody")
+	push := b.NewBlock("push")
+	ilatch := b.NewBlock("ilatch")
+	olatch := b.NewBlock("olatch")
+	oexit := b.NewBlock("oexit")
+
+	b.Br(oh)
+
+	b.SetBlock(oh)
+	idx := b.Named("idx").Phi(ir.I64)
+	cnt := b.Named("cnt").Phi(ir.I64)
+	oc := b.Cmp(ir.PredLT, idx, wlcnt)
+	b.CBr(oc, obody, oexit)
+
+	b.SetBlock(obody)
+	if v == Manual {
+		// Staggered work-list chain (§5.1): wl at c, xoff[wl] at 3c/4,
+		// xadj[xoff[wl]] at c/2 — the edge-list prefetch the automatic
+		// pass cannot prove safe.
+		p1 := emitClampedIndex(b, idx, c, wlm1)
+		b.Prefetch(b.GEP(wl, p1, 8))
+		p2 := emitClampedIndex(b, idx, 3*c/4, wlm1)
+		v2 := b.Load(ir.I64, b.GEP(wl, p2, 8))
+		b.Prefetch(b.GEP(xoff, v2, 8))
+		p3 := emitClampedIndex(b, idx, c/2, wlm1)
+		v3 := b.Load(ir.I64, b.GEP(wl, p3, 8))
+		e3 := b.Load(ir.I64, b.GEP(xoff, v3, 8))
+		b.Prefetch(b.GEP(xadj, e3, 8))
+	}
+	vtx := b.Load(ir.I64, b.GEP(wl, idx, 8))
+	estart := b.Load(ir.I64, b.GEP(xoff, vtx, 8))
+	v1 := b.Add(vtx, ir.ConstInt(1))
+	eend := b.Load(ir.I64, b.GEP(xoff, v1, 8))
+	var eendm1 *ir.Instr
+	if v == Manual && depth != 1 {
+		eendm1 = b.Sub(eend, ir.ConstInt(1))
+	}
+	b.Br(ih)
+
+	b.SetBlock(ih)
+	e := b.Named("e").Phi(ir.I64)
+	cnt2 := b.Named("cnt2").Phi(ir.I64)
+	icond := b.Cmp(ir.PredLT, e, eend)
+	b.CBr(icond, ibody, olatch)
+
+	b.SetBlock(ibody)
+	if v == Manual && depth != 1 {
+		// Parent prefetch from the edge list inside the inner loop,
+		// clamped to this vertex's edges (§5.1: "provided the
+		// look-ahead distance is small enough to be within the same
+		// vertex's edges").
+		pe := b.Min(b.Add(e, ir.ConstInt(maxi64(c/4, 1))), eendm1)
+		pu := b.Load(ir.I64, b.GEP(xadj, pe, 8))
+		b.Prefetch(b.GEP(parent, pu, 8))
+	}
+	u := b.Load(ir.I64, b.GEP(xadj, e, 8))
+	pa := b.GEP(parent, u, 8)
+	pv := b.Load(ir.I64, pa)
+	pc := b.Cmp(ir.PredEQ, pv, ir.ConstInt(-1))
+	b.CBr(pc, push, ilatch)
+
+	b.SetBlock(push)
+	b.Store(ir.I64, pa, vtx)
+	b.Store(ir.I64, b.GEP(next, cnt2, 8), u)
+	cnt2c := b.Add(cnt2, ir.ConstInt(1))
+	b.Br(ilatch)
+
+	b.SetBlock(ilatch)
+	cnt2b := b.Named("cnt2b").Phi(ir.I64)
+	e2 := b.Add(e, ir.ConstInt(1))
+	b.Br(ih)
+
+	b.SetBlock(olatch)
+	idx2 := b.Add(idx, ir.ConstInt(1))
+	b.Br(oh)
+
+	ir.AddIncoming(idx, entry, ir.ConstInt(0))
+	ir.AddIncoming(idx, olatch, idx2)
+	ir.AddIncoming(cnt, entry, ir.ConstInt(0))
+	ir.AddIncoming(cnt, olatch, cnt2)
+	ir.AddIncoming(e, obody, estart)
+	ir.AddIncoming(e, ilatch, e2)
+	ir.AddIncoming(cnt2, obody, cnt)
+	ir.AddIncoming(cnt2, ilatch, cnt2b)
+	ir.AddIncoming(cnt2b, ibody, cnt2)
+	ir.AddIncoming(cnt2b, push, cnt2c)
+
+	b.SetBlock(oexit)
+	b.Ret(cnt)
+	f.Renumber()
+	return m
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Hash-join geometry. Buckets are cache-line sized (64B): two inline
+// key/value slots plus a pointer to a chain of nodes with the same
+// layout, following the bucket-chaining design of Teubner et al. that
+// §5.1 references. With 2 elements per bucket no chain is ever walked
+// (HJ-2); with 8, the probe walks exactly three chained nodes (HJ-8).
+const (
+	HJDefaultKeys    = 1 << 16
+	hjSlotK1         = 0
+	hjSlotV1         = 1
+	hjSlotK2         = 2
+	hjSlotV2         = 3
+	hjSlotNext       = 4
+	hjWordsPerBucket = 8 // 64 bytes
+)
+
+// HJ builds the hash-join probe kernel (§5.1). The build side is
+// constructed by the generator; the kernel probes every key of the
+// outer relation, sums matching payloads, and returns the sum:
+//
+//	for (i = 0; i < n; i++) {
+//	  b = &table[hash(keys[i]) & mask];
+//	  acc += match(b, keys[i]);           // two inline slots
+//	  for (p = b->next; p; p = p->next)   // HJ-8 only
+//	    acc += match(p, keys[i]);
+//	}
+//
+// elemsPerBucket must be 2 (HJ-2) or 8 (HJ-8). The manual variant
+// staggers prefetches through the chain — e.g. bucket at offset c,
+// chain nodes at 3c/4, c/2 and c/4, as §5.1 describes with c=16 —
+// exploiting the fixed chain length that only the input (not the
+// compiler) can reveal. Its depth parameter (1-4) reproduces figure 7.
+func HJ(nkeys, elemsPerBucket int64) *Workload {
+	if elemsPerBucket != 2 && elemsPerBucket != 8 {
+		panic("workloads: HJ supports 2 or 8 elements per bucket")
+	}
+	name := "HJ-2"
+	chainNodes := int64(0)
+	if elemsPerBucket == 8 {
+		name = "HJ-8"
+		chainNodes = 3 // 2 inline + 3 nodes * 2 = 8 elements
+	}
+
+	// Number of buckets: one bucket per elemsPerBucket keys.
+	nbuckets := nkeys / elemsPerBucket
+	mask := nbuckets - 1
+	if nbuckets&mask != 0 {
+		panic("workloads: HJ key count must make a power-of-two bucket count")
+	}
+
+	// Build side: bucket b, slot t holds the key whose hash lands in b.
+	// hash(k) = (k * hashMul) & mask; keys are constructed through the
+	// modular inverse so every bucket receives exactly elemsPerBucket
+	// keys.
+	keyFor := func(bucket, slot int64) int64 {
+		x := uint64(bucket) + uint64(slot)*uint64(nbuckets)*0x10001
+		return int64(x * hashMulInv &^ (1 << 63))
+	}
+	payFor := func(bucket, slot int64) int64 { return bucket*31 + slot + 1 }
+
+	// Probe side: every stored key once, shuffled.
+	r := newRNG(0x47)
+	probe := make([]int64, 0, nkeys)
+	for bkt := int64(0); bkt < nbuckets; bkt++ {
+		for s := int64(0); s < elemsPerBucket; s++ {
+			probe = append(probe, keyFor(bkt, s))
+		}
+	}
+	for i := len(probe) - 1; i > 0; i-- {
+		j := r.intn(int64(i + 1))
+		probe[i], probe[j] = probe[j], probe[i]
+	}
+
+	// Reference result: every probe key matches exactly once.
+	want := int64(0)
+	for bkt := int64(0); bkt < nbuckets; bkt++ {
+		for s := int64(0); s < elemsPerBucket; s++ {
+			want += payFor(bkt, s)
+		}
+	}
+
+	w := &Workload{Name: name, ManualDepths: 1 + int(chainNodes)}
+	w.want = want
+	w.build = func(v Variant, c int64, depth int) *ir.Module {
+		return buildHJ(v, c, depth, int(chainNodes))
+	}
+	w.exec = func(m *interp.Machine) (int64, error) {
+		probeBase, err := m.Mem.Alloc(nkeys * 8)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Mem.WriteSlice(probeBase, ir.I64, probe); err != nil {
+			return 0, err
+		}
+		tblBase, err := m.Mem.Alloc(nbuckets * hjWordsPerBucket * 8)
+		if err != nil {
+			return 0, err
+		}
+		arenaBase := int64(0)
+		if chainNodes > 0 {
+			arenaBase, err = m.Mem.Alloc(nbuckets * chainNodes * hjWordsPerBucket * 8)
+			if err != nil {
+				return 0, err
+			}
+		}
+		// Lay out buckets and chains. Node slots are a shuffled
+		// permutation of the arena, so chain walking has no exploitable
+		// stride.
+		var nodeAddr func(bucket, node int64) int64
+		if chainNodes > 0 {
+			perm := make([]int64, nbuckets*chainNodes)
+			for i := range perm {
+				perm[i] = int64(i)
+			}
+			pr := newRNG(0x4A11)
+			for i := len(perm) - 1; i > 0; i-- {
+				j := pr.intn(int64(i + 1))
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			nodeAddr = func(bucket, node int64) int64 {
+				return arenaBase + perm[bucket*chainNodes+node]*hjWordsPerBucket*8
+			}
+		}
+		writeWord := func(addr, val int64) error { return m.Mem.Store(addr, val, ir.I64) }
+		for bkt := int64(0); bkt < nbuckets; bkt++ {
+			base := tblBase + bkt*hjWordsPerBucket*8
+			if err := writeWord(base+hjSlotK1*8, keyFor(bkt, 0)); err != nil {
+				return 0, err
+			}
+			if err := writeWord(base+hjSlotV1*8, payFor(bkt, 0)); err != nil {
+				return 0, err
+			}
+			if err := writeWord(base+hjSlotK2*8, keyFor(bkt, 1)); err != nil {
+				return 0, err
+			}
+			if err := writeWord(base+hjSlotV2*8, payFor(bkt, 1)); err != nil {
+				return 0, err
+			}
+			prevNextField := base + hjSlotNext*8
+			for nd := int64(0); nd < chainNodes; nd++ {
+				na := nodeAddr(bkt, nd)
+				if err := writeWord(prevNextField, na); err != nil {
+					return 0, err
+				}
+				s := 2 + nd*2
+				if err := writeWord(na+hjSlotK1*8, keyFor(bkt, s)); err != nil {
+					return 0, err
+				}
+				if err := writeWord(na+hjSlotV1*8, payFor(bkt, s)); err != nil {
+					return 0, err
+				}
+				if err := writeWord(na+hjSlotK2*8, keyFor(bkt, s+1)); err != nil {
+					return 0, err
+				}
+				if err := writeWord(na+hjSlotV2*8, payFor(bkt, s+1)); err != nil {
+					return 0, err
+				}
+				prevNextField = na + hjSlotNext*8
+			}
+			if err := writeWord(prevNextField, 0); err != nil {
+				return 0, err
+			}
+		}
+		return m.Run("hj", probeBase, tblBase, nkeys, mask)
+	}
+	return w
+}
+
+// HJ2Default returns HJ-2 at the default scale.
+func HJ2Default() *Workload { return HJ(HJDefaultKeys, 2) }
+
+// HJ8Default returns HJ-8 at the default scale.
+func HJ8Default() *Workload { return HJ(HJDefaultKeys, 8) }
+
+// buildHJ emits the probe kernel. chainNodes is the fixed chain length
+// the input guarantees (0 for HJ-2, 3 for HJ-8); the kernel itself
+// walks the chain with a data-dependent loop, so the compiler pass sees
+// a non-induction phi and cannot prefetch the chain (§6.1) — only the
+// manual variant uses the fixed length.
+func buildHJ(v Variant, c int64, depth, chainNodes int) *ir.Module {
+	m := ir.NewModule("hj")
+	f := m.NewFunc("hj", ir.I64,
+		&ir.Param{Name: "keys", Typ: ir.Ptr},
+		&ir.Param{Name: "table", Typ: ir.Ptr},
+		&ir.Param{Name: "n", Typ: ir.I64},
+		&ir.Param{Name: "mask", Typ: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	keys, table, n, mask := f.Param("keys"), f.Param("table"), f.Param("n"), f.Param("mask")
+
+	var nm1 *ir.Instr
+	if v == Manual {
+		nm1 = b.Sub(n, ir.ConstInt(1))
+	}
+
+	entry := b.Block()
+	oh := b.NewBlock("oh")
+	obody := b.NewBlock("obody")
+	wh := b.NewBlock("wh")
+	wbody := b.NewBlock("wbody")
+	olatch := b.NewBlock("olatch")
+	oexit := b.NewBlock("oexit")
+
+	b.Br(oh)
+
+	b.SetBlock(oh)
+	i := b.Named("i").Phi(ir.I64)
+	acc := b.Named("acc").Phi(ir.I64)
+	oc := b.Cmp(ir.PredLT, i, n)
+	b.CBr(oc, obody, oexit)
+
+	b.SetBlock(obody)
+	if v == Manual {
+		levels := depth
+		if levels <= 0 || levels > 1+chainNodes {
+			levels = 1 + chainNodes
+		}
+		total := int64(levels + 1)
+		// Stride prefetch of the probe keys at full distance.
+		pk := emitClampedIndex(b, i, c, nm1)
+		b.Prefetch(b.GEP(keys, pk, 8))
+		// Staggered chain prefetches: level j in [1, levels] at offset
+		// c*(total-j)/total — for c=16, depth 4: 16, 12, 8, 4 wouldn't
+		// quite match §5.1's example, which uses t=4; with the key
+		// stride included (t=5) the shape is identical.
+		for j := 1; j <= levels; j++ {
+			off := c * (total - int64(j)) / total
+			if off < 1 {
+				off = 1
+			}
+			idx := emitClampedIndex(b, i, off, nm1)
+			kj := b.Load(ir.I64, b.GEP(keys, idx, 8))
+			h := b.Mul(kj, ir.ConstInt(hashMul))
+			hm := b.And(h, mask)
+			addr := ir.Value(b.GEP(table, hm, hjWordsPerBucket*8))
+			// Walk j-1 real next pointers, then prefetch.
+			for step := 1; step < j; step++ {
+				nx := b.GEP(addr, ir.ConstInt(hjSlotNext), 8)
+				addr = b.Load(ir.I64, nx)
+			}
+			b.Prefetch(addr)
+		}
+	}
+	ka := b.GEP(keys, i, 8)
+	k := b.Load(ir.I64, ka)
+	h := b.Mul(k, ir.ConstInt(hashMul))
+	hm := b.And(h, mask)
+	bkt := b.GEP(table, hm, hjWordsPerBucket*8)
+	k1 := b.Load(ir.I64, b.GEP(bkt, ir.ConstInt(hjSlotK1), 8))
+	v1 := b.Load(ir.I64, b.GEP(bkt, ir.ConstInt(hjSlotV1), 8))
+	k2 := b.Load(ir.I64, b.GEP(bkt, ir.ConstInt(hjSlotK2), 8))
+	v2 := b.Load(ir.I64, b.GEP(bkt, ir.ConstInt(hjSlotV2), 8))
+	m1 := b.Select(b.Cmp(ir.PredEQ, k1, k), v1, ir.ConstInt(0))
+	m2 := b.Select(b.Cmp(ir.PredEQ, k2, k), v2, ir.ConstInt(0))
+	acc1 := b.Add(acc, b.Add(m1, m2))
+	p0 := b.Load(ir.I64, b.GEP(bkt, ir.ConstInt(hjSlotNext), 8))
+	b.Br(wh)
+
+	b.SetBlock(wh)
+	p := b.Named("p").Phi(ir.Ptr)
+	acc2 := b.Named("acc2").Phi(ir.I64)
+	wc := b.Cmp(ir.PredNE, p, ir.ConstInt(0))
+	b.CBr(wc, wbody, olatch)
+
+	b.SetBlock(wbody)
+	nk1 := b.Load(ir.I64, b.GEP(p, ir.ConstInt(hjSlotK1), 8))
+	nv1 := b.Load(ir.I64, b.GEP(p, ir.ConstInt(hjSlotV1), 8))
+	nk2 := b.Load(ir.I64, b.GEP(p, ir.ConstInt(hjSlotK2), 8))
+	nv2 := b.Load(ir.I64, b.GEP(p, ir.ConstInt(hjSlotV2), 8))
+	nm1v := b.Select(b.Cmp(ir.PredEQ, nk1, k), nv1, ir.ConstInt(0))
+	nm2v := b.Select(b.Cmp(ir.PredEQ, nk2, k), nv2, ir.ConstInt(0))
+	acc3 := b.Add(acc2, b.Add(nm1v, nm2v))
+	pn := b.Load(ir.I64, b.GEP(p, ir.ConstInt(hjSlotNext), 8))
+	b.Br(wh)
+
+	b.SetBlock(olatch)
+	i2 := b.Add(i, ir.ConstInt(1))
+	b.Br(oh)
+
+	ir.AddIncoming(i, entry, ir.ConstInt(0))
+	ir.AddIncoming(i, olatch, i2)
+	ir.AddIncoming(acc, entry, ir.ConstInt(0))
+	ir.AddIncoming(acc, olatch, acc2)
+	ir.AddIncoming(p, obody, p0)
+	ir.AddIncoming(p, wbody, pn)
+	ir.AddIncoming(acc2, obody, acc1)
+	ir.AddIncoming(acc2, wbody, acc3)
+
+	b.SetBlock(oexit)
+	b.Ret(acc)
+	f.Renumber()
+	return m
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// ISDefaultKeys and ISDefaultBuckets scale NAS size B (2^25 keys into
+// 2^21 buckets) down by the same factor as the simulated caches: the
+// bucket array still exceeds every simulated last-level cache, so the
+// indirect increment misses just as it does on the real machines.
+const (
+	ISDefaultKeys    = 1 << 18
+	ISDefaultBuckets = 1 << 19
+)
+
+// IS builds the NAS Integer Sort bucket-counting benchmark (§5.1):
+//
+//	for (i = 0; i < n; i++) buckets[keys[i]]++
+//
+// The manual variant inserts the two prefetches of code listing 1: the
+// indirect prefetch of buckets[keys[i+c/2]] and the staggered stride
+// prefetch of keys[i+c].
+func IS(nkeys, nbuckets int64) *Workload {
+	r := newRNG(0x15)
+	keys := make([]int64, nkeys)
+	counts := make([]int64, nbuckets)
+	for i := range keys {
+		keys[i] = r.intn(nbuckets)
+		counts[keys[i]]++
+	}
+	want := int64(0)
+	for b, c := range counts {
+		if c != 0 {
+			want = Checksum(want, int64(b)^c)
+		}
+	}
+
+	w := &Workload{Name: "IS", want: want}
+	w.build = func(v Variant, c int64, _ int) *ir.Module {
+		return buildIS(v, c)
+	}
+	w.exec = func(m *interp.Machine) (int64, error) {
+		keysBase, err := m.Mem.Alloc(nkeys * 4)
+		if err != nil {
+			return 0, err
+		}
+		bucketsBase, err := m.Mem.Alloc(nbuckets * 4)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Mem.WriteSlice(keysBase, ir.I32, keys); err != nil {
+			return 0, err
+		}
+		if _, err := m.Run("is", keysBase, bucketsBase, nkeys); err != nil {
+			return 0, err
+		}
+		final, err := m.Mem.ReadSlice(bucketsBase, ir.I32, nbuckets)
+		if err != nil {
+			return 0, err
+		}
+		sum := int64(0)
+		for b, c := range final {
+			if c != 0 {
+				sum = Checksum(sum, int64(b)^c)
+			}
+		}
+		return sum, nil
+	}
+	return w
+}
+
+// ISDefault returns IS at the scaled NAS size B.
+func ISDefault() *Workload { return IS(ISDefaultKeys, ISDefaultBuckets) }
+
+func buildIS(v Variant, c int64) *ir.Module {
+	m := ir.NewModule("is")
+	f := m.NewFunc("is", ir.Void,
+		&ir.Param{Name: "keys", Typ: ir.Ptr},
+		&ir.Param{Name: "buckets", Typ: ir.Ptr},
+		&ir.Param{Name: "n", Typ: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	keys, buckets, n := f.Param("keys"), f.Param("buckets"), f.Param("n")
+
+	var nm1 *ir.Instr
+	if v == Manual {
+		nm1 = b.Sub(n, ir.ConstInt(1))
+	}
+
+	loop := b.CountedLoop("loop", ir.ConstInt(0), n, 1)
+	i := loop.IndVar
+
+	if v == Manual {
+		// SWPF(key_buff2[i + offset*2]) — the stride prefetch that the
+		// intuitive scheme misses but optimal performance requires
+		// (code listing 1, line 6).
+		pidx := emitClampedIndex(b, i, c, nm1)
+		b.Prefetch(b.GEP(keys, pidx, 4))
+		// SWPF(key_buff1[key_buff2[i + offset]]) — the indirect
+		// prefetch (line 4), at half the stride distance per eq. (1).
+		qidx := emitClampedIndex(b, i, c/2, nm1)
+		qk := b.Load(ir.I32, b.GEP(keys, qidx, 4))
+		b.Prefetch(b.GEP(buckets, qk, 4))
+	}
+
+	ka := b.GEP(keys, i, 4)
+	k := b.Load(ir.I32, ka)
+	ba := b.GEP(buckets, k, 4)
+	bv := b.Load(ir.I32, ba)
+	bv2 := b.Add(bv, ir.ConstInt(1))
+	b.Store(ir.I32, ba, bv2)
+	loop.Close()
+
+	b.Ret(nil)
+	f.Renumber()
+	return m
+}

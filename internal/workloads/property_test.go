@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// TestQuickISRandomGeometry: the IS kernel must match its Go reference
+// for arbitrary key/bucket counts, with and without the pass, at
+// arbitrary look-ahead constants.
+func TestQuickISRandomGeometry(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nkeys := int64(r.Intn(2000) + 1)
+		nbuckets := int64(r.Intn(1000) + 1)
+		w := IS(nkeys, nbuckets)
+
+		plain := w.Plain()
+		if err := plain.Run(interp.New(plain.Mod, sim.DefaultConfig())); err != nil {
+			t.Logf("seed %d plain: %v", seed, err)
+			return false
+		}
+		auto := w.Plain()
+		prefetch.Run(auto.Mod, prefetch.Options{C: int64(r.Intn(200) + 1)})
+		if err := auto.Run(interp.New(auto.Mod, sim.DefaultConfig())); err != nil {
+			t.Logf("seed %d auto: %v", seed, err)
+			return false
+		}
+		man := w.Manual(int64(r.Intn(200)+2), 0)
+		if err := man.Run(interp.New(man.Mod, sim.DefaultConfig())); err != nil {
+			t.Logf("seed %d manual: %v", seed, err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCGRandomGeometry: random sparse matrices, same contract.
+func TestQuickCGRandomGeometry(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := int64(r.Intn(300) + 2)
+		nnzPerRow := int64(r.Intn(30) + 2)
+		w := CG(rows, nnzPerRow)
+		for _, inst := range []*Instance{w.Plain(), w.Manual(int64(r.Intn(100)+2), 0)} {
+			if err := inst.Run(interp.New(inst.Mod, sim.DefaultConfig())); err != nil {
+				t.Logf("seed %d %s: %v", seed, inst.Variant, err)
+				return false
+			}
+		}
+		auto := w.Plain()
+		prefetch.Run(auto.Mod, prefetch.DefaultOptions())
+		if err := auto.Run(interp.New(auto.Mod, sim.DefaultConfig())); err != nil {
+			t.Logf("seed %d auto: %v", seed, err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickG500RandomGraphs: BFS parents must match the reference for
+// random Kronecker scales and edge factors, across variants.
+func TestQuickG500RandomGraphs(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		scale := int64(r.Intn(4) + 6)
+		ef := int64(r.Intn(6) + 2)
+		w := G500(scale, ef)
+		for _, depth := range []int{1, 2} {
+			inst := w.Manual(int64(r.Intn(60)+4), depth)
+			if err := inst.Run(interp.New(inst.Mod, sim.DefaultConfig())); err != nil {
+				t.Logf("seed %d depth %d: %v", seed, depth, err)
+				return false
+			}
+		}
+		auto := w.Plain()
+		prefetch.Run(auto.Mod, prefetch.Options{C: int64(r.Intn(60) + 4), Hoist: r.Intn(2) == 0})
+		if err := auto.Run(interp.New(auto.Mod, sim.DefaultConfig())); err != nil {
+			t.Logf("seed %d auto: %v", seed, err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHJRandomKeys: both bucket layouts, arbitrary key counts
+// (rounded to keep power-of-two bucket counts), across variants and
+// stagger depths.
+func TestQuickHJRandomKeys(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pow := uint(r.Intn(5) + 6) // 64..1024 buckets
+		for _, elems := range []int64{2, 8} {
+			nkeys := int64(1<<pow) * elems
+			w := HJ(nkeys, elems)
+			depth := r.Intn(w.ManualDepths) + 1
+			for _, inst := range []*Instance{w.Plain(), w.Manual(int64(r.Intn(50)+2), depth)} {
+				if err := inst.Run(interp.New(inst.Mod, sim.DefaultConfig())); err != nil {
+					t.Logf("seed %d elems %d: %v", seed, elems, err)
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRARandomSizes: table bits and update counts vary; block
+// boundaries (128) interact with the look-ahead clamps.
+func TestQuickRARandomSizes(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := int64(r.Intn(8) + 6)
+		updates := int64(r.Intn(2000) + 1) // deliberately not a multiple of 128
+		w := RA(bits, updates)
+		for _, inst := range []*Instance{w.Plain(), w.Manual(int64(r.Intn(300)+2), 0)} {
+			if err := inst.Run(interp.New(inst.Mod, sim.DefaultConfig())); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		auto := w.Plain()
+		prefetch.Run(auto.Mod, prefetch.DefaultOptions())
+		if err := auto.Run(interp.New(auto.Mod, sim.DefaultConfig())); err != nil {
+			t.Logf("seed %d auto: %v", seed, err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// RA default geometry: a 2^21-entry (16MiB) table exceeds every
+// simulated cache, and updates arrive in blocks of 128 as in HPCC
+// RandomAccess — the structure §6.1 blames for the automatic pass
+// trailing manual prefetches on the A53: the compiler clamps its
+// look-ahead at each 128-iteration block boundary, so the first
+// elements of every block miss.
+const (
+	RADefaultTableBits = 21
+	RADefaultUpdates   = 1 << 16
+	RABlock            = 128
+)
+
+// RA builds the HPCC RandomAccess benchmark (§5.1): a stream of
+// pseudo-random values is read from an array; each is hashed and the
+// hashed location in a large table is updated:
+//
+//	for (b = 0; b < nblocks; b++)
+//	  for (i = b*128; i < min((b+1)*128, n); i++)
+//	    table[hash(rnd[i]) & mask] ^= rnd[i]
+//
+// The manual variant prefetches rnd[i+c] and table[hash(rnd[i+c/2])],
+// clamped against the global update count rather than the block end.
+func RA(tableBits int64, updates int64) *Workload {
+	r := newRNG(0x5A)
+	tableSize := int64(1) << uint(tableBits)
+	mask := tableSize - 1
+	rnd := make([]int64, updates)
+	for i := range rnd {
+		rnd[i] = int64(r.next() >> 1)
+	}
+
+	// Reference.
+	table := make([]int64, tableSize)
+	for _, v := range rnd {
+		table[(v*hashMul)&mask] ^= v
+	}
+	want := int64(0)
+	for i, v := range table {
+		if v != 0 {
+			want = Checksum(want, int64(i)^v)
+		}
+	}
+
+	w := &Workload{Name: "RA", want: want}
+	w.build = func(v Variant, c int64, _ int) *ir.Module {
+		return buildRA(v, c)
+	}
+	w.exec = func(m *interp.Machine) (int64, error) {
+		rndBase, err := m.Mem.Alloc(updates * 8)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Mem.WriteSlice(rndBase, ir.I64, rnd); err != nil {
+			return 0, err
+		}
+		tblBase, err := m.Mem.Alloc(tableSize * 8)
+		if err != nil {
+			return 0, err
+		}
+		nblocks := (updates + RABlock - 1) / RABlock
+		if _, err := m.Run("ra", rndBase, tblBase, nblocks, updates, mask); err != nil {
+			return 0, err
+		}
+		final, err := m.Mem.ReadSlice(tblBase, ir.I64, tableSize)
+		if err != nil {
+			return 0, err
+		}
+		sum := int64(0)
+		for i, v := range final {
+			if v != 0 {
+				sum = Checksum(sum, int64(i)^v)
+			}
+		}
+		return sum, nil
+	}
+	return w
+}
+
+// RADefault returns RA at the scaled HPCC size.
+func RADefault() *Workload { return RA(RADefaultTableBits, RADefaultUpdates) }
+
+func buildRA(v Variant, c int64) *ir.Module {
+	m := ir.NewModule("ra")
+	f := m.NewFunc("ra", ir.Void,
+		&ir.Param{Name: "rnd", Typ: ir.Ptr},
+		&ir.Param{Name: "table", Typ: ir.Ptr},
+		&ir.Param{Name: "nblocks", Typ: ir.I64},
+		&ir.Param{Name: "n", Typ: ir.I64},
+		&ir.Param{Name: "mask", Typ: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	rnd, table := f.Param("rnd"), f.Param("table")
+	nblocks, n, mask := f.Param("nblocks"), f.Param("n"), f.Param("mask")
+
+	var nm1 *ir.Instr
+	if v == Manual {
+		nm1 = b.Sub(n, ir.ConstInt(1))
+	}
+
+	entry := b.Block()
+	oh := b.NewBlock("oh")
+	obody := b.NewBlock("obody")
+	ih := b.NewBlock("ih")
+	ibody := b.NewBlock("ibody")
+	olatch := b.NewBlock("olatch")
+	oexit := b.NewBlock("oexit")
+
+	b.Br(oh)
+
+	b.SetBlock(oh)
+	blk := b.Named("blk").Phi(ir.I64)
+	oc := b.Cmp(ir.PredLT, blk, nblocks)
+	b.CBr(oc, obody, oexit)
+
+	b.SetBlock(obody)
+	istart := b.Mul(blk, ir.ConstInt(RABlock))
+	iend0 := b.Add(istart, ir.ConstInt(RABlock))
+	iend := b.Min(iend0, n)
+	b.Br(ih)
+
+	b.SetBlock(ih)
+	i := b.Named("i").Phi(ir.I64)
+	ic := b.Cmp(ir.PredLT, i, iend)
+	b.CBr(ic, ibody, olatch)
+
+	b.SetBlock(ibody)
+	if v == Manual {
+		// Global-range clamp: the look-ahead runs across block
+		// boundaries, which the compiler cannot prove safe from the
+		// inner loop's bound alone (§6.1, A53 discussion).
+		pi := emitClampedIndex(b, i, c, nm1)
+		b.Prefetch(b.GEP(rnd, pi, 8))
+		qi := emitClampedIndex(b, i, c/2, nm1)
+		qv := b.Load(ir.I64, b.GEP(rnd, qi, 8))
+		qh := b.Mul(qv, ir.ConstInt(hashMul))
+		qidx := b.And(qh, mask)
+		b.Prefetch(b.GEP(table, qidx, 8))
+	}
+	val := b.Load(ir.I64, b.GEP(rnd, i, 8))
+	h := b.Mul(val, ir.ConstInt(hashMul))
+	idx := b.And(h, mask)
+	ta := b.GEP(table, idx, 8)
+	tv := b.Load(ir.I64, ta)
+	tv2 := b.Xor(tv, val)
+	b.Store(ir.I64, ta, tv2)
+	i2 := b.Add(i, ir.ConstInt(1))
+	b.Br(ih)
+
+	b.SetBlock(olatch)
+	blk2 := b.Add(blk, ir.ConstInt(1))
+	b.Br(oh)
+
+	ir.AddIncoming(blk, entry, ir.ConstInt(0))
+	ir.AddIncoming(blk, olatch, blk2)
+	ir.AddIncoming(i, obody, istart)
+	ir.AddIncoming(i, ibody, i2)
+
+	b.SetBlock(oexit)
+	b.Ret(nil)
+	f.Renumber()
+	return m
+}

@@ -1,0 +1,38 @@
+package workloads
+
+// All returns the seven benchmark configurations of figure 4, at the
+// default (scaled) sizes, in the paper's presentation order.
+func All() []*Workload {
+	return []*Workload{
+		ISDefault(),
+		CGDefault(),
+		RADefault(),
+		HJ2Default(),
+		HJ8Default(),
+		G500Small(),
+		G500Large(),
+	}
+}
+
+// Tiny returns reduced-size instances of every workload for tests: the
+// same kernels and generators at sizes that execute in milliseconds.
+func Tiny() []*Workload {
+	return []*Workload{
+		IS(1<<12, 1<<12),
+		CG(256, 16),
+		RA(14, 1<<12),
+		HJ(1<<10, 2),
+		HJ(1<<10, 8),
+		G500(9, 8),
+	}
+}
+
+// ByName builds the named default workload, or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
