@@ -1,0 +1,87 @@
+// Command golden dumps exhaustive simulator statistics for a matrix of
+// workloads, systems and variants as deterministic JSON. Engine
+// refactors that claim bit-identical behaviour are checked by diffing
+// two dumps:
+//
+//	git stash && go run ./cmd/golden > /tmp/before.json && git stash pop
+//	go run ./cmd/golden > /tmp/after.json
+//	diff /tmp/before.json /tmp/after.json
+//
+// The workload sizes are reduced relative to the benchmark defaults so
+// a full dump takes seconds, while still covering every variant, every
+// machine, both TLB page sizes' behaviours and the stride prefetcher.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+type record struct {
+	Workload string
+	System   string
+	Variant  string
+	Checksum int64
+	Cycles   float64
+	Stats    interface{}
+	Hier     map[string]interface{}
+}
+
+func main() {
+	ws := []*workloads.Workload{
+		workloads.IS(1<<13, 1<<17),
+		workloads.CG(1024, 48),
+		workloads.RA(17, 1<<11),
+		workloads.HJ(1<<12, 2),
+		workloads.HJ(1<<12, 8),
+		workloads.G500(10, 8),
+	}
+	systems := uarch.All()
+	variants := []core.Variant{core.VariantPlain, core.VariantAuto, core.VariantManual, core.VariantICC, core.VariantIndirectOnly}
+
+	var out []record
+	for _, w := range ws {
+		for _, cfg := range systems {
+			for _, v := range variants {
+				res, err := core.Run(w, cfg, v, core.Options{Hoist: true})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s/%s/%s: %v\n", w.Name, cfg.Name, v, err)
+					os.Exit(1)
+				}
+				out = append(out, snapshot(w, cfg, v, res))
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		os.Exit(1)
+	}
+}
+
+func snapshot(w *workloads.Workload, cfg *sim.Config, v core.Variant, res *core.Result) record {
+	return record{
+		Workload: w.Name,
+		System:   cfg.Name,
+		Variant:  string(v),
+		Checksum: res.Checksum,
+		Cycles:   res.Cycles,
+		Stats:    res.Stats,
+		Hier: map[string]interface{}{
+			"L1Hits":             res.L1Hits,
+			"L1Misses":           res.L1Misses,
+			"DRAMAccesses":       res.DRAMAccesses,
+			"SWPrefetches":       res.SWPrefetches,
+			"HWPrefetches":       res.HWPrefetches,
+			"TLBWalks":           res.TLBWalks,
+			"LoadStallCycles":    res.LoadStallCycles,
+			"PrefetchedUnusedL1": res.PrefetchedUnusedL1,
+		},
+	}
+}

@@ -10,86 +10,106 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
 
+// errParse marks a flag-parsing failure the FlagSet has already
+// reported to stderr.
+var errParse = errors.New("flag parse")
+
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // usage already printed; exit 0
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the problem
+	default:
+		fmt.Fprintln(os.Stderr, "swpfbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swpfbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all")
-		system = flag.String("system", "", "restrict fig4 to one system (Haswell, XeonPhi, A57, A53)")
-		wl     = flag.String("bench", "", "restrict fig6 to one benchmark (IS, CG, RA, HJ-2)")
-		quick  = flag.Bool("quick", false, "reduced input sizes")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all")
+		system = fs.String("system", "", "restrict fig4 to one system (Haswell, XeonPhi, A57, A53)")
+		wl     = fs.String("bench", "", "restrict fig6 to one benchmark (IS, CG, RA, HJ-2)")
+		quick  = fs.Bool("quick", false, "reduced input sizes")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
 
 	q := bench.Full
 	if *quick {
 		q = bench.Quick
 	}
 
-	emit := func(t *bench.Table, err error) {
+	emit := func(t *bench.Table, err error) error {
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *csv {
-			fmt.Print(t.CSV())
-			return
+			fmt.Fprint(stdout, t.CSV())
+			return nil
 		}
-		fmt.Println(t.String())
+		fmt.Fprintln(stdout, t.String())
+		return nil
 	}
-	emitAll := func(ts []*bench.Table, err error) {
+	emitAll := func(ts []*bench.Table, err error) error {
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range ts {
 			if *csv {
-				fmt.Print(t.CSV())
+				fmt.Fprint(stdout, t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(stdout, t.String())
 			}
 		}
+		return nil
 	}
 
 	switch *exp {
 	case "all":
-		if err := bench.RunAll(q, os.Stdout); err != nil {
-			fatal(err)
-		}
+		return bench.RunAll(q, stdout)
 	case "fig2":
-		emit(bench.Fig2(q))
+		return emit(bench.Fig2(q))
 	case "fig4":
 		if *system != "" {
-			emit(bench.Fig4(q, *system))
-		} else {
-			emitAll(bench.Fig4All(q))
+			return emit(bench.Fig4(q, *system))
 		}
+		return emitAll(bench.Fig4All(q))
 	case "fig5":
-		emit(bench.Fig5(q))
+		return emit(bench.Fig5(q))
 	case "fig6":
 		if *wl != "" {
-			emit(bench.Fig6(q, *wl))
-		} else {
-			emitAll(bench.Fig6All(q))
+			return emit(bench.Fig6(q, *wl))
 		}
+		return emitAll(bench.Fig6All(q))
 	case "fig7":
-		emit(bench.Fig7(q))
+		return emit(bench.Fig7(q))
 	case "fig8":
-		emit(bench.Fig8(q))
+		return emit(bench.Fig8(q))
 	case "fig9":
-		emit(bench.Fig9(q))
+		return emit(bench.Fig9(q))
 	case "fig10":
-		emit(bench.Fig10(q))
+		return emit(bench.Fig10(q))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "swpfbench:", err)
-	os.Exit(1)
 }

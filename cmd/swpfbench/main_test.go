@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestQuickFig2CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-csv", "-exp", "fig2"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("fig2: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, ",") || strings.Count(s, "\n") < 3 {
+		t.Errorf("CSV output malformed:\n%s", s)
+	}
+}

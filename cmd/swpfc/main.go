@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,32 +24,58 @@ import (
 	"repro/internal/prefetch"
 )
 
-func main() {
-	var (
-		c        = flag.Int64("c", 64, "look-ahead constant (eq. 1)")
-		icc      = flag.Bool("icc", false, "restricted stride-indirect-only mode (fig. 4d baseline)")
-		noStride = flag.Bool("no-stride", false, "suppress stride companion prefetches (fig. 5 'indirect only')")
-		depth    = flag.Int("depth", 0, "max stagger depth, 0 = unlimited (fig. 7)")
-		hoist    = flag.Bool("hoist", true, "enable prefetch loop hoisting (§4.6)")
-		pure     = flag.Bool("pure-calls", false, "allow side-effect-free calls in prefetch code (§4.1 extension)")
-		flat     = flag.Bool("flat-offset", false, "disable eq. (1) scheduling (ablation)")
-		optimize = flag.Bool("O", false, "run cleanup passes (fold/CSE/DCE) after prefetch generation")
-		split    = flag.Bool("split", false, "split loops to hoist prefetch bounds checks (Mowry/ICC-style)")
-		dot      = flag.String("dot", "", "emit Graphviz output instead of IR: 'cfg' or 'ddg'")
-		quiet    = flag.Bool("q", false, "suppress the transformation report")
-	)
-	flag.Parse()
+// errParse marks a flag-parsing failure the FlagSet has already
+// reported to stderr.
+var errParse = errors.New("flag parse")
 
-	src, err := readInput(flag.Arg(0))
+func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // usage already printed; exit 0
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the problem
+	default:
+		fmt.Fprintln(os.Stderr, "swpfc:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags and file access are
+// parameterised on the given streams.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swpfc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		c        = fs.Int64("c", 64, "look-ahead constant (eq. 1)")
+		icc      = fs.Bool("icc", false, "restricted stride-indirect-only mode (fig. 4d baseline)")
+		noStride = fs.Bool("no-stride", false, "suppress stride companion prefetches (fig. 5 'indirect only')")
+		depth    = fs.Int("depth", 0, "max stagger depth, 0 = unlimited (fig. 7)")
+		hoist    = fs.Bool("hoist", true, "enable prefetch loop hoisting (§4.6)")
+		pure     = fs.Bool("pure-calls", false, "allow side-effect-free calls in prefetch code (§4.1 extension)")
+		flat     = fs.Bool("flat-offset", false, "disable eq. (1) scheduling (ablation)")
+		optimize = fs.Bool("O", false, "run cleanup passes (fold/CSE/DCE) after prefetch generation")
+		split    = fs.Bool("split", false, "split loops to hoist prefetch bounds checks (Mowry/ICC-style)")
+		dot      = fs.String("dot", "", "emit Graphviz output instead of IR: 'cfg' or 'ddg'")
+		quiet    = fs.Bool("q", false, "suppress the transformation report")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
+
+	src, err := readInput(fs.Arg(0), stdin)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mod, err := ir.Parse(src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := mod.Verify(); err != nil {
-		fatal(fmt.Errorf("input: %w", err))
+		return fmt.Errorf("input: %w", err)
 	}
 
 	opts := prefetch.Options{
@@ -65,17 +92,17 @@ func main() {
 	}
 	results := prefetch.Run(mod, opts)
 	if err := mod.Verify(); err != nil {
-		fatal(fmt.Errorf("internal error: pass produced invalid IR: %w", err))
+		return fmt.Errorf("internal error: pass produced invalid IR: %w", err)
 	}
 	if *optimize {
 		cleaned := opt.Run(mod)
 		if err := mod.Verify(); err != nil {
-			fatal(fmt.Errorf("internal error: cleanup produced invalid IR: %w", err))
+			return fmt.Errorf("internal error: cleanup produced invalid IR: %w", err)
 		}
 		if !*quiet {
 			for n, r := range cleaned {
 				if r.Folded+r.CSEHits+r.DeadInstrs+r.DeadArcs > 0 {
-					fmt.Fprintf(os.Stderr, "; func @%s cleanup: %d folded, %d CSE, %d dead\n",
+					fmt.Fprintf(stderr, "; func @%s cleanup: %d folded, %d CSE, %d dead\n",
 						n, r.Folded, r.CSEHits, r.DeadInstrs)
 				}
 			}
@@ -84,17 +111,17 @@ func main() {
 
 	switch *dot {
 	case "":
-		fmt.Print(mod.String())
+		fmt.Fprint(stdout, mod.String())
 	case "cfg":
 		for _, f := range mod.Funcs {
-			fmt.Print(ir.DotCFG(f))
+			fmt.Fprint(stdout, ir.DotCFG(f))
 		}
 	case "ddg":
 		for _, f := range mod.Funcs {
-			fmt.Print(ir.DotDDG(f))
+			fmt.Fprint(stdout, ir.DotDDG(f))
 		}
 	default:
-		fatal(fmt.Errorf("unknown -dot mode %q (want cfg or ddg)", *dot))
+		return fmt.Errorf("unknown -dot mode %q (want cfg or ddg)", *dot)
 	}
 
 	if !*quiet {
@@ -108,29 +135,25 @@ func main() {
 			if len(r.Emitted) == 0 && len(r.Rejections) == 0 {
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "; func @%s: %d prefetches, %d new instructions\n",
+			fmt.Fprintf(stderr, "; func @%s: %d prefetches, %d new instructions\n",
 				n, len(r.Emitted), r.NewInstrs)
 			for _, e := range r.Emitted {
-				fmt.Fprintf(os.Stderr, ";   prefetch for %%%s: position %d/%d, offset %d iterations\n",
+				fmt.Fprintf(stderr, ";   prefetch for %%%s: position %d/%d, offset %d iterations\n",
 					e.Target.Name, e.Position, e.ChainLen, e.Offset)
 			}
 			for _, rej := range r.Rejections {
-				fmt.Fprintf(os.Stderr, ";   skipped %%%s: %s\n", rej.Load.Name, rej.Reason)
+				fmt.Fprintf(stderr, ";   skipped %%%s: %s\n", rej.Load.Name, rej.Reason)
 			}
 		}
 	}
+	return nil
 }
 
-func readInput(path string) (string, error) {
+func readInput(path string, stdin io.Reader) (string, error) {
 	if path == "" || path == "-" {
-		b, err := io.ReadAll(os.Stdin)
+		b, err := io.ReadAll(stdin)
 		return string(b), err
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "swpfc:", err)
-	os.Exit(1)
 }

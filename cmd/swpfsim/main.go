@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,42 +27,68 @@ import (
 	"repro/internal/uarch"
 )
 
+// errParse marks a flag-parsing failure the FlagSet has already
+// reported to stderr.
+var errParse = errors.New("flag parse")
+
 func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // usage already printed; exit 0
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the problem
+	default:
+		fmt.Fprintln(os.Stderr, "swpfsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags and file access are
+// parameterised on the given streams.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swpfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		system = flag.String("system", "Haswell", "machine: Haswell, XeonPhi, A57, A53, generic")
-		fn     = flag.String("fn", "main", "function to execute")
-		limit  = flag.Uint64("max-instrs", 0, "dynamic instruction budget (0 = default)")
-		trace  = flag.Int("trace", 0, "dump the last N memory accesses to stderr")
+		system = fs.String("system", "Haswell", "machine: Haswell, XeonPhi, A57, A53, generic")
+		fn     = fs.String("fn", "main", "function to execute")
+		limit  = fs.Uint64("max-instrs", 0, "dynamic instruction budget (0 = default)")
+		trace  = fs.Int("trace", 0, "dump the last N memory accesses to stderr")
 	)
-	flag.Parse()
-	if flag.NArg() < 1 {
-		fatal(fmt.Errorf("usage: swpfsim [flags] <file.ir|-> [args...]"))
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: swpfsim [flags] <file.ir|-> [args...]")
 	}
 
-	src, err := readInput(flag.Arg(0))
+	src, err := readInput(fs.Arg(0), stdin)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mod, err := ir.Parse(src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := mod.Verify(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	var cfg *sim.Config
 	if *system == "generic" {
 		cfg = sim.DefaultConfig()
 	} else if cfg = uarch.ByName(*system); cfg == nil {
-		fatal(fmt.Errorf("unknown system %q", *system))
+		return fmt.Errorf("unknown system %q", *system)
 	}
 
-	args := make([]int64, flag.NArg()-1)
-	for i := 1; i < flag.NArg(); i++ {
-		v, err := strconv.ParseInt(flag.Arg(i), 0, 64)
+	args := make([]int64, fs.NArg()-1)
+	for i := 1; i < fs.NArg(); i++ {
+		v, err := strconv.ParseInt(fs.Arg(i), 0, 64)
 		if err != nil {
-			fatal(fmt.Errorf("argument %d: %w", i, err))
+			return fmt.Errorf("argument %d: %w", i, err)
 		}
 		args[i-1] = v
 	}
@@ -75,46 +102,42 @@ func main() {
 	}
 	result, err := mach.Run(*fn, args...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if tracer != nil {
-		fmt.Fprintf(os.Stderr, "last %d of %d memory accesses:\n%s",
+		fmt.Fprintf(stderr, "last %d of %d memory accesses:\n%s",
 			len(tracer.Events()), tracer.Total(), tracer.Dump())
 	}
 	st := mach.Stats()
 	hier := mach.Core.Hierarchy()
 
-	fmt.Printf("result:          %d\n", result)
-	fmt.Printf("system:          %s\n", cfg.Name)
-	fmt.Printf("cycles:          %.0f\n", st.Cycles)
-	fmt.Printf("instructions:    %d (IPC %.2f)\n", st.Instructions,
+	fmt.Fprintf(stdout, "result:          %d\n", result)
+	fmt.Fprintf(stdout, "system:          %s\n", cfg.Name)
+	fmt.Fprintf(stdout, "cycles:          %.0f\n", st.Cycles)
+	fmt.Fprintf(stdout, "instructions:    %d (IPC %.2f)\n", st.Instructions,
 		float64(st.Instructions)/st.Cycles)
-	fmt.Printf("loads/stores:    %d / %d\n", st.Loads, st.Stores)
-	fmt.Printf("sw prefetches:   %d\n", st.Prefetches)
+	fmt.Fprintf(stdout, "loads/stores:    %d / %d\n", st.Loads, st.Stores)
+	fmt.Fprintf(stdout, "sw prefetches:   %d\n", st.Prefetches)
 	for _, c := range hier.Caches() {
 		cc := c.Config()
 		total := c.Hits + c.Misses
 		if total == 0 {
 			continue
 		}
-		fmt.Printf("%-4s hit rate:   %.1f%% (%d/%d)\n", cc.Name,
+		fmt.Fprintf(stdout, "%-4s hit rate:   %.1f%% (%d/%d)\n", cc.Name,
 			100*float64(c.Hits)/float64(total), c.Hits, total)
 	}
-	fmt.Printf("DRAM accesses:   %d (%d bytes)\n", hier.DRAMAccesses, hier.DRAMBytes)
-	fmt.Printf("TLB walks:       %d\n", hier.TLBStats().Walks)
-	fmt.Printf("load stall cyc:  %.0f\n", hier.LoadStallCycles)
+	fmt.Fprintf(stdout, "DRAM accesses:   %d (%d bytes)\n", hier.DRAMAccesses, hier.DRAMBytes)
+	fmt.Fprintf(stdout, "TLB walks:       %d\n", hier.TLBStats().Walks)
+	fmt.Fprintf(stdout, "load stall cyc:  %.0f\n", hier.LoadStallCycles)
+	return nil
 }
 
-func readInput(path string) (string, error) {
+func readInput(path string, stdin io.Reader) (string, error) {
 	if path == "" || path == "-" {
-		b, err := io.ReadAll(os.Stdin)
+		b, err := io.ReadAll(stdin)
 		return string(b), err
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "swpfsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// selfContained allocates and initialises its own arrays, so the
+// simulator can run it with no external setup: buckets[i%m]++ over a
+// pseudo-random key array, returning a checksum.
+const selfContained = `module t
+func kernel(%n: i64) -> i64 {
+entry:
+  %keys = alloc %n, 8
+  %buckets = alloc %n, 8
+  br init
+init:
+  %i = phi i64 [entry: 0, init: %i2]
+  %h = mul %i, 2654435761
+  %k = rem %h, %n
+  %kp = gep %keys, %i, 8
+  store i64, %kp, %k
+  %i2 = add %i, 1
+  %c = cmp lt %i2, %n
+  cbr %c, init, loop
+loop:
+  %j = phi i64 [init: 0, loop: %j2]
+  %acc = phi i64 [init: 0, loop: %acc2]
+  %jp = gep %keys, %j, 8
+  %kj = load i64, %jp
+  %bp = gep %buckets, %kj, 8
+  %old = load i64, %bp
+  %new = add %old, 1
+  store i64, %bp, %new
+  %acc2 = add %acc, %new
+  %j2 = add %j, 1
+  %c2 = cmp lt %j2, %n
+  cbr %c2, loop, done
+done:
+  ret %acc2
+}
+`
+
+func writeKernel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "k.ir")
+	if err := os.WriteFile(path, []byte(selfContained), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunsKernelFile(t *testing.T) {
+	path := writeKernel(t)
+	var out bytes.Buffer
+	if err := run([]string{"-fn", "kernel", path, "256"}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"result:", "cycles:", "instructions:", "DRAM accesses:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSystemsAgreeOnResult(t *testing.T) {
+	path := writeKernel(t)
+	var results []string
+	for _, sys := range []string{"generic", "Haswell", "A53"} {
+		var out bytes.Buffer
+		if err := run([]string{"-system", sys, "-fn", "kernel", path, "128"}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		line, _, _ := strings.Cut(out.String(), "\n")
+		results = append(results, line)
+	}
+	for _, r := range results[1:] {
+		if r != results[0] {
+			t.Errorf("functional result differs across systems: %v", results)
+		}
+	}
+}
+
+func TestStdinDash(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fn", "kernel", "-", "64"}, strings.NewReader(selfContained), &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("stdin run: %v", err)
+	}
+	if !strings.Contains(out.String(), "result:") {
+		t.Errorf("missing result line:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeKernel(t)
+	cases := [][]string{
+		{},                            // no file
+		{"-system", "M4", path, "8"},  // unknown system
+		{"-fn", "nope", path, "8"},    // unknown function
+		{"-fn", "kernel", path, "xy"}, // bad argument
+	}
+	for _, argv := range cases {
+		if err := run(argv, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("argv %v accepted", argv)
+		}
+	}
+}
+
+func TestMaxInstrsBudget(t *testing.T) {
+	path := writeKernel(t)
+	err := run([]string{"-fn", "kernel", "-max-instrs", "100", path, "4096"},
+		strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("expected budget exhaustion, got %v", err)
+	}
+}

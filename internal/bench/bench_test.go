@@ -67,7 +67,17 @@ func TestFig2Shape(t *testing.T) {
 	}
 }
 
+// skipInShort gates the figure-regeneration tests, which each run the
+// quick workload suite across several machine configurations.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+}
+
 func TestFig4HaswellShape(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Fig4(Quick, "Haswell")
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +95,7 @@ func TestFig4HaswellShape(t *testing.T) {
 }
 
 func TestFig4PhiICCColumn(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Fig4(Quick, "XeonPhi")
 	if err != nil {
 		t.Fatal(err)
@@ -156,6 +167,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig6QuickSingle(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Fig6(Quick, "IS")
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +182,7 @@ func TestFig6QuickSingle(t *testing.T) {
 }
 
 func TestFig7QuickShape(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Fig7(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -187,6 +200,7 @@ func TestFig7QuickShape(t *testing.T) {
 }
 
 func TestFig8QuickShape(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Fig8(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +217,7 @@ func TestFig8QuickShape(t *testing.T) {
 }
 
 func TestFig5QuickShape(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Fig5(Quick)
 	if err != nil {
 		t.Fatal(err)

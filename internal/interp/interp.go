@@ -18,7 +18,10 @@ type Stats struct {
 	Prefetches   uint64
 }
 
-// Machine runs IR programs against a simulated core.
+// Machine runs IR programs against a simulated core. Functions are
+// lowered to a flat micro-op stream on first execution and the decoded
+// form is cached on the machine (see predecode.go), so repeated runs
+// and hot loops pay no per-instruction IR traversal cost.
 type Machine struct {
 	Mod  *ir.Module
 	Core *sim.Core
@@ -29,6 +32,13 @@ type Machine struct {
 	MaxInstrs uint64
 
 	stats Stats
+
+	// decoded caches the per-function lowering; phiV/phiR are scratch
+	// buffers for the parallel phi copy (phi evaluation never nests, so
+	// one machine-wide pair suffices even across calls).
+	decoded map[*ir.Function]*dfunc
+	phiV    []int64
+	phiR    []float64
 }
 
 // New builds a machine for the module on the given core configuration.
@@ -64,7 +74,7 @@ func (m *Machine) Run(name string, args ...int64) (int64, error) {
 		m.MaxInstrs = 1 << 40
 	}
 	ready := make([]float64, len(args))
-	v, _, err := m.call(f, args, ready, 0)
+	v, _, err := m.call(m.decode(f), args, ready, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -72,259 +82,275 @@ func (m *Machine) Run(name string, args ...int64) (int64, error) {
 	return v, nil
 }
 
+// frame holds one activation: SSA value/readiness slots plus the
+// incoming arguments. Operands are pre-resolved slot references (see
+// predecode.go), so reading one is an array index, not an interface
+// type switch.
 type frame struct {
-	f         *ir.Function
 	vals      []int64
 	ready     []float64
 	args      []int64
 	argsReady []float64
 }
 
-func (m *Machine) call(f *ir.Function, args []int64, argsReady []float64, depth int) (int64, float64, error) {
-	if depth > maxCallDepth {
-		return 0, 0, fmt.Errorf("interp: call depth exceeded in %s", f.Name)
+// get returns the runtime value and readiness time of an operand.
+func (fr *frame) get(o operand) (int64, float64) {
+	switch o.kind {
+	case opdConst:
+		return o.imm, 0
+	case opdParam:
+		return fr.args[o.idx], fr.argsReady[o.idx]
 	}
-	fr := &frame{
-		f:         f,
-		vals:      make([]int64, f.NumInstrs()),
-		ready:     make([]float64, f.NumInstrs()),
+	return fr.vals[o.idx], fr.ready[o.idx]
+}
+
+// readyOf returns just the readiness time of an operand.
+func (fr *frame) readyOf(o operand) float64 {
+	switch o.kind {
+	case opdConst:
+		return 0
+	case opdParam:
+		return fr.argsReady[o.idx]
+	}
+	return fr.ready[o.idx]
+}
+
+// call executes one decoded function activation: the flat uop loop that
+// replaces per-instruction IR traversal.
+func (m *Machine) call(df *dfunc, args []int64, argsReady []float64, depth int) (int64, float64, error) {
+	if depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("interp: call depth exceeded in %s", df.name)
+	}
+	fr := frame{
+		vals:      make([]int64, df.numVals),
+		ready:     make([]float64, df.numVals),
 		args:      args,
 		argsReady: argsReady,
 	}
 
-	blk := f.Entry()
-	var prev *ir.Block
+	bi, prev := int32(0), int32(-1)
+blocks:
 	for {
-		next, retVal, retReady, done, err := m.execBlock(fr, blk, prev, depth)
-		if err != nil {
-			return 0, 0, err
-		}
-		if done {
-			return retVal, retReady, nil
-		}
-		prev, blk = blk, next
-	}
-}
+		b := &df.blocks[bi]
 
-// value returns the runtime value and readiness time of an operand.
-func (fr *frame) value(v ir.Value) (int64, float64) {
-	switch x := v.(type) {
-	case *ir.Const:
-		return x.Val, 0
-	case *ir.Param:
-		return fr.args[x.Idx], fr.argsReady[x.Idx]
-	case *ir.Instr:
-		return fr.vals[x.ID], fr.ready[x.ID]
-	}
-	panic(fmt.Sprintf("interp: unknown value kind %T", v))
-}
-
-// opsReady returns the latest readiness among an instruction's operands.
-func (fr *frame) opsReady(in *ir.Instr) float64 {
-	var r float64
-	for _, a := range in.Args {
-		if _, t := fr.value(a); t > r {
-			r = t
-		}
-	}
-	return r
-}
-
-// execBlock runs one basic block and returns the successor (or the
-// return value when the function ends).
-func (m *Machine) execBlock(fr *frame, b, prev *ir.Block, depth int) (next *ir.Block, ret int64, retReady float64, done bool, err error) {
-	// Phase 1: evaluate phis in parallel against the incoming edge.
-	phis := b.Phis()
-	if len(phis) > 0 {
-		tmpV := make([]int64, len(phis))
-		tmpR := make([]float64, len(phis))
-		for i, phi := range phis {
-			inc := phi.PhiIncoming(prev)
-			if inc == nil {
-				return nil, 0, 0, false, fmt.Errorf("interp: phi %%%s has no edge from %s", phi.Name, prev.Name)
+		// Phase 1: evaluate phis in parallel against the incoming edge.
+		if n := len(b.phiIDs); n > 0 {
+			var row []operand
+			if prev >= 0 {
+				row = b.phiArgs[prev]
 			}
-			tmpV[i], tmpR[i] = fr.value(inc)
+			if cap(m.phiV) < n {
+				m.phiV = make([]int64, n)
+				m.phiR = make([]float64, n)
+			}
+			tmpV, tmpR := m.phiV[:n], m.phiR[:n]
+			for i := 0; i < n; i++ {
+				if row == nil || row[i].kind == opdMissing {
+					prevName := "<entry>"
+					if prev >= 0 {
+						prevName = df.blocks[prev].name
+					}
+					return 0, 0, fmt.Errorf("interp: phi %%%s has no edge from %s", b.phiNames[i], prevName)
+				}
+				tmpV[i], tmpR[i] = fr.get(row[i])
+			}
+			for i := 0; i < n; i++ {
+				fr.vals[b.phiIDs[i]] = tmpV[i]
+				fr.ready[b.phiIDs[i]] = tmpR[i]
+				m.stats.Executed++
+				m.stats.OpCounts[ir.OpPhi]++
+			}
 		}
-		for i, phi := range phis {
-			fr.vals[phi.ID] = tmpV[i]
-			fr.ready[phi.ID] = tmpR[i]
+
+		for ui := range b.uops {
+			u := &b.uops[ui]
+			if m.stats.Executed >= m.MaxInstrs {
+				return 0, 0, fmt.Errorf("interp: instruction budget (%d) exhausted in %s", m.MaxInstrs, df.name)
+			}
 			m.stats.Executed++
-			m.stats.OpCounts[ir.OpPhi]++
-		}
-	}
+			m.stats.OpCounts[u.op]++
 
-	for _, in := range b.Instrs[len(phis):] {
-		if m.stats.Executed >= m.MaxInstrs {
-			return nil, 0, 0, false, fmt.Errorf("interp: instruction budget (%d) exhausted in %s", m.MaxInstrs, fr.f.Name)
-		}
-		m.stats.Executed++
-		m.stats.OpCounts[in.Op]++
-		opsReady := fr.opsReady(in)
-
-		switch in.Op {
-		case ir.OpAlloc:
-			elems, _ := fr.value(in.Args[0])
-			esize, _ := fr.value(in.Args[1])
-			base, aerr := m.Mem.Alloc(elems * esize)
-			if aerr != nil {
-				return nil, 0, 0, false, aerr
-			}
-			fr.vals[in.ID] = base
-			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
-
-		case ir.OpLoad:
-			addr, _ := fr.value(in.Args[0])
-			v, lerr := m.Mem.Load(addr, in.Typ)
-			if lerr != nil {
-				return nil, 0, 0, false, lerr
-			}
-			m.stats.Loads++
-			fr.vals[in.ID] = v
-			fr.ready[in.ID] = m.Core.Load(in.ID, addr, opsReady)
-
-		case ir.OpStore:
-			addr, _ := fr.value(in.Args[0])
-			v, _ := fr.value(in.Args[1])
-			if serr := m.Mem.Store(addr, v, ir.StoreType(in)); serr != nil {
-				return nil, 0, 0, false, serr
-			}
-			m.stats.Stores++
-			m.Core.Store(in.ID, addr, opsReady)
-
-		case ir.OpPrefetch:
-			addr, _ := fr.value(in.Args[0])
-			m.stats.Prefetches++
-			m.Core.Prefetch(in.ID, addr, opsReady, m.Mem.Valid(addr, 1))
-
-		case ir.OpGEP:
-			base, _ := fr.value(in.Args[0])
-			idx, _ := fr.value(in.Args[1])
-			scale, _ := fr.value(in.Args[2])
-			fr.vals[in.ID] = base + idx*scale
-			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
-
-		case ir.OpCmp:
-			a, _ := fr.value(in.Args[0])
-			bv, _ := fr.value(in.Args[1])
-			if in.Pred.Eval(a, bv) {
-				fr.vals[in.ID] = 1
+			// Latest readiness among the operands.
+			var opsReady float64
+			if u.xargs != nil {
+				for _, o := range u.xargs {
+					if r := fr.readyOf(o); r > opsReady {
+						opsReady = r
+					}
+				}
 			} else {
-				fr.vals[in.ID] = 0
+				if u.nargs > 0 {
+					opsReady = fr.readyOf(u.a0)
+				}
+				if u.nargs > 1 {
+					if r := fr.readyOf(u.a1); r > opsReady {
+						opsReady = r
+					}
+				}
+				if u.nargs > 2 {
+					if r := fr.readyOf(u.a2); r > opsReady {
+						opsReady = r
+					}
+				}
 			}
-			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
 
-		case ir.OpSelect:
-			c, _ := fr.value(in.Args[0])
-			a, _ := fr.value(in.Args[1])
-			bv, _ := fr.value(in.Args[2])
-			if c != 0 {
-				fr.vals[in.ID] = a
-			} else {
-				fr.vals[in.ID] = bv
-			}
-			fr.ready[in.ID] = m.Core.Op(opsReady, 1)
+			switch u.op {
+			case ir.OpAlloc:
+				elems, _ := fr.get(u.a0)
+				esize, _ := fr.get(u.a1)
+				base, aerr := m.Mem.Alloc(elems * esize)
+				if aerr != nil {
+					return 0, 0, aerr
+				}
+				fr.vals[u.id] = base
+				fr.ready[u.id] = m.Core.Op(opsReady, 1)
 
-		case ir.OpCall:
-			callee := m.Mod.Func(in.Callee)
-			if callee == nil {
-				return nil, 0, 0, false, fmt.Errorf("interp: call to undefined @%s", in.Callee)
-			}
-			cargs := make([]int64, len(in.Args))
-			cready := make([]float64, len(in.Args))
-			for i, a := range in.Args {
-				cargs[i], cready[i] = fr.value(a)
-			}
-			m.Core.Op(opsReady, 1) // call overhead
-			v, r, cerr := m.call(callee, cargs, cready, depth+1)
-			if cerr != nil {
-				return nil, 0, 0, false, cerr
-			}
-			fr.vals[in.ID] = v
-			fr.ready[in.ID] = r
+			case ir.OpLoad:
+				addr, _ := fr.get(u.a0)
+				v, lerr := m.Mem.Load(addr, u.typ)
+				if lerr != nil {
+					return 0, 0, lerr
+				}
+				m.stats.Loads++
+				fr.vals[u.id] = v
+				fr.ready[u.id] = m.Core.Load(int(u.id), addr, opsReady)
 
-		case ir.OpBr:
-			m.Core.Branch(opsReady, false)
-			return in.Targets[0], 0, 0, false, nil
+			case ir.OpStore:
+				addr, _ := fr.get(u.a0)
+				v, _ := fr.get(u.a1)
+				if serr := m.Mem.Store(addr, v, u.typ); serr != nil {
+					return 0, 0, serr
+				}
+				m.stats.Stores++
+				m.Core.Store(int(u.id), addr, opsReady)
 
-		case ir.OpCBr:
-			c, _ := fr.value(in.Args[0])
-			m.Core.Branch(opsReady, true)
-			if c != 0 {
-				return in.Targets[0], 0, 0, false, nil
-			}
-			return in.Targets[1], 0, 0, false, nil
+			case ir.OpPrefetch:
+				addr, _ := fr.get(u.a0)
+				m.stats.Prefetches++
+				m.Core.Prefetch(int(u.id), addr, opsReady, m.Mem.Valid(addr, 1))
 
-		case ir.OpRet:
-			m.Core.Op(opsReady, 1)
-			if len(in.Args) == 1 {
-				v, r := fr.value(in.Args[0])
-				return nil, v, r, true, nil
-			}
-			return nil, 0, 0, true, nil
+			case ir.OpGEP:
+				base, _ := fr.get(u.a0)
+				idx, _ := fr.get(u.a1)
+				scale, _ := fr.get(u.a2)
+				fr.vals[u.id] = base + idx*scale
+				fr.ready[u.id] = m.Core.Op(opsReady, 1)
 
-		default:
-			v, verr := m.arith(in, fr, opsReady)
-			if verr != nil {
-				return nil, 0, 0, false, verr
+			case ir.OpCmp:
+				a, _ := fr.get(u.a0)
+				bv, _ := fr.get(u.a1)
+				if u.pred.Eval(a, bv) {
+					fr.vals[u.id] = 1
+				} else {
+					fr.vals[u.id] = 0
+				}
+				fr.ready[u.id] = m.Core.Op(opsReady, 1)
+
+			case ir.OpSelect:
+				c, _ := fr.get(u.a0)
+				a, _ := fr.get(u.a1)
+				bv, _ := fr.get(u.a2)
+				if c != 0 {
+					fr.vals[u.id] = a
+				} else {
+					fr.vals[u.id] = bv
+				}
+				fr.ready[u.id] = m.Core.Op(opsReady, 1)
+
+			case ir.OpCall:
+				callee := u.calleeFn
+				if callee == nil {
+					if callee = m.Mod.Func(u.callee); callee == nil {
+						return 0, 0, fmt.Errorf("interp: call to undefined @%s", u.callee)
+					}
+					u.calleeFn = callee
+				}
+				cdf := m.decode(callee)
+				cargs := make([]int64, len(u.xargs))
+				cready := make([]float64, len(u.xargs))
+				for i, o := range u.xargs {
+					cargs[i], cready[i] = fr.get(o)
+				}
+				m.Core.Op(opsReady, 1) // call overhead
+				v, r, cerr := m.call(cdf, cargs, cready, depth+1)
+				if cerr != nil {
+					return 0, 0, cerr
+				}
+				fr.vals[u.id] = v
+				fr.ready[u.id] = r
+
+			case ir.OpBr:
+				m.Core.Branch(opsReady, false)
+				prev, bi = bi, u.tgt0
+				continue blocks
+
+			case ir.OpCBr:
+				c, _ := fr.get(u.a0)
+				m.Core.Branch(opsReady, true)
+				if c != 0 {
+					prev, bi = bi, u.tgt0
+				} else {
+					prev, bi = bi, u.tgt1
+				}
+				continue blocks
+
+			case ir.OpRet:
+				m.Core.Op(opsReady, 1)
+				if u.nargs == 1 {
+					v, r := fr.get(u.a0)
+					return v, r, nil
+				}
+				return 0, 0, nil
+
+			default:
+				// Binary arithmetic; latency was resolved at decode time.
+				a, _ := fr.get(u.a0)
+				bv, _ := fr.get(u.a1)
+				var v int64
+				switch u.op {
+				case ir.OpAdd:
+					v = a + bv
+				case ir.OpSub:
+					v = a - bv
+				case ir.OpMul:
+					v = a * bv
+				case ir.OpDiv:
+					if bv == 0 {
+						return 0, 0, &Fault{Op: ir.OpDiv, Msg: "division by zero"}
+					}
+					v = a / bv
+				case ir.OpRem:
+					if bv == 0 {
+						return 0, 0, &Fault{Op: ir.OpRem, Msg: "division by zero"}
+					}
+					v = a % bv
+				case ir.OpAnd:
+					v = a & bv
+				case ir.OpOr:
+					v = a | bv
+				case ir.OpXor:
+					v = a ^ bv
+				case ir.OpShl:
+					v = a << (uint64(bv) & 63)
+				case ir.OpShr:
+					v = int64(uint64(a) >> (uint64(bv) & 63))
+				case ir.OpMin:
+					v = a
+					if bv < a {
+						v = bv
+					}
+				case ir.OpMax:
+					v = a
+					if bv > a {
+						v = bv
+					}
+				default:
+					return 0, 0, fmt.Errorf("interp: unimplemented opcode %s", u.op)
+				}
+				fr.vals[u.id] = v
+				fr.ready[u.id] = m.Core.Op(opsReady, u.lat)
 			}
-			fr.vals[in.ID] = v
 		}
+		return 0, 0, fmt.Errorf("interp: block %s fell through without terminator", b.name)
 	}
-	return nil, 0, 0, false, fmt.Errorf("interp: block %s fell through without terminator", b.Name)
-}
-
-// arith evaluates the binary arithmetic opcodes and charges the core.
-func (m *Machine) arith(in *ir.Instr, fr *frame, opsReady float64) (int64, error) {
-	a, _ := fr.value(in.Args[0])
-	b, _ := fr.value(in.Args[1])
-	lat := int64(1)
-	var v int64
-	switch in.Op {
-	case ir.OpAdd:
-		v = a + b
-	case ir.OpSub:
-		v = a - b
-	case ir.OpMul:
-		v = a * b
-		lat = m.Core.Config().MulLatency
-	case ir.OpDiv:
-		if b == 0 {
-			return 0, &Fault{Op: ir.OpDiv, Msg: "division by zero"}
-		}
-		v = a / b
-		lat = m.Core.Config().DivLatency
-	case ir.OpRem:
-		if b == 0 {
-			return 0, &Fault{Op: ir.OpRem, Msg: "division by zero"}
-		}
-		v = a % b
-		lat = m.Core.Config().DivLatency
-	case ir.OpAnd:
-		v = a & b
-	case ir.OpOr:
-		v = a | b
-	case ir.OpXor:
-		v = a ^ b
-	case ir.OpShl:
-		v = a << (uint64(b) & 63)
-	case ir.OpShr:
-		v = int64(uint64(a) >> (uint64(b) & 63))
-	case ir.OpMin:
-		v = a
-		if b < a {
-			v = b
-		}
-	case ir.OpMax:
-		v = a
-		if b > a {
-			v = b
-		}
-	default:
-		return 0, fmt.Errorf("interp: unimplemented opcode %s", in.Op)
-	}
-	if lat == 0 {
-		lat = 1
-	}
-	fr.ready[in.ID] = m.Core.Op(opsReady, lat)
-	return v, nil
 }

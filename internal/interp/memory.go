@@ -4,6 +4,7 @@
 package interp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -97,21 +98,19 @@ func (m *Memory) Load(addr int64, t ir.Type) (int64, error) {
 		return 0, &Fault{Addr: addr, Op: ir.OpLoad, Msg: "unmapped address"}
 	}
 	off := addr - s.base
-	var u uint64
-	for i := int64(0); i < w; i++ {
-		u |= uint64(s.data[off+i]) << (8 * i)
-	}
 	// Sign-extend narrower types, matching C's int semantics in the
 	// benchmarks the paper uses.
 	switch t {
 	case ir.I8:
-		return int64(int8(u)), nil
+		return int64(int8(s.data[off])), nil
 	case ir.I16:
-		return int64(int16(u)), nil
+		return int64(int16(binary.LittleEndian.Uint16(s.data[off:]))), nil
 	case ir.I32:
-		return int64(int32(u)), nil
+		return int64(int32(binary.LittleEndian.Uint32(s.data[off:]))), nil
+	case ir.I64, ir.Ptr:
+		return int64(binary.LittleEndian.Uint64(s.data[off:])), nil
 	}
-	return int64(u), nil
+	return 0, nil // zero-width access
 }
 
 // Store writes a little-endian value of the given type.
@@ -122,8 +121,15 @@ func (m *Memory) Store(addr int64, val int64, t ir.Type) error {
 		return &Fault{Addr: addr, Op: ir.OpStore, Msg: "unmapped address"}
 	}
 	off := addr - s.base
-	for i := int64(0); i < w; i++ {
-		s.data[off+i] = byte(val >> (8 * i))
+	switch w {
+	case 1:
+		s.data[off] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(s.data[off:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(s.data[off:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(s.data[off:], uint64(val))
 	}
 	return nil
 }

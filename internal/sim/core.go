@@ -23,10 +23,11 @@ type Core struct {
 	cfg  *Config
 	hier *Hierarchy
 
-	clock   float64
-	rob     []float64 // completion times of the last ROBSize instructions
-	robPos  int
-	retired uint64
+	clock    float64
+	issueInt float64   // 1/IssueWidth, precomputed off the issue path
+	rob      []float64 // completion times of the last ROBSize instructions
+	robPos   int
+	retired  uint64
 
 	// Branch predictor state: simple deterministic "mispredict every
 	// 1/rate branches" counter, keeping runs reproducible.
@@ -42,9 +43,10 @@ type Core struct {
 // NewCore builds a core over a fresh memory hierarchy.
 func NewCore(cfg *Config) *Core {
 	return &Core{
-		cfg:  cfg,
-		hier: NewHierarchy(cfg),
-		rob:  make([]float64, cfg.ROBSize),
+		cfg:      cfg,
+		hier:     NewHierarchy(cfg),
+		issueInt: 1 / float64(cfg.IssueWidth),
+		rob:      make([]float64, cfg.ROBSize),
 	}
 }
 
@@ -67,7 +69,7 @@ func (c *Core) issueAt(opsReady float64) float64 {
 	if !c.cfg.OutOfOrder && opsReady > c.clock {
 		c.clock = opsReady // stall-on-use
 	}
-	c.clock += 1 / float64(c.cfg.IssueWidth)
+	c.clock += c.issueInt
 	c.Instructions++
 	return c.clock
 }

@@ -32,7 +32,7 @@ type Hierarchy struct {
 
 	// Miss status: in-flight line fills, so that accesses to a line
 	// already being fetched merge instead of issuing twice.
-	inflight map[int64]float64
+	inflight *timeMap
 
 	// Stride prefetcher state: a limited set of per-4KiB-region stream
 	// trackers, LRU-replaced. Random access patterns allocate and evict
@@ -40,7 +40,8 @@ type Hierarchy struct {
 	// coverage — the behaviour of real region-based streamers that
 	// makes software stride prefetches profitable next to indirect
 	// accesses (paper §3, figures 2 and 5).
-	stride      map[int64]*strideEntry
+	stride      []strideEntry
+	strideLive  int
 	strideStamp uint64
 
 	// tracer, when non-nil, records every access (see trace.go).
@@ -58,10 +59,12 @@ type Hierarchy struct {
 }
 
 type strideEntry struct {
+	region   int64
 	lastLine int64
 	stride   int64
 	conf     int
 	used     uint64 // LRU stamp
+	live     bool
 }
 
 // NewHierarchy builds the memory system for a machine configuration.
@@ -69,11 +72,15 @@ func NewHierarchy(cfg *Config) *Hierarchy {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	streams := cfg.StrideStreams
+	if streams <= 0 {
+		streams = 16
+	}
 	h := &Hierarchy{
 		cfg:      cfg,
 		tlb:      NewTLB(cfg),
-		inflight: map[int64]float64{},
-		stride:   map[int64]*strideEntry{},
+		inflight: newTimeMap(4 * cfg.MSHRs),
+		stride:   make([]strideEntry, streams),
 		mshr:     make([]float64, cfg.MSHRs),
 	}
 	for _, cc := range cfg.Caches {
@@ -176,7 +183,7 @@ func (h *Hierarchy) Access(kind AccessKind, pc int, addr int64, start float64) f
 // acquiring an MSHR, and arbitrating for the bus.
 func (h *Hierarchy) dramFetch(addr int64, t float64, kind AccessKind, firstLevel int) float64 {
 	line := addr >> h.lineShift
-	if done, ok := h.inflight[line]; ok && done > t {
+	if done, ok := h.inflight.get(line); ok && done > t {
 		return done
 	}
 
@@ -201,13 +208,9 @@ func (h *Hierarchy) dramFetch(addr int64, t float64, kind AccessKind, firstLevel
 	done := busStart + float64(h.cfg.DRAMLatency)
 
 	h.mshr[slot] = done
-	h.inflight[line] = done
-	if len(h.inflight) > 4*len(h.mshr) {
-		for l, d := range h.inflight {
-			if d <= t {
-				delete(h.inflight, l)
-			}
-		}
+	h.inflight.put(line, done)
+	if h.inflight.n > 4*len(h.mshr) {
+		h.inflight.sweep(t)
 	}
 	h.DRAMAccesses++
 	h.DRAMBytes += uint64(h.lineSize)
@@ -232,25 +235,34 @@ func (h *Hierarchy) trainStride(pc int, addr int64, now float64) {
 	line := addr >> h.lineShift
 	region := addr >> 12
 	h.strideStamp++
-	e := h.stride[region]
-	if e == nil {
-		streams := h.cfg.StrideStreams
-		if streams <= 0 {
-			streams = 16
+	var e *strideEntry
+	for i := range h.stride {
+		if h.stride[i].live && h.stride[i].region == region {
+			e = &h.stride[i]
+			break
 		}
-		if len(h.stride) >= streams {
-			// Evict the LRU tracker.
-			var victim int64
-			oldest := ^uint64(0)
-			for r, t := range h.stride {
-				if t.used < oldest {
-					oldest = t.used
-					victim = r
+	}
+	if e == nil {
+		slot := -1
+		if h.strideLive >= len(h.stride) {
+			// Evict the LRU tracker (stamps are unique, so the victim is
+			// the same one the map version chose).
+			slot = 0
+			for i := 1; i < len(h.stride); i++ {
+				if h.stride[i].used < h.stride[slot].used {
+					slot = i
 				}
 			}
-			delete(h.stride, victim)
+		} else {
+			for i := range h.stride {
+				if !h.stride[i].live {
+					slot = i
+					break
+				}
+			}
+			h.strideLive++
 		}
-		h.stride[region] = &strideEntry{lastLine: line, used: h.strideStamp}
+		h.stride[slot] = strideEntry{region: region, lastLine: line, used: h.strideStamp, live: true}
 		return
 	}
 	e.used = h.strideStamp
@@ -310,8 +322,9 @@ func (h *Hierarchy) Reset() {
 	for i := range h.mshr {
 		h.mshr[i] = 0
 	}
-	h.inflight = map[int64]float64{}
-	h.stride = map[int64]*strideEntry{}
+	h.inflight.reset()
+	clear(h.stride)
+	h.strideLive = 0
 	h.strideStamp = 0
 	h.Loads, h.Stores, h.SWPrefetches, h.HWPrefetches = 0, 0, 0, 0
 	h.DRAMAccesses, h.DRAMBytes = 0, 0

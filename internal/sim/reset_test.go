@@ -1,0 +1,182 @@
+package sim
+
+import "testing"
+
+// hierSnapshot captures every statistic the hierarchy exposes, plus the
+// drain time, so Reset regressions cannot hide in any counter.
+type hierSnapshot struct {
+	loads, stores, swpf, hwpf   uint64
+	dram, dramBytes             uint64
+	mshrStall, loadStall, late  float64
+	cacheHits, cacheMisses      []uint64
+	pfFills, pfUnused, pfUsed   []uint64
+	tlbHits, tlbL2, tlbWalks    uint64
+	walkStall, drain, lastReady float64
+}
+
+func driveHierarchy(h *Hierarchy) hierSnapshot {
+	r := lcg(42)
+	now := 0.0
+	var w window
+	var last float64
+	for i := 0; i < 20000; i++ {
+		// A mix of streams, random demand traffic, stores and software
+		// prefetches, so every bookkeeping structure gets exercised:
+		// stride trackers, MSHRs, in-flight merges, both TLB levels and
+		// the page-walker queue.
+		h.Access(AccessLoad, 1, int64(i)*8, now)
+		addr := int64(r.next() & (1<<27 - 1))
+		h.Access(AccessPrefetch, 2, addr, now)
+		last = h.Access(AccessLoad, 3, addr, now+6)
+		if i%3 == 0 {
+			h.Access(AccessStore, 4, int64(r.next()&(1<<22-1)), now)
+		}
+		now = w.pace(now, last) + 1
+	}
+	s := hierSnapshot{
+		loads: h.Loads, stores: h.Stores, swpf: h.SWPrefetches, hwpf: h.HWPrefetches,
+		dram: h.DRAMAccesses, dramBytes: h.DRAMBytes,
+		mshrStall: h.MSHRStallCycles, loadStall: h.LoadStallCycles, late: h.PrefetchLateCycles,
+		tlbHits: h.tlb.Hits, tlbL2: h.tlb.L2Hits, tlbWalks: h.tlb.Walks,
+		walkStall: h.tlb.WalkStallCycles, drain: h.Drain(), lastReady: last,
+	}
+	for _, c := range h.Caches() {
+		s.cacheHits = append(s.cacheHits, c.Hits)
+		s.cacheMisses = append(s.cacheMisses, c.Misses)
+		s.pfFills = append(s.pfFills, c.PrefetchFills)
+		s.pfUnused = append(s.pfUnused, c.PrefetchedUnused)
+		s.pfUsed = append(s.pfUsed, c.PrefetchedUsed)
+	}
+	return s
+}
+
+// TestHierarchyResetReproducesStats is the regression test for the
+// array-refactored reset paths: a Reset hierarchy must be
+// indistinguishable from a fresh one, reproducing bit-identical
+// statistics for an identical access sequence.
+func TestHierarchyResetReproducesStats(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	first := driveHierarchy(h)
+	h.Reset()
+	second := driveHierarchy(h)
+
+	fresh := driveHierarchy(NewHierarchy(cfg))
+
+	for name, pair := range map[string][2]hierSnapshot{
+		"reset-vs-first": {first, second},
+		"reset-vs-fresh": {fresh, second},
+	} {
+		a, b := pair[0], pair[1]
+		if a.loads != b.loads || a.stores != b.stores || a.swpf != b.swpf || a.hwpf != b.hwpf {
+			t.Errorf("%s: access counters differ: %+v vs %+v", name, a, b)
+		}
+		if a.dram != b.dram || a.dramBytes != b.dramBytes {
+			t.Errorf("%s: DRAM stats differ: %d/%d vs %d/%d", name, a.dram, a.dramBytes, b.dram, b.dramBytes)
+		}
+		if a.mshrStall != b.mshrStall || a.loadStall != b.loadStall || a.late != b.late {
+			t.Errorf("%s: stall cycles differ: %v/%v/%v vs %v/%v/%v",
+				name, a.mshrStall, a.loadStall, a.late, b.mshrStall, b.loadStall, b.late)
+		}
+		if a.tlbHits != b.tlbHits || a.tlbL2 != b.tlbL2 || a.tlbWalks != b.tlbWalks || a.walkStall != b.walkStall {
+			t.Errorf("%s: TLB stats differ: %d/%d/%d/%v vs %d/%d/%d/%v",
+				name, a.tlbHits, a.tlbL2, a.tlbWalks, a.walkStall, b.tlbHits, b.tlbL2, b.tlbWalks, b.walkStall)
+		}
+		if a.drain != b.drain || a.lastReady != b.lastReady {
+			t.Errorf("%s: timing differs: drain %v vs %v, last %v vs %v", name, a.drain, b.drain, a.lastReady, b.lastReady)
+		}
+		for i := range a.cacheHits {
+			if a.cacheHits[i] != b.cacheHits[i] || a.cacheMisses[i] != b.cacheMisses[i] ||
+				a.pfFills[i] != b.pfFills[i] || a.pfUnused[i] != b.pfUnused[i] || a.pfUsed[i] != b.pfUsed[i] {
+				t.Errorf("%s: cache L%d stats differ", name, i+1)
+			}
+		}
+	}
+}
+
+// TestResetPreservesStorage asserts that Reset reuses the bookkeeping
+// storage instead of reallocating it — the point of the refactor.
+func TestResetPreservesStorage(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	driveHierarchy(h)
+
+	strideBefore := &h.stride[0]
+	inflightBefore := h.inflight
+	inflightKeys := &h.inflight.keys[0]
+	l1Before := h.tlb.l1
+	l1Keys := &h.tlb.l1.keys[0]
+	pendingBefore := h.tlb.pending
+
+	h.Reset()
+
+	if &h.stride[0] != strideBefore {
+		t.Error("Reset reallocated the stride tracker array")
+	}
+	if h.inflight != inflightBefore || &h.inflight.keys[0] != inflightKeys {
+		t.Error("Reset reallocated the in-flight fill table")
+	}
+	if h.tlb.l1 != l1Before || &h.tlb.l1.keys[0] != l1Keys {
+		t.Error("TLB Reset reallocated the L1 array")
+	}
+	if h.tlb.pending != pendingBefore {
+		t.Error("TLB Reset reallocated the pending-walk table")
+	}
+	if h.inflight.n != 0 || h.strideLive != 0 || h.tlb.l1.n != 0 {
+		t.Error("Reset left live entries behind")
+	}
+}
+
+// TestLRUMapMatchesReference cross-checks the open-addressed LRU array
+// against a straightforward map+stamp model over a random workload —
+// the exact semantics the TLB previously implemented with maps.
+func TestLRUMapMatchesReference(t *testing.T) {
+	const capacity = 8
+	m := newLRUMap(capacity)
+	ref := map[int64]uint64{}
+	var stamp uint64
+	refLookup := func(k int64) bool {
+		if _, ok := ref[k]; !ok {
+			return false
+		}
+		stamp++
+		ref[k] = stamp
+		return true
+	}
+	refInsert := func(k int64) {
+		if _, ok := ref[k]; !ok && len(ref) >= capacity {
+			var victim int64
+			oldest := ^uint64(0)
+			for p, s := range ref {
+				if s < oldest {
+					oldest = s
+					victim = p
+				}
+			}
+			delete(ref, victim)
+		}
+		stamp++
+		ref[k] = stamp
+	}
+
+	r := lcg(99)
+	for i := 0; i < 100000; i++ {
+		k := int64(r.next() % 24)
+		switch r.next() % 3 {
+		case 0:
+			if got, want := m.lookup(k), refLookup(k); got != want {
+				t.Fatalf("step %d: lookup(%d) = %v, want %v", i, k, got, want)
+			}
+		default:
+			if m.lookup(k) != refLookup(k) {
+				t.Fatalf("step %d: pre-insert lookup(%d) mismatch", i, k)
+			}
+			m.insert(k)
+			refInsert(k)
+		}
+		if i%5000 == 0 {
+			m.reset()
+			ref = map[int64]uint64{}
+			stamp = 0
+		}
+	}
+}

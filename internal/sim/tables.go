@@ -1,0 +1,283 @@
+package sim
+
+// This file holds the fixed-storage replacements for what used to be
+// map[int64]-based bookkeeping on the simulator hot path: in-flight
+// line fills, in-flight page walks, and the TLB arrays. All of them
+// preserve the exact replacement/merge semantics of the map versions
+// (the map code evicted the minimum of unique monotonic LRU stamps,
+// which is precisely recency order, so the intrusive LRU list below
+// picks the identical victims), while avoiding per-access hashing
+// through Go map internals and per-Reset reallocation.
+
+// mix64 is a Fibonacci-style hash for open addressing.
+func mix64(x int64) uint64 {
+	h := uint64(x) * 0x9E3779B97F4A7C15
+	return h ^ h>>29
+}
+
+// timeMap is an open-addressed hash map from an int64 key (cache line
+// or page number) to a completion time. It backs the "merge with an
+// in-flight fill/walk" checks. Storage is reused across sweeps and
+// Reset.
+type timeMap struct {
+	keys []int64
+	vals []float64
+	live []bool
+	mask uint64
+	n    int
+
+	// sweep scratch, reused to avoid allocation.
+	sk []int64
+	sv []float64
+}
+
+func newTimeMap(hint int) *timeMap {
+	size := 16
+	for size < 4*hint {
+		size <<= 1
+	}
+	t := &timeMap{}
+	t.alloc(size)
+	return t
+}
+
+func (t *timeMap) alloc(size int) {
+	t.keys = make([]int64, size)
+	t.vals = make([]float64, size)
+	t.live = make([]bool, size)
+	t.mask = uint64(size - 1)
+}
+
+func (t *timeMap) get(key int64) (float64, bool) {
+	slot := mix64(key) & t.mask
+	for t.live[slot] {
+		if t.keys[slot] == key {
+			return t.vals[slot], true
+		}
+		slot = (slot + 1) & t.mask
+	}
+	return 0, false
+}
+
+func (t *timeMap) put(key int64, val float64) {
+	slot := mix64(key) & t.mask
+	for t.live[slot] {
+		if t.keys[slot] == key {
+			t.vals[slot] = val
+			return
+		}
+		slot = (slot + 1) & t.mask
+	}
+	t.keys[slot] = key
+	t.vals[slot] = val
+	t.live[slot] = true
+	t.n++
+	if 2*t.n > len(t.keys) {
+		t.grow()
+	}
+}
+
+func (t *timeMap) grow() {
+	ok, ov, ol := t.keys, t.vals, t.live
+	t.alloc(2 * len(ok))
+	t.n = 0
+	for i, l := range ol {
+		if l {
+			t.put(ok[i], ov[i])
+		}
+	}
+}
+
+// sweep removes every entry whose completion time is <= cutoff.
+func (t *timeMap) sweep(cutoff float64) {
+	t.sk, t.sv = t.sk[:0], t.sv[:0]
+	for i, l := range t.live {
+		if l && t.vals[i] > cutoff {
+			t.sk = append(t.sk, t.keys[i])
+			t.sv = append(t.sv, t.vals[i])
+		}
+	}
+	clear(t.live)
+	t.n = 0
+	for i, k := range t.sk {
+		t.put(k, t.sv[i])
+	}
+}
+
+func (t *timeMap) reset() {
+	clear(t.live)
+	t.n = 0
+}
+
+// lruMap is a fixed-capacity fully-associative LRU set keyed by int64,
+// used for the TLB levels. Entries live in a dense array threaded onto
+// an intrusive recency list (head = LRU, tail = MRU), and an
+// open-addressed index gives O(1) lookup; eviction is O(1) where the
+// map version re-scanned every entry for the minimum stamp.
+type lruMap struct {
+	capacity   int
+	keys       []int64 // dense, [0, n) live
+	prev, next []int32 // intrusive recency list over entry positions
+	head, tail int32   // LRU at head, MRU at tail; -1 when empty
+	n          int
+
+	idx   []int32 // slot -> entry position; idxEmpty / idxTomb sentinels
+	mask  uint64
+	tombs int
+}
+
+const (
+	idxEmpty int32 = -1
+	idxTomb  int32 = -2
+)
+
+func newLRUMap(capacity int) *lruMap {
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
+	m := &lruMap{
+		capacity: capacity,
+		keys:     make([]int64, capacity),
+		prev:     make([]int32, capacity),
+		next:     make([]int32, capacity),
+		head:     -1,
+		tail:     -1,
+		idx:      make([]int32, size),
+		mask:     uint64(size - 1),
+	}
+	for i := range m.idx {
+		m.idx[i] = idxEmpty
+	}
+	return m
+}
+
+func (m *lruMap) pushBack(pos int32) {
+	m.prev[pos] = m.tail
+	m.next[pos] = -1
+	if m.tail >= 0 {
+		m.next[m.tail] = pos
+	} else {
+		m.head = pos
+	}
+	m.tail = pos
+}
+
+func (m *lruMap) unlink(pos int32) {
+	if m.prev[pos] >= 0 {
+		m.next[m.prev[pos]] = m.next[pos]
+	} else {
+		m.head = m.next[pos]
+	}
+	if m.next[pos] >= 0 {
+		m.prev[m.next[pos]] = m.prev[pos]
+	} else {
+		m.tail = m.prev[pos]
+	}
+}
+
+func (m *lruMap) touch(pos int32) {
+	if m.tail == pos {
+		return
+	}
+	m.unlink(pos)
+	m.pushBack(pos)
+}
+
+// lookup reports whether key is present, refreshing its recency.
+func (m *lruMap) lookup(key int64) bool {
+	slot := mix64(key) & m.mask
+	for {
+		v := m.idx[slot]
+		if v == idxEmpty {
+			return false
+		}
+		if v >= 0 && m.keys[v] == key {
+			m.touch(v)
+			return true
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+// insert adds key, evicting the least-recently-used entry when full.
+// Inserting a present key just refreshes its recency.
+func (m *lruMap) insert(key int64) {
+	slot := mix64(key) & m.mask
+	reuse := int32(-1)
+	for {
+		v := m.idx[slot]
+		if v == idxEmpty {
+			break
+		}
+		if v == idxTomb {
+			if reuse < 0 {
+				reuse = int32(slot)
+			}
+		} else if m.keys[v] == key {
+			m.touch(v)
+			return
+		}
+		slot = (slot + 1) & m.mask
+	}
+
+	var pos int32
+	if m.n < m.capacity {
+		pos = int32(m.n)
+		m.n++
+	} else {
+		pos = m.head // the LRU entry
+		m.idxDelete(m.keys[pos])
+		m.unlink(pos)
+	}
+	m.keys[pos] = key
+	m.pushBack(pos)
+	if reuse >= 0 {
+		slot = uint64(reuse)
+		m.tombs--
+	}
+	m.idx[slot] = pos
+	if 4*m.tombs > len(m.idx) {
+		m.rebuild()
+	}
+}
+
+func (m *lruMap) idxDelete(key int64) {
+	slot := mix64(key) & m.mask
+	for {
+		v := m.idx[slot]
+		if v == idxEmpty {
+			return
+		}
+		if v >= 0 && m.keys[v] == key {
+			m.idx[slot] = idxTomb
+			m.tombs++
+			return
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+func (m *lruMap) rebuild() {
+	for i := range m.idx {
+		m.idx[i] = idxEmpty
+	}
+	m.tombs = 0
+	for p := 0; p < m.n; p++ {
+		slot := mix64(m.keys[p]) & m.mask
+		for m.idx[slot] != idxEmpty {
+			slot = (slot + 1) & m.mask
+		}
+		m.idx[slot] = int32(p)
+	}
+}
+
+// reset empties the map in place, preserving capacity and storage.
+func (m *lruMap) reset() {
+	m.n = 0
+	m.head, m.tail = -1, -1
+	m.tombs = 0
+	for i := range m.idx {
+		m.idx[i] = idxEmpty
+	}
+}

@@ -6,55 +6,19 @@ package sim
 // and HJ-2 to supporting only a single page-table walk at a time.
 type TLB struct {
 	pageShift uint
-	l1        *tlbArray
-	l2        *tlbArray // nil when disabled
+	l1        *lruMap
+	l2        *lruMap // nil when disabled
 	l2Latency int64
 	walkLat   int64
 	walkers   []float64 // per-walker busy-until time
 
 	// In-flight walks by page, so concurrent accesses to one page share
 	// a single walk.
-	pending map[int64]float64
+	pending *timeMap
 
 	// Stats.
 	Hits, L2Hits, Walks uint64
 	WalkStallCycles     float64
-}
-
-type tlbArray struct {
-	entries map[int64]uint64 // page -> LRU stamp
-	cap     int
-	stamp   uint64
-}
-
-func newTLBArray(capacity int) *tlbArray {
-	return &tlbArray{entries: make(map[int64]uint64, capacity), cap: capacity}
-}
-
-func (t *tlbArray) lookup(page int64) bool {
-	if _, ok := t.entries[page]; !ok {
-		return false
-	}
-	t.stamp++
-	t.entries[page] = t.stamp
-	return true
-}
-
-func (t *tlbArray) insert(page int64) {
-	if len(t.entries) >= t.cap {
-		// Evict LRU.
-		var victim int64
-		var oldest uint64 = ^uint64(0)
-		for p, s := range t.entries {
-			if s < oldest {
-				oldest = s
-				victim = p
-			}
-		}
-		delete(t.entries, victim)
-	}
-	t.stamp++
-	t.entries[page] = t.stamp
 }
 
 // NewTLB builds the TLB from a machine configuration.
@@ -65,14 +29,14 @@ func NewTLB(cfg *Config) *TLB {
 	}
 	t := &TLB{
 		pageShift: shift,
-		l1:        newTLBArray(cfg.TLBEntries),
+		l1:        newLRUMap(cfg.TLBEntries),
 		l2Latency: cfg.TLB2Latency,
 		walkLat:   cfg.WalkLatency,
 		walkers:   make([]float64, cfg.PageWalkers),
-		pending:   map[int64]float64{},
+		pending:   newTimeMap(64),
 	}
 	if cfg.TLB2Entries > 0 {
-		t.l2 = newTLBArray(cfg.TLB2Entries)
+		t.l2 = newLRUMap(cfg.TLB2Entries)
 	}
 	return t
 }
@@ -92,7 +56,7 @@ func (t *TLB) Translate(addr int64, now float64) float64 {
 		return now + float64(t.l2Latency)
 	}
 	// Join an in-flight walk for the same page if one exists.
-	if done, ok := t.pending[page]; ok && done > now {
+	if done, ok := t.pending.get(page); ok && done > now {
 		return done
 	}
 	// Acquire the least-busy walker.
@@ -110,13 +74,9 @@ func (t *TLB) Translate(addr int64, now float64) float64 {
 	}
 	done := start + float64(t.walkLat)
 	t.walkers[best] = done
-	t.pending[page] = done
-	if len(t.pending) > 64 {
-		for p, d := range t.pending {
-			if d <= now {
-				delete(t.pending, p)
-			}
-		}
+	t.pending.put(page, done)
+	if t.pending.n > 64 {
+		t.pending.sweep(now)
 	}
 	t.l1.insert(page)
 	if t.l2 != nil {
@@ -125,16 +85,17 @@ func (t *TLB) Translate(addr int64, now float64) float64 {
 	return done
 }
 
-// Reset clears all entries and statistics.
+// Reset clears all entries and statistics in place, preserving the
+// configured capacities and their storage.
 func (t *TLB) Reset() {
-	t.l1 = newTLBArray(t.l1.cap)
+	t.l1.reset()
 	if t.l2 != nil {
-		t.l2 = newTLBArray(t.l2.cap)
+		t.l2.reset()
 	}
 	for i := range t.walkers {
 		t.walkers[i] = 0
 	}
-	t.pending = map[int64]float64{}
+	t.pending.reset()
 	t.Hits, t.L2Hits, t.Walks = 0, 0, 0
 	t.WalkStallCycles = 0
 }

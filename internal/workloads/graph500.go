@@ -1,8 +1,9 @@
 package workloads
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -65,12 +66,28 @@ func G500(scale, edgeFactor int64) *Workload {
 		}
 		edges = append(edges, edge{u, v}, edge{v, u}) // undirected
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].u != edges[j].u {
-			return edges[i].u < edges[j].u
+	// The (u, v) order is total up to identical duplicate edges, so the
+	// sorted array is unique whatever the algorithm. Vertices fit in 31
+	// bits at any realistic scale, so each edge packs into one int64 and
+	// a comparator-free slices.Sort gives the same lexicographic order
+	// that sort.Slice produced, minus the per-comparison closure calls.
+	if scale < 32 {
+		keys := make([]int64, len(edges))
+		for i, e := range edges {
+			keys[i] = e.u<<32 | e.v
 		}
-		return edges[i].v < edges[j].v
-	})
+		slices.Sort(keys)
+		for i, k := range keys {
+			edges[i] = edge{u: k >> 32, v: k & 0xffffffff}
+		}
+	} else {
+		slices.SortFunc(edges, func(a, b edge) int {
+			if a.u != b.u {
+				return cmp.Compare(a.u, b.u)
+			}
+			return cmp.Compare(a.v, b.v)
+		})
+	}
 
 	// CSR arrays.
 	xoff := make([]int64, nverts+1)

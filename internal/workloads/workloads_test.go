@@ -267,6 +267,9 @@ func TestHJKeyConstruction(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every default-size workload, including the large G500 graph")
+	}
 	for _, name := range []string{"IS", "CG", "RA", "HJ-2", "HJ-8", "G500-s14", "G500-s17"} {
 		if ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
