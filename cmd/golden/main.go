@@ -7,6 +7,11 @@
 //	go run ./cmd/golden > /tmp/after.json
 //	diff /tmp/before.json /tmp/after.json
 //
+// The matrix is executed by the parallel sweep engine (-jobs, default
+// all CPUs); the dump is byte-identical for every worker count, so
+// `golden -jobs 1` against `golden -jobs N` doubles as the engine's
+// serial-vs-parallel equivalence check.
+//
 // The workload sizes are reduced relative to the benchmark defaults so
 // a full dump takes seconds, while still covering every variant, every
 // machine, both TLB page sizes' behaviours and the stride prefetcher.
@@ -14,12 +19,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/uarch"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -34,7 +41,23 @@ type record struct {
 }
 
 func main() {
-	ws := []*workloads.Workload{
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // usage already printed; exit 0
+	default:
+		fmt.Fprintln(os.Stderr, "golden:", err)
+		os.Exit(1)
+	}
+}
+
+// matrix returns the dump's workload set: the standard reduced sizes,
+// or tiny inputs when tiny is set (used by tests to keep the
+// serial-vs-parallel diff fast).
+func matrix(tiny bool) []*workloads.Workload {
+	if tiny {
+		return workloads.Tiny()
+	}
+	return []*workloads.Workload{
 		workloads.IS(1<<13, 1<<17),
 		workloads.CG(1024, 48),
 		workloads.RA(17, 1<<11),
@@ -42,33 +65,49 @@ func main() {
 		workloads.HJ(1<<12, 8),
 		workloads.G500(10, 8),
 	}
-	systems := uarch.All()
-	variants := []core.Variant{core.VariantPlain, core.VariantAuto, core.VariantManual, core.VariantICC, core.VariantIndirectOnly}
-
-	var out []record
-	for _, w := range ws {
-		for _, cfg := range systems {
-			for _, v := range variants {
-				res, err := core.Run(w, cfg, v, core.Options{Hoist: true})
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s/%s/%s: %v\n", w.Name, cfg.Name, v, err)
-					os.Exit(1)
-				}
-				out = append(out, snapshot(w, cfg, v, res))
-			}
-		}
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(out); err != nil {
-		os.Exit(1)
-	}
 }
 
-func snapshot(w *workloads.Workload, cfg *sim.Config, v core.Variant, res *core.Result) record {
+// run is the testable body of the command.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("golden", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jobs = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+		tiny = fs.Bool("tiny", false, "tiny workload sizes (fast smoke dump)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	systems, err := sweep.ParseSystems("")
+	if err != nil {
+		return err
+	}
+	grid := sweep.Grid{
+		Workloads: matrix(*tiny),
+		Systems:   systems,
+		Variants:  sweep.Variants(),
+		Options:   core.Options{Hoist: true},
+	}
+	set, err := grid.Run(*jobs)
+	if err != nil {
+		return err
+	}
+
+	out := make([]record, 0, len(set.Outcomes))
+	for i := range set.Outcomes {
+		o := &set.Outcomes[i]
+		out = append(out, snapshot(o.Workload.Name, o.System.Name, o.Variant, o.Result))
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func snapshot(workload, system string, v core.Variant, res *core.Result) record {
 	return record{
-		Workload: w.Name,
-		System:   cfg.Name,
+		Workload: workload,
+		System:   system,
 		Variant:  string(v),
 		Checksum: res.Checksum,
 		Cycles:   res.Cycles,

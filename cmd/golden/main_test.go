@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTinyDumpSerialVsParallel diffs a tiny-matrix dump between one
+// worker and many: the bytes must match exactly. This runs even in
+// -short mode; the full-size equivalence lives in internal/sweep.
+func TestTinyDumpSerialVsParallel(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-tiny", "-jobs", "1"}, &serial, &bytes.Buffer{}); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if err := run([]string{"-tiny", "-jobs", "6"}, &parallel, &bytes.Buffer{}); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatal("golden dump differs between -jobs 1 and -jobs 6")
+	}
+	// Sanity: the dump covers the full variant matrix.
+	s := serial.String()
+	for _, want := range []string{"\"plain\"", "\"auto\"", "\"manual\"", "\"icc\"", "\"indirect-only\"",
+		"\"Haswell\"", "\"XeonPhi\"", "\"A57\"", "\"A53\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dump missing %s", want)
+		}
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,5 +1,8 @@
 // Command swpfbench regenerates the figures of the evaluation section
-// of Ainsworth & Jones (CGO 2017) on the simulated machines.
+// of Ainsworth & Jones (CGO 2017) on the simulated machines, and runs
+// ad-hoc experiment grids. Independent simulations fan out across a
+// worker pool (-jobs, default all CPUs) with bit-identical results to
+// a serial run.
 //
 // Usage:
 //
@@ -7,6 +10,13 @@
 //	swpfbench -exp fig4 -system A53    # one figure
 //	swpfbench -exp fig6 -bench RA      # one look-ahead sweep
 //	swpfbench -quick                   # reduced input sizes
+//	swpfbench -jobs 1                  # serial execution
+//
+// Ad-hoc grids cross user-chosen workloads, systems and variants and
+// dump per-run statistics:
+//
+//	swpfbench -sweep -workloads IS,CG -systems Haswell,A53 -variants plain,auto
+//	swpfbench -sweep -quick -variants plain,manual -c 16 -json
 package main
 
 import (
@@ -17,6 +27,8 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 // errParse marks a flag-parsing failure the FlagSet has already
@@ -46,6 +58,16 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		wl     = fs.String("bench", "", "restrict fig6 to one benchmark (IS, CG, RA, HJ-2)")
 		quick  = fs.Bool("quick", false, "reduced input sizes")
 		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jobs   = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+
+		doSweep   = fs.Bool("sweep", false, "run an ad-hoc grid instead of a figure (see -workloads/-systems/-variants)")
+		workloads = fs.String("workloads", "", "sweep: comma-separated workloads, exact or prefix (default: all)")
+		systems   = fs.String("systems", "", "sweep: comma-separated systems (default: all)")
+		variants  = fs.String("variants", "", "sweep: comma-separated variants among plain,auto,manual,icc,indirect-only (default: plain,auto)")
+		c         = fs.Int64("c", 0, "sweep: look-ahead constant (0 = the paper's 64)")
+		depth     = fs.Int("depth", 0, "sweep: stagger depth limit (0 = unlimited)")
+		hoist     = fs.Bool("hoist", false, "sweep: enable loop hoisting in the automatic pass")
+		jsonOut   = fs.Bool("json", false, "sweep: emit JSON records instead of CSV")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -58,6 +80,37 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if *quick {
 		q = bench.Quick
 	}
+
+	if *doSweep {
+		ws, err := sweep.SelectWorkloads(bench.WorkloadSet(q), *workloads)
+		if err != nil {
+			return err
+		}
+		cfgs, err := sweep.ParseSystems(*systems)
+		if err != nil {
+			return err
+		}
+		vs, err := sweep.ParseVariants(*variants)
+		if err != nil {
+			return err
+		}
+		grid := sweep.Grid{
+			Workloads: ws,
+			Systems:   cfgs,
+			Variants:  vs,
+			Options:   core.Options{C: *c, Depth: *depth, Hoist: *hoist},
+		}
+		set, err := grid.Run(*jobs)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return set.WriteJSON(stdout)
+		}
+		return set.WriteCSV(stdout)
+	}
+
+	s := bench.Suite{Q: q, Jobs: *jobs}
 
 	emit := func(t *bench.Table, err error) error {
 		if err != nil {
@@ -86,29 +139,29 @@ func run(argv []string, stdout, stderr io.Writer) error {
 
 	switch *exp {
 	case "all":
-		return bench.RunAll(q, stdout)
+		return s.RunAll(stdout)
 	case "fig2":
-		return emit(bench.Fig2(q))
+		return emit(s.Fig2())
 	case "fig4":
 		if *system != "" {
-			return emit(bench.Fig4(q, *system))
+			return emit(s.Fig4(*system))
 		}
-		return emitAll(bench.Fig4All(q))
+		return emitAll(s.Fig4All())
 	case "fig5":
-		return emit(bench.Fig5(q))
+		return emit(s.Fig5())
 	case "fig6":
 		if *wl != "" {
-			return emit(bench.Fig6(q, *wl))
+			return emit(s.Fig6(*wl))
 		}
-		return emitAll(bench.Fig6All(q))
+		return emitAll(s.Fig6All())
 	case "fig7":
-		return emit(bench.Fig7(q))
+		return emit(s.Fig7())
 	case "fig8":
-		return emit(bench.Fig8(q))
+		return emit(s.Fig8())
 	case "fig9":
-		return emit(bench.Fig9(q))
+		return emit(s.Fig9())
 	case "fig10":
-		return emit(bench.Fig10(q))
+		return emit(s.Fig10())
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

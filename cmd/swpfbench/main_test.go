@@ -12,6 +12,41 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestSweepModeCSVAndJSON(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-sweep", "-quick", "-workloads", "IS", "-systems", "A53", "-variants", "plain,manual", "-c", "16"}
+	if err := run(args, &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	csv := out.String()
+	if !strings.HasPrefix(csv, "workload,system,variant") {
+		t.Errorf("sweep CSV header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, "IS,A53,manual,16") {
+		t.Errorf("sweep CSV row missing:\n%s", csv)
+	}
+
+	out.Reset()
+	if err := run(append(args, "-json"), &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("sweep -json: %v", err)
+	}
+	if !strings.Contains(out.String(), "\"Variant\": \"manual\"") {
+		t.Errorf("sweep JSON malformed:\n%s", out.String())
+	}
+}
+
+func TestSweepModeRejectsUnknownNames(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sweep", "-quick", "-workloads", "nope"},
+		{"-sweep", "-quick", "-systems", "M4", "-workloads", "IS", "-variants", "plain"},
+		{"-sweep", "-quick", "-variants", "jit", "-workloads", "IS"},
+	} {
+		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
 func TestQuickFig2CSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure regeneration")

@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve checks every relative link in the repository's
+// markdown documentation points at a file or directory that exists.
+// CI's docs job runs this, so a renamed file can't silently orphan the
+// docs. External (scheme-prefixed) links and pure anchors are skipped.
+func TestDocLinksResolve(t *testing.T) {
+	pages := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, docs...)
+	if len(pages) < 4 {
+		t.Fatalf("expected README plus at least three docs pages, found %v", pages)
+	}
+
+	for _, page := range pages {
+		data, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an anchor suffix; the file part must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(page), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", page, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsCoverCommands keeps the docs honest about the CLI surface:
+// every command directory must be mentioned somewhere in the docs
+// suite, so a new tool can't ship undocumented.
+func TestDocsCoverCommands(t *testing.T) {
+	cmds, err := filepath.Glob("cmd/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus strings.Builder
+	for _, page := range []string{"README.md", "docs/architecture.md", "docs/ir.md", "docs/experiments.md"} {
+		data, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("%s: %v (docs suite incomplete?)", page, err)
+		}
+		corpus.Write(data)
+	}
+	for _, dir := range cmds {
+		name := filepath.Base(dir)
+		if !strings.Contains(corpus.String(), name) {
+			t.Errorf("command %s is not mentioned in README or docs/", name)
+		}
+	}
+}

@@ -7,11 +7,10 @@ package bench
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -44,6 +43,10 @@ func workloadSet(q Quality) []*workloads.Workload {
 	}
 	return workloads.All()
 }
+
+// WorkloadSet exposes the benchmark suite at the chosen quality — the
+// workload pool cmd/swpfbench's -sweep mode selects from.
+func WorkloadSet(q Quality) []*workloads.Workload { return workloadSet(q) }
 
 // workloadByName builds one suite workload at the chosen quality.
 func workloadByName(q Quality, name string) *workloads.Workload {
@@ -113,62 +116,9 @@ func min(a, b int) int {
 }
 
 // geomean of a slice, ignoring non-positive entries.
-func geomean(xs []float64) float64 {
-	s, n := 0.0, 0
-	for _, x := range xs {
-		if x > 0 {
-			s += math.Log(x)
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return math.Exp(s / float64(n))
-}
+func geomean(xs []float64) float64 { return sweep.Geomean(xs) }
 
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
-
-// runPair measures plain and one variant, returning the speedup.
-func runPair(w *workloads.Workload, cfg *sim.Config, v core.Variant, o core.Options) (float64, *core.Result, *core.Result, error) {
-	base, err := core.Run(w, cfg, core.VariantPlain, o)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	x, err := core.Run(w, cfg, v, o)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	return core.Speedup(base, x), base, x, nil
-}
-
-// bestManual returns the fastest manual configuration for the workload
-// on the machine, trying every supported stagger depth — the paper's
-// "best manual software prefetches we could generate" (fig. 4), where
-// e.g. HJ-8's optimal depth and G500's inner-loop prefetches are
-// microarchitecture-dependent choices.
-func bestManual(w *workloads.Workload, cfg *sim.Config, o core.Options) (*core.Result, error) {
-	depths := []int{0}
-	if w.ManualDepths > 0 {
-		depths = depths[:0]
-		for d := 1; d <= w.ManualDepths; d++ {
-			depths = append(depths, d)
-		}
-	}
-	var best *core.Result
-	for _, d := range depths {
-		opts := o
-		opts.Depth = d
-		res, err := core.Run(w, cfg, core.VariantManual, opts)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || res.Cycles < best.Cycles {
-			best = res
-		}
-	}
-	return best, nil
-}
 
 // systems returns the four Table 1 machines.
 func systems() []*sim.Config { return uarch.All() }

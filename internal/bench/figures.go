@@ -6,16 +6,75 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/uarch"
+	"repro/internal/workloads"
 )
+
+// Suite regenerates the evaluation figures at one quality setting,
+// fanning the independent simulation runs of each figure across Jobs
+// worker goroutines via the sweep engine. Per-run statistics are
+// bit-identical for any worker count, so tables never depend on Jobs.
+type Suite struct {
+	Q Quality
+	// Jobs is the sweep worker count; <= 0 selects GOMAXPROCS.
+	Jobs int
+}
+
+// batch accumulates the independent runs one figure needs. Figures
+// record request indices while building the batch and read results
+// positionally after running it, which keeps each figure's assembly
+// logic identical to the old serial loops.
+type batch struct {
+	reqs []sweep.Request
+}
+
+func (b *batch) add(w *workloads.Workload, cfg *sim.Config, v core.Variant, o core.Options) int {
+	b.reqs = append(b.reqs, sweep.Request{Workload: w, System: cfg, Variant: v, Options: o})
+	return len(b.reqs) - 1
+}
+
+func (b *batch) run(jobs int) ([]*core.Result, error) {
+	set, err := sweep.Execute(b.reqs, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return set.Results(), nil
+}
+
+// manualDepths lists the stagger depths figure 4's best-manual
+// selection tries: every supported level, or just the default when the
+// workload ignores depth.
+func manualDepths(w *workloads.Workload) []int {
+	if w.ManualDepths == 0 {
+		return []int{0}
+	}
+	ds := make([]int, w.ManualDepths)
+	for i := range ds {
+		ds[i] = i + 1
+	}
+	return ds
+}
+
+// bestOf returns the lowest-cycle result among the indexed runs,
+// keeping the earliest on ties (matching the serial selection order).
+func bestOf(res []*core.Result, idxs []int) *core.Result {
+	var best *core.Result
+	for _, i := range idxs {
+		if best == nil || res[i].Cycles < best.Cycles {
+			best = res[i]
+		}
+	}
+	return best
+}
 
 // Fig2 reproduces figure 2: software-prefetching schemes for the
 // integer-sort kernel on Haswell. "Intuitive" inserts only the indirect
 // prefetch (listing 1 line 4); "optimal" adds the staggered stride
 // prefetch (line 6); the offset variants use the optimal scheme with a
 // too-small / too-big look-ahead.
-func Fig2(q Quality) (*Table, error) {
-	w := workloadByName(q, "IS")
+func (s Suite) Fig2() (*Table, error) {
+	w := workloadByName(s.Q, "IS")
 	hw := uarch.Haswell()
 	t := &Table{
 		Title:   "Figure 2: prefetching technique vs speedup, IS on Haswell",
@@ -32,12 +91,19 @@ func Fig2(q Quality) (*Table, error) {
 		{"Offset too big", core.VariantAuto, 1024},
 		{"Optimal", core.VariantAuto, 64},
 	}
-	for _, cse := range cases {
-		sp, _, _, err := runPair(w, hw, cse.variant, core.Options{C: cse.c})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(cse.name, f2(sp))
+	b := &batch{}
+	type pair struct{ plain, x int }
+	idx := make([]pair, len(cases))
+	for i, cse := range cases {
+		o := core.Options{C: cse.c}
+		idx[i] = pair{b.add(w, hw, core.VariantPlain, o), b.add(w, hw, cse.variant, o)}
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cse := range cases {
+		t.AddRow(cse.name, f2(core.Speedup(res[idx[i].plain], res[idx[i].x])))
 	}
 	return t, nil
 }
@@ -45,7 +111,7 @@ func Fig2(q Quality) (*Table, error) {
 // Fig4 reproduces figure 4: auto-generated and manual prefetch speedups
 // for every benchmark on one system; on the Xeon Phi the ICC-like
 // restricted pass is included as a third series.
-func Fig4(q Quality, system string) (*Table, error) {
+func (s Suite) Fig4(system string) (*Table, error) {
 	cfg := uarch.ByName(system)
 	if cfg == nil {
 		return nil, fmt.Errorf("bench: unknown system %q", system)
@@ -60,31 +126,39 @@ func Fig4(q Quality, system string) (*Table, error) {
 		Columns: cols,
 		Note:    "paper geomeans: Haswell 1.3x, A57 1.1x, A53 2.1x, Xeon Phi 2.7x",
 	}
-	var autos, manuals, iccs []float64
-	for _, w := range workloadSet(q) {
-		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
-		if err != nil {
-			return nil, err
+	ws := workloadSet(s.Q)
+	b := &batch{}
+	type row struct {
+		plain, icc, auto int
+		manual           []int
+	}
+	rows := make([]row, len(ws))
+	for i, w := range ws {
+		r := row{plain: b.add(w, cfg, core.VariantPlain, core.Options{}), icc: -1}
+		if withICC {
+			r.icc = b.add(w, cfg, core.VariantICC, core.Options{})
 		}
+		r.auto = b.add(w, cfg, core.VariantAuto, core.Options{})
+		for _, d := range manualDepths(w) {
+			r.manual = append(r.manual, b.add(w, cfg, core.VariantManual, core.Options{Depth: d}))
+		}
+		rows[i] = r
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	var autos, manuals, iccs []float64
+	for i, w := range ws {
+		base := res[rows[i].plain]
 		row := []string{w.Name}
 		if withICC {
-			icc, err := core.Run(w, cfg, core.VariantICC, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			s := core.Speedup(base, icc)
-			iccs = append(iccs, s)
-			row = append(row, f2(s))
+			sICC := core.Speedup(base, res[rows[i].icc])
+			iccs = append(iccs, sICC)
+			row = append(row, f2(sICC))
 		}
-		auto, err := core.Run(w, cfg, core.VariantAuto, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		man, err := bestManual(w, cfg, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		sa, sm := core.Speedup(base, auto), core.Speedup(base, man)
+		sa := core.Speedup(base, res[rows[i].auto])
+		sm := core.Speedup(base, bestOf(res, rows[i].manual))
 		autos = append(autos, sa)
 		manuals = append(manuals, sm)
 		row = append(row, f2(sa), f2(sm))
@@ -100,10 +174,10 @@ func Fig4(q Quality, system string) (*Table, error) {
 }
 
 // Fig4All runs figure 4 for all four systems.
-func Fig4All(q Quality) ([]*Table, error) {
+func (s Suite) Fig4All() ([]*Table, error) {
 	var out []*Table
 	for _, cfg := range systems() {
-		t, err := Fig4(q, cfg.Name)
+		t, err := s.Fig4(cfg.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -114,28 +188,33 @@ func Fig4All(q Quality) ([]*Table, error) {
 
 // Fig5 reproduces figure 5: on Haswell, the indirect prefetch alone
 // versus indirect plus staggered stride prefetch, both auto-generated.
-func Fig5(q Quality) (*Table, error) {
+func (s Suite) Fig5() (*Table, error) {
 	hw := uarch.Haswell()
 	t := &Table{
 		Title:   "Figure 5: indirect-only vs indirect+stride prefetch, Haswell (auto)",
 		Columns: []string{"benchmark", "indirect only", "indirect+stride"},
 		Note:    "paper: stride companions help across the board despite the HW prefetcher",
 	}
+	ws := workloadSet(s.Q)
+	b := &batch{}
+	type row struct{ plain, onlyI, full int }
+	rows := make([]row, len(ws))
+	for i, w := range ws {
+		rows[i] = row{
+			plain: b.add(w, hw, core.VariantPlain, core.Options{}),
+			onlyI: b.add(w, hw, core.VariantIndirectOnly, core.Options{}),
+			full:  b.add(w, hw, core.VariantAuto, core.Options{}),
+		}
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
 	var only, both []float64
-	for _, w := range workloadSet(q) {
-		base, err := core.Run(w, hw, core.VariantPlain, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		io_, err := core.Run(w, hw, core.VariantIndirectOnly, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		full, err := core.Run(w, hw, core.VariantAuto, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		s1, s2 := core.Speedup(base, io_), core.Speedup(base, full)
+	for i, w := range ws {
+		base := res[rows[i].plain]
+		s1 := core.Speedup(base, res[rows[i].onlyI])
+		s2 := core.Speedup(base, res[rows[i].full])
 		only = append(only, s1)
 		both = append(both, s2)
 		t.AddRow(w.Name, f2(s1), f2(s2))
@@ -151,8 +230,8 @@ var Fig6Distances = []int64{4, 8, 16, 32, 64, 128, 256}
 // IS, CG, RA, HJ-2 across all four systems, using manual prefetches as
 // the paper does ("based on manual insertion, to show the limits of
 // performance achievable across systems regardless of algorithm").
-func Fig6(q Quality, benchName string) (*Table, error) {
-	w := workloadByName(q, benchName)
+func (s Suite) Fig6(benchName string) (*Table, error) {
+	w := workloadByName(s.Q, benchName)
 	if w == nil {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
 	}
@@ -161,18 +240,29 @@ func Fig6(q Quality, benchName string) (*Table, error) {
 		Columns: append([]string{"system"}, formatDistances()...),
 		Note:    "paper: optimum is flat and c=64 is close to best everywhere",
 	}
-	for _, cfg := range systems() {
-		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := []string{cfg.Name}
+	sys := systems()
+	b := &batch{}
+	type row struct {
+		plain int
+		byC   []int
+	}
+	rows := make([]row, len(sys))
+	for i, cfg := range sys {
+		r := row{plain: b.add(w, cfg, core.VariantPlain, core.Options{})}
 		for _, c := range Fig6Distances {
-			x, err := core.Run(w, cfg, core.VariantManual, core.Options{C: c})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(core.Speedup(base, x)))
+			r.byC = append(r.byC, b.add(w, cfg, core.VariantManual, core.Options{C: c}))
+		}
+		rows[i] = r
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range sys {
+		base := res[rows[i].plain]
+		row := []string{cfg.Name}
+		for _, j := range rows[i].byC {
+			row = append(row, f2(core.Speedup(base, res[j])))
 		}
 		t.AddRow(row...)
 	}
@@ -188,10 +278,10 @@ func formatDistances() []string {
 }
 
 // Fig6All runs the sweep for the four benchmarks the paper plots.
-func Fig6All(q Quality) ([]*Table, error) {
+func (s Suite) Fig6All() ([]*Table, error) {
 	var out []*Table
 	for _, name := range []string{"IS", "CG", "RA", "HJ-2"} {
-		t, err := Fig6(q, name)
+		t, err := s.Fig6(name)
 		if err != nil {
 			return nil, err
 		}
@@ -202,25 +292,36 @@ func Fig6All(q Quality) ([]*Table, error) {
 
 // Fig7 reproduces figure 7: prefetching progressively more dependent
 // loads of HJ-8's four-deep chain, on every system.
-func Fig7(q Quality) (*Table, error) {
-	w := workloadByName(q, "HJ-8")
+func (s Suite) Fig7() (*Table, error) {
+	w := workloadByName(s.Q, "HJ-8")
 	t := &Table{
 		Title:   "Figure 7: HJ-8 speedup vs prefetch stagger depth (manual)",
 		Columns: []string{"system", "depth 1", "depth 2", "depth 3", "depth 4"},
 		Note:    "paper: depth 3 is optimal on every architecture",
 	}
-	for _, cfg := range systems() {
-		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := []string{cfg.Name}
+	sys := systems()
+	b := &batch{}
+	type row struct {
+		plain   int
+		byDepth []int
+	}
+	rows := make([]row, len(sys))
+	for i, cfg := range sys {
+		r := row{plain: b.add(w, cfg, core.VariantPlain, core.Options{})}
 		for d := 1; d <= 4; d++ {
-			x, err := core.Run(w, cfg, core.VariantManual, core.Options{C: 64, Depth: d})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(core.Speedup(base, x)))
+			r.byDepth = append(r.byDepth, b.add(w, cfg, core.VariantManual, core.Options{C: 64, Depth: d}))
+		}
+		rows[i] = r
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range sys {
+		base := res[rows[i].plain]
+		row := []string{cfg.Name}
+		for _, j := range rows[i].byDepth {
+			row = append(row, f2(core.Speedup(base, res[j])))
 		}
 		t.AddRow(row...)
 	}
@@ -230,22 +331,34 @@ func Fig7(q Quality) (*Table, error) {
 // Fig8 reproduces figure 8: the percentage increase in dynamic
 // instruction count on Haswell from adding software prefetches (best
 // scheme per benchmark, i.e. the manual variant).
-func Fig8(q Quality) (*Table, error) {
+func (s Suite) Fig8() (*Table, error) {
 	hw := uarch.Haswell()
 	t := &Table{
 		Title:   "Figure 8: % extra dynamic instructions from prefetching, Haswell",
 		Columns: []string{"benchmark", "% extra instructions"},
 		Note:    "paper: ~70% for IS/RA, ~80% for CG, small for G500 (outer-loop prefetches only)",
 	}
-	for _, w := range workloadSet(q) {
-		base, err := core.Run(w, hw, core.VariantPlain, core.Options{})
-		if err != nil {
-			return nil, err
+	ws := workloadSet(s.Q)
+	b := &batch{}
+	type row struct {
+		plain  int
+		manual []int
+	}
+	rows := make([]row, len(ws))
+	for i, w := range ws {
+		r := row{plain: b.add(w, hw, core.VariantPlain, core.Options{})}
+		for _, d := range manualDepths(w) {
+			r.manual = append(r.manual, b.add(w, hw, core.VariantManual, core.Options{Depth: d}))
 		}
-		man, err := bestManual(w, hw, core.Options{})
-		if err != nil {
-			return nil, err
-		}
+		rows[i] = r
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		base := res[rows[i].plain]
+		man := bestOf(res, rows[i].manual)
 		extra := 100 * (float64(man.Stats.Instructions) - float64(base.Stats.Instructions)) /
 			float64(base.Stats.Instructions)
 		t.AddRow(w.Name, fmt.Sprintf("%.1f", extra))
@@ -257,32 +370,35 @@ func Fig8(q Quality) (*Table, error) {
 // 1, 2 and 4 cores contending for DRAM, with and without prefetching.
 // Throughput is (tasks/time) normalized to one task on one core without
 // prefetching: N * T(1, no-pf) / T(N, variant).
-func Fig9(q Quality) (*Table, error) {
-	w := workloadByName(q, "IS")
+func (s Suite) Fig9() (*Table, error) {
+	w := workloadByName(s.Q, "IS")
 	t := &Table{
 		Title:   "Figure 9: IS normalized throughput vs core count, Haswell",
 		Columns: []string{"cores", "no prefetching", "prefetching"},
 		Note:    "paper: throughput <1 at 4 cores without prefetching; prefetching still wins",
 	}
-	solo, err := core.Run(w, uarch.Haswell(), core.VariantPlain, core.Options{})
+	counts := []int{1, 2, 4}
+	b := &batch{}
+	solo := b.add(w, uarch.Haswell(), core.VariantPlain, core.Options{})
+	type row struct{ plain, pf int }
+	rows := make([]row, len(counts))
+	for i, n := range counts {
+		cfg := uarch.WithCores(uarch.Haswell(), n)
+		rows[i] = row{
+			plain: b.add(w, cfg, core.VariantPlain, core.Options{}),
+			pf:    b.add(w, cfg, core.VariantManual, core.Options{}),
+		}
+	}
+	res, err := b.run(s.Jobs)
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range []int{1, 2, 4} {
-		cfg := uarch.WithCores(uarch.Haswell(), n)
-		base, err := core.Run(w, cfg, core.VariantPlain, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		pf, err := core.Run(w, cfg, core.VariantManual, core.Options{})
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range counts {
 		// One task per core: N tasks complete in one core's contended
 		// time T(N), versus N*T(1,no-pf) run back to back on one core —
 		// so normalized throughput is T(1,no-pf)/T(N).
-		tpBase := solo.Cycles / base.Cycles
-		tpPF := solo.Cycles / pf.Cycles
+		tpBase := res[solo].Cycles / res[rows[i].plain].Cycles
+		tpPF := res[solo].Cycles / res[rows[i].pf].Cycles
 		t.AddRow(fmt.Sprintf("%d", n), f2(tpBase), f2(tpPF))
 	}
 	return t, nil
@@ -292,33 +408,47 @@ func Fig9(q Quality) (*Table, error) {
 // pages enabled and disabled on Haswell, for the TLB-sensitive
 // benchmarks IS, RA and HJ-2. Each speedup is normalized to no
 // prefetching under the same page policy.
-func Fig10(q Quality) (*Table, error) {
+func (s Suite) Fig10() (*Table, error) {
 	t := &Table{
 		Title:   "Figure 10: prefetch speedup with small vs huge pages, Haswell",
 		Columns: []string{"benchmark", "small pages", "huge pages"},
 		Note:    "paper: huge pages shift gains but trends are consistent",
 	}
-	for _, name := range []string{"IS", "RA", "HJ-2"} {
-		w := workloadByName(q, name)
-		row := []string{w.Name}
-		for _, cfg := range []*sim.Config{
-			uarch.SmallPages(uarch.Haswell()),
-			uarch.HugePages(uarch.Haswell()),
-		} {
-			sp, _, _, err := runPair(w, cfg, core.VariantManual, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(sp))
+	names := []string{"IS", "RA", "HJ-2"}
+	cfgs := []*sim.Config{
+		uarch.SmallPages(uarch.Haswell()),
+		uarch.HugePages(uarch.Haswell()),
+	}
+	b := &batch{}
+	type pair struct{ plain, pf int }
+	rows := make([][]pair, len(names))
+	ws := make([]*workloads.Workload, len(names))
+	for i, name := range names {
+		w := workloadByName(s.Q, name)
+		ws[i] = w
+		for _, cfg := range cfgs {
+			rows[i] = append(rows[i], pair{
+				plain: b.add(w, cfg, core.VariantPlain, core.Options{}),
+				pf:    b.add(w, cfg, core.VariantManual, core.Options{}),
+			})
+		}
+	}
+	res, err := b.run(s.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range names {
+		row := []string{ws[i].Name}
+		for _, p := range rows[i] {
+			row = append(row, f2(core.Speedup(res[p.plain], res[p.pf])))
 		}
 		t.AddRow(row...)
 	}
 	return t, nil
 }
 
-// RunAll regenerates every figure at the given quality and writes the
-// tables to w.
-func RunAll(q Quality, out io.Writer) error {
+// RunAll regenerates every figure and writes the tables to out.
+func (s Suite) RunAll(out io.Writer) error {
 	var tables []*Table
 	add := func(t *Table, err error) error {
 		if err != nil {
@@ -327,32 +457,32 @@ func RunAll(q Quality, out io.Writer) error {
 		tables = append(tables, t)
 		return nil
 	}
-	if err := add(Fig2(q)); err != nil {
+	if err := add(s.Fig2()); err != nil {
 		return err
 	}
-	f4, err := Fig4All(q)
+	f4, err := s.Fig4All()
 	if err != nil {
 		return err
 	}
 	tables = append(tables, f4...)
-	if err := add(Fig5(q)); err != nil {
+	if err := add(s.Fig5()); err != nil {
 		return err
 	}
-	f6, err := Fig6All(q)
+	f6, err := s.Fig6All()
 	if err != nil {
 		return err
 	}
 	tables = append(tables, f6...)
-	if err := add(Fig7(q)); err != nil {
+	if err := add(s.Fig7()); err != nil {
 		return err
 	}
-	if err := add(Fig8(q)); err != nil {
+	if err := add(s.Fig8()); err != nil {
 		return err
 	}
-	if err := add(Fig9(q)); err != nil {
+	if err := add(s.Fig9()); err != nil {
 		return err
 	}
-	if err := add(Fig10(q)); err != nil {
+	if err := add(s.Fig10()); err != nil {
 		return err
 	}
 	for _, t := range tables {
@@ -360,3 +490,41 @@ func RunAll(q Quality, out io.Writer) error {
 	}
 	return nil
 }
+
+// The free functions below are the historical API: each runs the figure
+// at the given quality with the default (GOMAXPROCS) worker pool.
+
+// Fig2 runs figure 2 with default parallelism.
+func Fig2(q Quality) (*Table, error) { return Suite{Q: q}.Fig2() }
+
+// Fig4 runs figure 4 for one system with default parallelism.
+func Fig4(q Quality, system string) (*Table, error) { return Suite{Q: q}.Fig4(system) }
+
+// Fig4All runs figure 4 for all four systems with default parallelism.
+func Fig4All(q Quality) ([]*Table, error) { return Suite{Q: q}.Fig4All() }
+
+// Fig5 runs figure 5 with default parallelism.
+func Fig5(q Quality) (*Table, error) { return Suite{Q: q}.Fig5() }
+
+// Fig6 runs one figure 6 sweep with default parallelism.
+func Fig6(q Quality, benchName string) (*Table, error) { return Suite{Q: q}.Fig6(benchName) }
+
+// Fig6All runs figure 6 for the paper's four benchmarks with default
+// parallelism.
+func Fig6All(q Quality) ([]*Table, error) { return Suite{Q: q}.Fig6All() }
+
+// Fig7 runs figure 7 with default parallelism.
+func Fig7(q Quality) (*Table, error) { return Suite{Q: q}.Fig7() }
+
+// Fig8 runs figure 8 with default parallelism.
+func Fig8(q Quality) (*Table, error) { return Suite{Q: q}.Fig8() }
+
+// Fig9 runs figure 9 with default parallelism.
+func Fig9(q Quality) (*Table, error) { return Suite{Q: q}.Fig9() }
+
+// Fig10 runs figure 10 with default parallelism.
+func Fig10(q Quality) (*Table, error) { return Suite{Q: q}.Fig10() }
+
+// RunAll regenerates every figure at the given quality with default
+// parallelism and writes the tables to out.
+func RunAll(q Quality, out io.Writer) error { return Suite{Q: q}.RunAll(out) }

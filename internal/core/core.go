@@ -116,9 +116,48 @@ func passOptions(v Variant, o Options) (prefetch.Options, bool) {
 	return prefetch.Options{}, false
 }
 
+// Context is a reusable execution context for repeated Runs. It keeps
+// one simulator core per machine configuration and resets it in place
+// between runs — the sim package's Reset paths preserve their table
+// storage, so a worker goroutine that executes many experiment-grid
+// cells recycles its cache/TLB/MSHR/stride bookkeeping instead of
+// reallocating it per run (see internal/sweep).
+//
+// Results are bit-identical to Run with a fresh simulator: Reset
+// restores a cold core, and regression tests enforce the equivalence.
+// A Context is not safe for concurrent use; give each goroutine its
+// own.
+type Context struct {
+	cores map[*sim.Config]*sim.Core
+}
+
+// NewContext returns an empty context; cores are built lazily per
+// configuration on first use.
+func NewContext() *Context {
+	return &Context{cores: make(map[*sim.Config]*sim.Core)}
+}
+
+// core returns the context's core for cfg, building it on first use.
+func (cx *Context) core(cfg *sim.Config) *sim.Core {
+	if c, ok := cx.cores[cfg]; ok {
+		return c
+	}
+	c := sim.NewCore(cfg)
+	cx.cores[cfg] = c
+	return c
+}
+
 // Run builds the requested variant of the workload and executes it on
-// the given machine configuration.
+// the given machine configuration, using a fresh simulator. For tight
+// loops over many runs, prefer Context.Run, which recycles simulator
+// storage.
 func Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Options) (*Result, error) {
+	return NewContext().Run(w, cfg, v, o)
+}
+
+// Run is the context-reusing counterpart of the package-level Run: the
+// simulator core for cfg is reset in place rather than rebuilt.
+func (cx *Context) Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Options) (*Result, error) {
 	var inst *workloads.Instance
 	var passRes *prefetch.Result
 	switch v {
@@ -142,7 +181,7 @@ func Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Options) (*Result,
 		return nil, fmt.Errorf("core: unknown variant %q", v)
 	}
 
-	mach := interp.New(inst.Mod, cfg)
+	mach := interp.NewOnCore(inst.Mod, cx.core(cfg))
 	mach.MaxInstrs = o.MaxInstrs
 	sum, err := inst.Exec(mach)
 	if err != nil {

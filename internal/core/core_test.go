@@ -52,6 +52,49 @@ func TestRunChecksumsAgree(t *testing.T) {
 	}
 }
 
+// TestContextReuseBitIdentical is the regression test for the reusable
+// execution context: interleaved runs on one Context — same cell twice
+// with different cells and machines in between — must reproduce a fresh
+// simulator's statistics exactly.
+func TestContextReuseBitIdentical(t *testing.T) {
+	is := workloads.IS(1<<12, 1<<14)
+	ra := workloads.RA(12, 1<<10)
+	// The context keys simulators by configuration pointer (derived
+	// configs can share a name), so hold the two configs across runs.
+	hw, a53 := uarch.Haswell(), uarch.A53()
+	cx := NewContext()
+	first, err := cx.Run(is, hw, VariantAuto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the context's simulators with other cells.
+	if _, err := cx.Run(ra, a53, VariantManual, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cx.Run(is, hw, VariantPlain, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := cx.Run(is, hw, VariantAuto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(is, hw, VariantAuto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range []*Result{again, fresh} {
+		if got.Cycles != first.Cycles || got.Stats != first.Stats ||
+			got.Checksum != first.Checksum ||
+			got.L1Hits != first.L1Hits || got.L1Misses != first.L1Misses ||
+			got.DRAMAccesses != first.DRAMAccesses || got.TLBWalks != first.TLBWalks {
+			t.Fatalf("context reuse not bit-identical: %+v vs %+v", got, first)
+		}
+	}
+	if len(cx.cores) != 2 {
+		t.Errorf("context holds %d cores, want one per configuration (2)", len(cx.cores))
+	}
+}
+
 func TestRunUnknownVariant(t *testing.T) {
 	w := workloads.IS(1<<8, 1<<8)
 	if _, err := Run(w, uarch.A53(), Variant("jit"), Options{}); err == nil {

@@ -50,6 +50,22 @@ func New(mod *ir.Module, cfg *sim.Config) *Machine {
 	}
 }
 
+// NewOnCore builds a machine over an existing simulator core, resetting
+// the core to a cold state first. This is the storage-recycling entry
+// point for worker pools (internal/sweep): the core's Reset paths keep
+// their cache/TLB/MSHR table allocations, so a goroutine running many
+// independent experiments reuses one set of tables per machine
+// configuration instead of reallocating them every run. Behaviour is
+// identical to New with a freshly built core.
+func NewOnCore(mod *ir.Module, core *sim.Core) *Machine {
+	core.Reset()
+	return &Machine{
+		Mod:  mod,
+		Core: core,
+		Mem:  NewMemory(),
+	}
+}
+
 // Stats returns the accumulated statistics.
 func (m *Machine) Stats() Stats {
 	m.stats.Cycles = m.Core.Cycles()

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// Grid is a declarative experiment grid: the cross product of
+// workloads, machine configurations and variants, all sharing one
+// option set. Expand enumerates it workload-major (workload, then
+// system, then variant), the paper's presentation order.
+type Grid struct {
+	Workloads []*workloads.Workload
+	Systems   []*sim.Config
+	Variants  []core.Variant
+	Options   core.Options
+}
+
+// Expand enumerates the grid's cells as requests.
+func (g Grid) Expand() []Request {
+	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(g.Variants))
+	for _, w := range g.Workloads {
+		for _, cfg := range g.Systems {
+			for _, v := range g.Variants {
+				reqs = append(reqs, Request{Workload: w, System: cfg, Variant: v, Options: g.Options})
+			}
+		}
+	}
+	return reqs
+}
+
+// Run expands the grid and executes it on jobs workers.
+func (g Grid) Run(jobs int) (*ResultSet, error) {
+	return Execute(g.Expand(), jobs)
+}
+
+// Variants lists every variant the engine accepts, in presentation
+// order.
+func Variants() []core.Variant {
+	return []core.Variant{
+		core.VariantPlain,
+		core.VariantAuto,
+		core.VariantManual,
+		core.VariantICC,
+		core.VariantIndirectOnly,
+	}
+}
+
+// ParseVariants parses a comma-separated variant list ("" selects
+// plain,auto — the baseline pair of every speedup).
+func ParseVariants(s string) ([]core.Variant, error) {
+	if strings.TrimSpace(s) == "" {
+		return []core.Variant{core.VariantPlain, core.VariantAuto}, nil
+	}
+	var out []core.Variant
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, v := range Variants() {
+			if string(v) == name {
+				out = append(out, v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sweep: unknown variant %q (have %v)", name, Variants())
+		}
+	}
+	return out, nil
+}
+
+// ParseSystems parses a comma-separated machine list ("" selects all
+// four Table 1 systems).
+func ParseSystems(s string) ([]*sim.Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return uarch.All(), nil
+	}
+	var out []*sim.Config
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		cfg := uarch.ByName(name)
+		if cfg == nil {
+			var have []string
+			for _, c := range uarch.All() {
+				have = append(have, c.Name)
+			}
+			return nil, fmt.Errorf("sweep: unknown system %q (have %s)", name, strings.Join(have, ", "))
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// SelectWorkloads picks named workloads out of the available set (""
+// selects all of them). Names match exactly or by prefix, so "G500"
+// selects both Graph500 scales while "HJ-2" selects one hash join.
+func SelectWorkloads(avail []*workloads.Workload, s string) ([]*workloads.Workload, error) {
+	if strings.TrimSpace(s) == "" {
+		return avail, nil
+	}
+	var out []*workloads.Workload
+	chosen := make(map[*workloads.Workload]bool)
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		matched := false
+		for _, w := range avail {
+			if w.Name == name || strings.HasPrefix(w.Name, name) {
+				matched = true
+				if !chosen[w] {
+					chosen[w] = true
+					out = append(out, w)
+				}
+			}
+		}
+		if !matched {
+			var have []string
+			for _, w := range avail {
+				have = append(have, w.Name)
+			}
+			return nil, fmt.Errorf("sweep: unknown workload %q (have %s)", name, strings.Join(have, ", "))
+		}
+	}
+	return out, nil
+}

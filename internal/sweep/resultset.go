@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ResultSet holds the outcomes of an executed request list, in request
+// order — the same order for any worker count.
+type ResultSet struct {
+	Outcomes []Outcome
+}
+
+// Err returns the first error in request order, or nil.
+func (s *ResultSet) Err() error {
+	for i := range s.Outcomes {
+		if o := &s.Outcomes[i]; o.Err != nil {
+			return fmt.Errorf("sweep: %s/%s/%s: %w",
+				o.Workload.Name, o.System.Name, o.Variant, o.Err)
+		}
+	}
+	return nil
+}
+
+// Results returns the per-request results, positionally matching the
+// executed request list. Failed cells are nil.
+func (s *ResultSet) Results() []*core.Result {
+	out := make([]*core.Result, len(s.Outcomes))
+	for i := range s.Outcomes {
+		out[i] = s.Outcomes[i].Result
+	}
+	return out
+}
+
+// Get returns the first successful result for the cell, or nil.
+func (s *ResultSet) Get(workload, system string, v core.Variant) *core.Result {
+	for i := range s.Outcomes {
+		o := &s.Outcomes[i]
+		if o.Workload.Name == workload && o.System.Name == system && o.Variant == v && o.Result != nil {
+			return o.Result
+		}
+	}
+	return nil
+}
+
+// Speedup returns base-variant cycles over v cycles for the cell
+// (>1 means v is faster), or 0 if either run is missing.
+func (s *ResultSet) Speedup(workload, system string, base, v core.Variant) float64 {
+	b, x := s.Get(workload, system, base), s.Get(workload, system, v)
+	if b == nil || x == nil {
+		return 0
+	}
+	return core.Speedup(b, x)
+}
+
+// Speedups returns the per-workload speedups of v over base on one
+// system, in request order — the inputs to a figure-4-style geomean.
+func (s *ResultSet) Speedups(system string, base, v core.Variant) []float64 {
+	var out []float64
+	seen := map[string]bool{}
+	for i := range s.Outcomes {
+		o := &s.Outcomes[i]
+		if o.System.Name != system || seen[o.Workload.Name] {
+			continue
+		}
+		seen[o.Workload.Name] = true
+		if sp := s.Speedup(o.Workload.Name, system, base, v); sp > 0 {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Geomean returns the geometric mean of the positive entries, or 0 if
+// there are none.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Record is one outcome flattened for emission: the cell coordinates,
+// the options that shaped the run, and the headline statistics.
+type Record struct {
+	Workload string
+	System   string
+	Variant  string
+
+	C          int64
+	Depth      int
+	Hoist      bool
+	FlatOffset bool
+
+	Checksum     int64
+	Cycles       float64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	SWPrefetches uint64
+
+	L1Hits             uint64
+	L1Misses           uint64
+	DRAMAccesses       uint64
+	HWPrefetches       uint64
+	TLBWalks           uint64
+	LoadStallCycles    float64
+	PrefetchedUnusedL1 uint64
+
+	Err string `json:",omitempty"`
+}
+
+// Records flattens the outcomes in request order.
+func (s *ResultSet) Records() []Record {
+	out := make([]Record, len(s.Outcomes))
+	for i := range s.Outcomes {
+		o := &s.Outcomes[i]
+		r := Record{
+			Workload:   o.Workload.Name,
+			System:     o.System.Name,
+			Variant:    string(o.Variant),
+			C:          o.Options.C,
+			Depth:      o.Options.Depth,
+			Hoist:      o.Options.Hoist,
+			FlatOffset: o.Options.FlatOffset,
+		}
+		if o.Err != nil {
+			r.Err = o.Err.Error()
+		}
+		if res := o.Result; res != nil {
+			r.Checksum = res.Checksum
+			r.Cycles = res.Cycles
+			r.Instructions = res.Stats.Instructions
+			r.Loads = res.Stats.Loads
+			r.Stores = res.Stats.Stores
+			r.SWPrefetches = res.Stats.Prefetches
+			r.L1Hits = res.L1Hits
+			r.L1Misses = res.L1Misses
+			r.DRAMAccesses = res.DRAMAccesses
+			r.HWPrefetches = res.HWPrefetches
+			r.TLBWalks = res.TLBWalks
+			r.LoadStallCycles = res.LoadStallCycles
+			r.PrefetchedUnusedL1 = res.PrefetchedUnusedL1
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// WriteJSON emits the records as indented JSON, deterministically.
+func (s *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.Records())
+}
+
+// csvColumns is the fixed CSV header, matching Record field order.
+var csvColumns = []string{
+	"workload", "system", "variant", "c", "depth", "hoist", "flat_offset",
+	"checksum", "cycles", "instructions", "loads", "stores", "sw_prefetches",
+	"l1_hits", "l1_misses", "dram_accesses", "hw_prefetches", "tlb_walks",
+	"load_stall_cycles", "prefetched_unused_l1", "err",
+}
+
+// WriteCSV emits the records as comma-separated values, header first.
+func (s *ResultSet) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(csvColumns, ","))
+	sb.WriteByte('\n')
+	for _, r := range s.Records() {
+		err := r.Err
+		if strings.ContainsAny(err, ",\"\n") {
+			err = `"` + strings.ReplaceAll(err, `"`, `""`) + `"`
+		}
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%d,%s\n",
+			r.Workload, r.System, r.Variant, r.C, r.Depth, r.Hoist, r.FlatOffset,
+			r.Checksum, r.Cycles, r.Instructions, r.Loads, r.Stores, r.SWPrefetches,
+			r.L1Hits, r.L1Misses, r.DRAMAccesses, r.HWPrefetches, r.TLBWalks,
+			r.LoadStallCycles, r.PrefetchedUnusedL1, err)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

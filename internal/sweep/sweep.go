@@ -1,0 +1,90 @@
+// Package sweep is the parallel experiment engine: it takes a list (or
+// declarative grid) of simulation requests — workload × machine ×
+// variant × options — fans them out across a pool of worker goroutines,
+// and collects the outcomes into a deterministic, order-independent
+// result set with JSON/CSV emitters and speedup helpers.
+//
+// Every run is an independent, deterministic simulation, so the result
+// set is bit-identical for any worker count; tests diff serial against
+// parallel executions to enforce this. Each worker owns a core.Context,
+// which keeps one reset-in-place simulator per machine configuration,
+// so workers recycle their cache/TLB/MSHR table storage across runs
+// instead of reallocating it.
+//
+// The figure harness (internal/bench), the golden stat dumper
+// (cmd/golden) and swpfbench's -sweep mode are all built on this
+// package.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Request describes one cell of an experiment grid.
+type Request struct {
+	Workload *workloads.Workload
+	System   *sim.Config
+	Variant  core.Variant
+	Options  core.Options
+}
+
+// Outcome pairs a request with what happened when it ran.
+type Outcome struct {
+	Request
+	Result *core.Result
+	Err    error
+}
+
+// Jobs normalizes a worker count: non-positive means GOMAXPROCS, and
+// the pool never exceeds the number of requests.
+func Jobs(jobs, requests int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > requests {
+		jobs = requests
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// Execute runs every request on a pool of jobs worker goroutines
+// (jobs <= 0 selects GOMAXPROCS) and returns the outcomes in request
+// order, regardless of completion order. The returned error is the
+// first failure in request order — deterministic even though workers
+// race — and the result set still holds every other outcome.
+func Execute(reqs []Request, jobs int) (*ResultSet, error) {
+	out := make([]Outcome, len(reqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := Jobs(jobs, len(reqs)); k > 0; k-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One context per worker: simulator tables are recycled
+			// across this worker's runs and never shared between
+			// goroutines.
+			cx := core.NewContext()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				r := reqs[i]
+				res, err := cx.Run(r.Workload, r.System, r.Variant, r.Options)
+				out[i] = Outcome{Request: r, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	set := &ResultSet{Outcomes: out}
+	return set, set.Err()
+}

@@ -1,0 +1,277 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func TestGridExpandOrder(t *testing.T) {
+	ws := workloads.Tiny()[:2]
+	g := Grid{
+		Workloads: ws,
+		Systems:   uarch.All()[:2],
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto},
+	}
+	reqs := g.Expand()
+	if len(reqs) != 8 {
+		t.Fatalf("expanded %d requests, want 8", len(reqs))
+	}
+	// Workload-major, then system, then variant.
+	if reqs[0].Workload != ws[0] || reqs[0].Variant != core.VariantPlain {
+		t.Errorf("first request out of order: %+v", reqs[0])
+	}
+	if reqs[1].Variant != core.VariantAuto {
+		t.Errorf("variant must be the innermost axis")
+	}
+	if reqs[2].System.Name != uarch.All()[1].Name {
+		t.Errorf("system must be the middle axis")
+	}
+	if reqs[4].Workload != ws[1] {
+		t.Errorf("workload must be the outermost axis")
+	}
+}
+
+func TestJobsClamp(t *testing.T) {
+	if got := Jobs(0, 100); got < 1 {
+		t.Errorf("Jobs(0, 100) = %d, want >= 1", got)
+	}
+	if got := Jobs(8, 3); got != 3 {
+		t.Errorf("Jobs(8, 3) = %d, want 3", got)
+	}
+	if got := Jobs(-1, 0); got != 1 {
+		t.Errorf("Jobs(-1, 0) = %d, want 1", got)
+	}
+	if got := Jobs(5, 100); got != 5 {
+		t.Errorf("Jobs(5, 100) = %d, want 5", got)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	vs, err := ParseVariants("")
+	if err != nil || len(vs) != 2 || vs[0] != core.VariantPlain || vs[1] != core.VariantAuto {
+		t.Errorf("default variants = %v, %v", vs, err)
+	}
+	vs, err = ParseVariants("plain, manual,icc")
+	if err != nil || len(vs) != 3 || vs[2] != core.VariantICC {
+		t.Errorf("ParseVariants = %v, %v", vs, err)
+	}
+	if _, err := ParseVariants("bogus"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestParseSystems(t *testing.T) {
+	cs, err := ParseSystems("")
+	if err != nil || len(cs) != 4 {
+		t.Errorf("default systems = %v, %v", cs, err)
+	}
+	cs, err = ParseSystems("A53, Haswell")
+	if err != nil || len(cs) != 2 || cs[0].Name != "A53" {
+		t.Errorf("ParseSystems = %v, %v", cs, err)
+	}
+	if _, err := ParseSystems("M4"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestSelectWorkloads(t *testing.T) {
+	avail := workloads.Tiny()
+	ws, err := SelectWorkloads(avail, "")
+	if err != nil || len(ws) != len(avail) {
+		t.Errorf("default selection = %d workloads, %v", len(ws), err)
+	}
+	ws, err = SelectWorkloads(avail, "IS,HJ")
+	if err != nil || len(ws) != 3 { // IS plus both hash joins
+		t.Errorf("selection = %v, %v", names(ws), err)
+	}
+	// Overlapping tokens must not duplicate a workload.
+	ws, err = SelectWorkloads(avail, "HJ,HJ-8")
+	if err != nil || len(ws) != 2 {
+		t.Errorf("overlapping selection = %v, %v, want deduplicated [HJ-2 HJ-8]", names(ws), err)
+	}
+	if _, err := SelectWorkloads(avail, "nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func names(ws []*workloads.Workload) []string {
+	var out []string
+	for _, w := range ws {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// TestDeterministicAcrossJobs is the engine's core guarantee: the
+// emitted result set is byte-identical for every worker count.
+func TestDeterministicAcrossJobs(t *testing.T) {
+	ws := workloads.Tiny()
+	grid := Grid{
+		Workloads: []*workloads.Workload{ws[0], ws[1], ws[3]}, // IS, CG, HJ-2
+		Systems:   uarch.All()[:2],                            // Haswell, XeonPhi
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto, core.VariantManual},
+	}
+	var ref []byte
+	for _, jobs := range []int{1, 2, 3, 8} {
+		set, err := grid.Run(jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatalf("jobs=%d: WriteJSON: %v", jobs, err)
+		}
+		if ref == nil {
+			ref = append([]byte(nil), buf.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("jobs=%d result set differs from jobs=1", jobs)
+		}
+	}
+}
+
+// TestWorkerStateIsolation checks that the context-recycled parallel
+// path bleeds no state between runs: every cell must match a run on a
+// fresh, never-reused simulator.
+func TestWorkerStateIsolation(t *testing.T) {
+	ws := workloads.Tiny()
+	g := Grid{
+		Workloads: []*workloads.Workload{ws[0], ws[4]}, // IS, HJ-8
+		Systems:   uarch.All()[2:],                     // A57, A53
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto},
+	}
+	set, err := g.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range set.Outcomes {
+		fresh, err := core.Run(o.Workload, o.System, o.Variant, o.Options)
+		if err != nil {
+			t.Fatalf("%s/%s/%s fresh: %v", o.Workload.Name, o.System.Name, o.Variant, err)
+		}
+		if o.Result.Cycles != fresh.Cycles || o.Result.Stats != fresh.Stats ||
+			o.Result.Checksum != fresh.Checksum ||
+			o.Result.L1Hits != fresh.L1Hits || o.Result.L1Misses != fresh.L1Misses ||
+			o.Result.DRAMAccesses != fresh.DRAMAccesses ||
+			o.Result.TLBWalks != fresh.TLBWalks {
+			t.Errorf("%s/%s/%s: pooled run differs from fresh simulator",
+				o.Workload.Name, o.System.Name, o.Variant)
+		}
+	}
+}
+
+// TestExecuteErrorDeterministic: a failing cell surfaces as the first
+// error in request order, and the other cells still complete.
+func TestExecuteErrorDeterministic(t *testing.T) {
+	ws := workloads.Tiny()
+	hw := uarch.Haswell()
+	reqs := []Request{
+		{Workload: ws[0], System: hw, Variant: core.VariantPlain},
+		{Workload: ws[0], System: hw, Variant: core.Variant("bogus")},
+		{Workload: ws[1], System: hw, Variant: core.Variant("worse")},
+	}
+	set, err := Execute(reqs, 3)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v, want the first bad variant", err)
+	}
+	if set.Outcomes[0].Err != nil || set.Outcomes[0].Result == nil {
+		t.Error("healthy cell should have completed")
+	}
+	recs := set.Records()
+	if recs[1].Err == "" || recs[2].Err == "" {
+		t.Error("failed cells should carry their errors in the records")
+	}
+}
+
+func TestResultSetHelpers(t *testing.T) {
+	ws := workloads.Tiny()
+	g := Grid{
+		Workloads: []*workloads.Workload{ws[0]},
+		Systems:   uarch.All()[:1],
+		Variants:  []core.Variant{core.VariantPlain, core.VariantManual},
+	}
+	set, err := g.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Get("IS", "Haswell", core.VariantPlain) == nil {
+		t.Fatal("Get missed a completed cell")
+	}
+	sp := set.Speedup("IS", "Haswell", core.VariantPlain, core.VariantManual)
+	if sp <= 0 {
+		t.Errorf("speedup = %v, want positive", sp)
+	}
+	sps := set.Speedups("Haswell", core.VariantPlain, core.VariantManual)
+	if len(sps) != 1 || sps[0] != sp {
+		t.Errorf("Speedups = %v, want [%v]", sps, sp)
+	}
+	if g := Geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+
+	var csv bytes.Buffer
+	if err := set.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,system,variant") {
+		t.Errorf("CSV header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "IS,Haswell,plain") {
+		t.Errorf("CSV row wrong: %s", lines[1])
+	}
+}
+
+// TestSerialParallelGoldenEquivalence diffs the golden-sized matrix —
+// every workload, machine and variant at cmd/golden's reduced input
+// sizes — between a serial and a parallel execution. This is the
+// acceptance check for the engine; -short relies on the tiny-matrix
+// determinism test above instead.
+func TestSerialParallelGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden-sized equivalence sweep")
+	}
+	g := Grid{
+		Workloads: []*workloads.Workload{
+			workloads.IS(1<<13, 1<<17),
+			workloads.CG(1024, 48),
+			workloads.RA(17, 1<<11),
+			workloads.HJ(1<<12, 2),
+			workloads.HJ(1<<12, 8),
+			workloads.G500(10, 8),
+		},
+		Systems:  uarch.All(),
+		Variants: Variants(),
+		Options:  core.Options{Hoist: true},
+	}
+	serial, err := g.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := g.Run(0) // GOMAXPROCS workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serial and parallel golden dumps differ")
+	}
+}
