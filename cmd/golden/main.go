@@ -15,6 +15,11 @@
 // The workload sizes are reduced relative to the benchmark defaults so
 // a full dump takes seconds, while still covering every variant, every
 // machine, both TLB page sizes' behaviours and the stride prefetcher.
+//
+// -store DIR (default $SWPF_STORE) persists per-cell results in the
+// content-addressed cache of internal/store, so repeated dumps cost
+// one disk read per cell; dumps are byte-identical either way. Use
+// -no-store to force fresh simulation.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
@@ -75,6 +81,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		jobs = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 		tiny = fs.Bool("tiny", false, "tiny workload sizes (fast smoke dump)")
 	)
+	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -89,7 +96,14 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Variants:  sweep.Variants(),
 		Options:   core.Options{Hoist: true},
 	}
-	set, err := grid.Run(*jobs)
+	runner := sweep.Runner{Jobs: *jobs}
+	if st, err := resolveStore(); err != nil {
+		return err
+	} else if st != nil {
+		runner.Cache = st
+		runner.OnPutError = store.PutWarner(stderr)
+	}
+	set, err := grid.RunWith(runner)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,29 @@ func TestTinyDumpSerialVsParallel(t *testing.T) {
 	}
 }
 
+// TestStoredDumpBitIdentical runs the tiny dump three times — no
+// store, cold store, warm store — and requires byte-identical output:
+// the result cache must be invisible in the statistics.
+func TestStoredDumpBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var plain, cold, warm bytes.Buffer
+	if err := run([]string{"-tiny", "-no-store"}, &plain, &bytes.Buffer{}); err != nil {
+		t.Fatalf("no store: %v", err)
+	}
+	if err := run([]string{"-tiny", "-store", dir}, &cold, &bytes.Buffer{}); err != nil {
+		t.Fatalf("cold store: %v", err)
+	}
+	if err := run([]string{"-tiny", "-store", dir}, &warm, &bytes.Buffer{}); err != nil {
+		t.Fatalf("warm store: %v", err)
+	}
+	if !bytes.Equal(plain.Bytes(), cold.Bytes()) {
+		t.Error("cold-store dump differs from uncached dump")
+	}
+	if !bytes.Equal(plain.Bytes(), warm.Bytes()) {
+		t.Error("warm-store dump differs from uncached dump")
+	}
+}
+
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag accepted")

@@ -17,6 +17,11 @@
 //
 //	swpfbench -sweep -workloads IS,CG -systems Haswell,A53 -variants plain,auto
 //	swpfbench -sweep -quick -variants plain,manual -c 16 -json
+//
+// -store DIR (default $SWPF_STORE) persists per-run results in the
+// content-addressed cache of internal/store: re-running a figure or a
+// grid re-simulates only cells the store has not seen, with output
+// byte-identical to a fresh run. -no-store forces fresh simulation.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -69,6 +75,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		hoist     = fs.Bool("hoist", false, "sweep: enable loop hoisting in the automatic pass")
 		jsonOut   = fs.Bool("json", false, "sweep: emit JSON records instead of CSV")
 	)
+	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -79,6 +86,15 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	q := bench.Full
 	if *quick {
 		q = bench.Quick
+	}
+
+	var cache sweep.Cache
+	var onPutError func(sweep.Request, error)
+	if st, err := resolveStore(); err != nil {
+		return err
+	} else if st != nil {
+		cache = st
+		onPutError = store.PutWarner(stderr)
 	}
 
 	if *doSweep {
@@ -100,7 +116,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			Variants:  vs,
 			Options:   core.Options{C: *c, Depth: *depth, Hoist: *hoist},
 		}
-		set, err := grid.Run(*jobs)
+		set, err := grid.RunWith(sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError})
 		if err != nil {
 			return err
 		}
@@ -110,7 +126,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return set.WriteCSV(stdout)
 	}
 
-	s := bench.Suite{Q: q, Jobs: *jobs}
+	s := bench.Suite{Q: q, Jobs: *jobs, Cache: cache, OnPutError: onPutError}
 
 	emit := func(t *bench.Table, err error) error {
 		if err != nil {

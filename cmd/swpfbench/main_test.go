@@ -35,6 +35,25 @@ func TestSweepModeCSVAndJSON(t *testing.T) {
 	}
 }
 
+// TestSweepStoreWarmIsBitIdentical reruns a small sweep against one
+// store directory and requires the warm output to match the cold one
+// byte for byte.
+func TestSweepStoreWarmIsBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-sweep", "-quick", "-workloads", "IS", "-systems", "A53",
+		"-variants", "plain,manual", "-c", "16", "-store", dir}
+	var cold, warm bytes.Buffer
+	if err := run(args, &cold, &bytes.Buffer{}); err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if err := run(args, &warm, &bytes.Buffer{}); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm sweep differs from cold:\n%s\nvs\n%s", warm.String(), cold.String())
+	}
+}
+
 func TestSweepModeRejectsUnknownNames(t *testing.T) {
 	for _, args := range [][]string{
 		{"-sweep", "-quick", "-workloads", "nope"},

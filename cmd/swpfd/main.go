@@ -1,0 +1,393 @@
+// Command swpfd is a long-running HTTP service that executes
+// experiment grids asynchronously: the sweep engine's worker pool and
+// the content-addressed result store (internal/store), behind a small
+// job API. Submitting the same grid twice — or two grids that overlap
+// — costs one simulation per distinct cell ever seen; everything else
+// is served from the store.
+//
+// API:
+//
+//	POST /sweep        submit a grid spec; returns {"id", "cells"}
+//	GET  /jobs         list all jobs with status
+//	GET  /jobs/{id}    one job's status and progress counts
+//	GET  /results?id=ID[&format=csv|json]
+//	                   a completed job's ResultSet (JSON records by
+//	                   default, CSV on request)
+//
+// Jobs run FIFO on a single executor (states queued → running →
+// done/failed): one sweep already saturates the machine with its
+// worker pool, so sequencing jobs bounds resource use at no
+// throughput cost. The queue and the retained-job table are capped
+// (oldest finished jobs are evicted first).
+//
+// The grid spec mirrors swpfbench's -sweep flags:
+//
+//	curl -s localhost:8077/sweep -d '{"workloads":"IS,CG","systems":"Haswell","variants":"plain,auto","quality":"quick"}'
+//	curl -s localhost:8077/jobs/job-1
+//	curl -s 'localhost:8077/results?id=job-1&format=csv'
+//
+// Flags: -addr (default 127.0.0.1:8077 — the API is unauthenticated,
+// so non-loopback binds are an explicit choice), -jobs (worker pool
+// size per sweep), -store/-no-store (result cache; default
+// $SWPF_STORE). See docs/service.md for the full protocol.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/sweep"
+	"repro/internal/workloads"
+)
+
+func main() {
+	switch err := run(os.Args[1:], os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // usage already printed; exit 0
+	default:
+		fmt.Fprintln(os.Stderr, "swpfd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until the listener fails — the testable
+// part of the daemon is newServer, which httptest drives directly.
+func run(argv []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swpfd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr = fs.String("addr", "127.0.0.1:8077", "listen address (loopback by default; the API is unauthenticated)")
+		jobs = fs.Int("jobs", 0, "worker goroutines per sweep (0 = all CPUs)")
+	)
+	resolveStore := store.BindFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	var cache sweep.Cache
+	if st, err := resolveStore(); err != nil {
+		return err
+	} else if st != nil {
+		cache = st
+		fmt.Fprintf(stderr, "swpfd: result store at %s\n", st.Dir())
+	}
+	fmt.Fprintf(stderr, "swpfd: listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, newServer(*jobs, cache))
+}
+
+// SweepSpec is the POST /sweep request body: the same selectors
+// swpfbench's -sweep mode takes on the command line. Empty selector
+// strings mean "all"; Quality picks the workload input sizes — "full"
+// (default), "quick", or "tiny" (test sizes).
+type SweepSpec struct {
+	Workloads string `json:"workloads"`
+	Systems   string `json:"systems"`
+	Variants  string `json:"variants"`
+	C         int64  `json:"c"`
+	Depth     int    `json:"depth"`
+	Hoist     bool   `json:"hoist"`
+	Quality   string `json:"quality"`
+}
+
+// Workload pools are memoized per quality: constructing one runs the
+// input-data generators and reference checksums, which is far too
+// heavy to redo inside every POST /sweep handler. Workloads are
+// read-only after construction, so sharing them across jobs is safe
+// (the sweep engine already shares them across workers).
+var (
+	fullPool  = sync.OnceValue(func() []*workloads.Workload { return bench.WorkloadSet(bench.Full) })
+	quickPool = sync.OnceValue(func() []*workloads.Workload { return bench.WorkloadSet(bench.Quick) })
+	tinyPool  = sync.OnceValue(workloads.Tiny)
+)
+
+// grid resolves the spec against the workload registry, failing on any
+// unknown name — submission-time validation, so a bad spec is a 400,
+// never a failed job.
+func (sp SweepSpec) grid() (sweep.Grid, error) {
+	var pool []*workloads.Workload
+	switch sp.Quality {
+	case "", "full":
+		pool = fullPool()
+	case "quick":
+		pool = quickPool()
+	case "tiny":
+		pool = tinyPool()
+	default:
+		return sweep.Grid{}, fmt.Errorf("unknown quality %q (have full, quick, tiny)", sp.Quality)
+	}
+	ws, err := sweep.SelectWorkloads(pool, sp.Workloads)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	cfgs, err := sweep.ParseSystems(sp.Systems)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	vs, err := sweep.ParseVariants(sp.Variants)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	return sweep.Grid{
+		Workloads: ws,
+		Systems:   cfgs,
+		Variants:  vs,
+		Options:   core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
+	}, nil
+}
+
+// Job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// Capacity bounds. Jobs run FIFO on a single executor so concurrent
+// submissions cannot multiply worker pools; the queue and the retained
+// job table are both capped so a chatty client cannot grow the daemon
+// without bound.
+const (
+	// maxQueue bounds submissions waiting to run; beyond it POST
+	// /sweep answers 503.
+	maxQueue = 1024
+	// maxJobs bounds retained jobs: once exceeded, the oldest
+	// *terminal* jobs (and their result sets) are evicted, after which
+	// their ids answer 404. Queued/running jobs are never evicted.
+	maxJobs = 256
+)
+
+// job is one submitted sweep. done counts completed cells (cache hits
+// included) and is read while workers are still appending, hence
+// atomic; set and err are written exactly once, before state flips to
+// a terminal value under mu.
+type job struct {
+	id    string
+	spec  SweepSpec
+	reqs  []sweep.Request
+	cells int
+	done  atomic.Int64
+
+	mu    sync.Mutex
+	state string
+	set   *sweep.ResultSet
+	err   error
+}
+
+// JobStatus is the wire form of a job, served by GET /jobs{,/{id}}.
+type JobStatus struct {
+	ID    string    `json:"id"`
+	Spec  SweepSpec `json:"spec"`
+	State string    `json:"state"`
+	Total int       `json:"total"`
+	Done  int       `json:"done"`
+	Error string    `json:"error,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:    j.id,
+		Spec:  j.spec,
+		State: j.state,
+		Total: j.cells,
+		Done:  int(j.done.Load()),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// server holds the job table and the sweep configuration shared by
+// every submission.
+type server struct {
+	jobs  int
+	cache sweep.Cache
+	queue chan *job
+
+	mu   sync.Mutex
+	seq  int
+	byID map[string]*job
+	ids  []string // insertion order, for stable GET /jobs listings
+}
+
+// newServer builds the daemon's HTTP handler and starts its executor;
+// cache may be nil.
+func newServer(jobs int, cache sweep.Cache) http.Handler {
+	s := &server{
+		jobs:  jobs,
+		cache: cache,
+		queue: make(chan *job, maxQueue),
+		byID:  make(map[string]*job),
+	}
+	go s.executor()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /results", s.handleResults)
+	return mux
+}
+
+// executor drains the queue one job at a time: a single sweep already
+// saturates the machine with its own worker pool, so running jobs
+// sequentially bounds resource use without slowing anything down.
+func (s *server) executor() {
+	for j := range s.queue {
+		j.mu.Lock()
+		j.state = stateRunning
+		j.mu.Unlock()
+		runner := sweep.Runner{
+			Jobs:       s.jobs,
+			Cache:      s.cache,
+			OnProgress: func(_, _ int) { j.done.Add(1) },
+			OnPutError: store.PutWarner(os.Stderr),
+		}
+		set, err := runner.Execute(j.reqs)
+		j.mu.Lock()
+		j.set, j.err = set, err
+		if err != nil {
+			j.state = stateFailed
+		} else {
+			j.state = stateDone
+		}
+		j.reqs = nil // the request list is dead weight once executed
+		j.mu.Unlock()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSweep validates the spec, registers a job and enqueues it for
+// the executor; the response returns immediately with the job id and
+// cell count.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	grid, err := spec.grid()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reqs := grid.Expand()
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{id: "job-" + strconv.Itoa(s.seq), spec: spec, reqs: reqs, cells: len(reqs), state: stateQueued}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "queue full (%d jobs waiting)", maxQueue)
+		return
+	}
+	s.byID[j.id] = j
+	s.ids = append(s.ids, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "cells": len(reqs)})
+}
+
+// evictLocked drops the oldest terminal jobs (result sets included)
+// while the table exceeds maxJobs; the caller holds s.mu.
+func (s *server) evictLocked() {
+	for i := 0; len(s.byID) > maxJobs && i < len(s.ids); {
+		j := s.byID[s.ids[i]]
+		j.mu.Lock()
+		terminal := j.state == stateDone || j.state == stateFailed
+		j.mu.Unlock()
+		if !terminal {
+			i++
+			continue
+		}
+		delete(s.byID, s.ids[i])
+		s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	}
+}
+
+func (s *server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*job, 0, len(s.ids))
+	for _, id := range s.ids {
+		list = append(list, s.byID[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(list))
+	for i, j := range list {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleResults streams a completed job's result set through the
+// ResultSet emitters: JSON records by default, CSV with format=csv.
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	j := s.lookup(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	j.mu.Lock()
+	state, set, jerr := j.state, j.set, j.err
+	j.mu.Unlock()
+	switch state {
+	case stateQueued, stateRunning:
+		writeError(w, http.StatusConflict, "job %s not finished (state %s)", id, state)
+		return
+	case stateFailed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %v", id, jerr)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		set.WriteJSON(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		set.WriteCSV(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (have json, csv)", format)
+	}
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// tinySpec is the grid the end-to-end tests submit: tiny workload
+// sizes, two workloads, one system, the baseline variant pair.
+var tinySpec = `{"workloads":"IS,CG","systems":"A53","variants":"plain,auto","c":16,"quality":"tiny"}`
+
+// submit POSTs a spec and returns the job id and cell count.
+func submit(t *testing.T, ts *httptest.Server, spec string) (string, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /sweep = %d", resp.StatusCode)
+	}
+	var out struct {
+		ID    string `json:"id"`
+		Cells int    `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID, out.Cells
+}
+
+// poll waits for the job to reach a terminal state and returns its
+// final status.
+func poll(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == stateDone || st.State == stateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// fetch GETs a path and returns status code and body.
+func fetch(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestEndToEnd drives the daemon through the full protocol, cold and
+// warm: submit a tiny grid, poll to completion, and require the
+// returned result sets — JSON and CSV — to be byte-identical to a
+// direct sweep.Runner execution of the same grid. The warm pass must
+// be served entirely from the store.
+func TestEndToEnd(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(2, st))
+	defer ts.Close()
+
+	// Reference: the same spec executed directly by the engine.
+	var spec SweepSpec
+	if err := json.Unmarshal([]byte(tinySpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := spec.grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sweep.Runner{Jobs: 2}.Execute(grid.Expand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON, wantCSV bytes.Buffer
+	if err := direct.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pass := range []string{"cold", "warm"} {
+		id, cells := submit(t, ts, tinySpec)
+		if cells != len(grid.Expand()) {
+			t.Fatalf("%s: submitted %d cells, want %d", pass, cells, len(grid.Expand()))
+		}
+		final := poll(t, ts, id)
+		if final.State != stateDone || final.Done != cells || final.Error != "" {
+			t.Fatalf("%s: job finished badly: %+v", pass, final)
+		}
+
+		code, body := fetch(t, ts, "/results?id="+id)
+		if code != http.StatusOK {
+			t.Fatalf("%s: GET /results = %d: %s", pass, code, body)
+		}
+		if !bytes.Equal(body, wantJSON.Bytes()) {
+			t.Errorf("%s: JSON results differ from direct run:\n%s\nvs\n%s", pass, body, wantJSON.Bytes())
+		}
+		code, body = fetch(t, ts, "/results?id="+id+"&format=csv")
+		if code != http.StatusOK {
+			t.Fatalf("%s: GET /results csv = %d", pass, code)
+		}
+		if !bytes.Equal(body, wantCSV.Bytes()) {
+			t.Errorf("%s: CSV results differ from direct run:\n%s\nvs\n%s", pass, body, wantCSV.Bytes())
+		}
+	}
+
+	// The second submission must have been pure cache traffic.
+	if stats := st.Stats(); stats.Hits < int64(len(grid.Expand())) {
+		t.Errorf("warm pass hit the store only %d times, want >= %d", stats.Hits, len(grid.Expand()))
+	}
+
+	// The job listing shows both runs, newest last.
+	code, body := fetch(t, ts, "/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /jobs = %d", code)
+	}
+	var list []JobStatus
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != "job-1" || list[1].ID != "job-2" {
+		t.Errorf("job listing wrong: %+v", list)
+	}
+}
+
+// TestBadRequests covers submission-time validation and the error
+// paths of the read endpoints.
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(1, nil))
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"workloads":"nope","quality":"tiny"}`,
+		`{"systems":"M4","quality":"tiny"}`,
+		`{"variants":"jit","quality":"tiny"}`,
+		`{"quality":"huge"}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	if code, _ := fetch(t, ts, "/jobs/job-99"); code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", code)
+	}
+	if code, _ := fetch(t, ts, "/results?id=job-99"); code != http.StatusNotFound {
+		t.Errorf("unknown job results = %d, want 404", code)
+	}
+
+	// A running or queued-format error: results for a finished job in
+	// an unknown format.
+	id, _ := submit(t, ts, `{"workloads":"IS","systems":"A53","variants":"plain","quality":"tiny"}`)
+	poll(t, ts, id)
+	if code, _ := fetch(t, ts, "/results?id="+id+"&format=xml"); code != http.StatusBadRequest {
+		t.Errorf("unknown format = %d, want 400", code)
+	}
+}
+
+// TestBadFlagRejected keeps the flag surface honest.
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

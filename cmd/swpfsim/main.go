@@ -62,7 +62,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%w: %v", errParse, err)
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: swpfsim [flags] <file.ir|-> [args...]")
+		return errors.New("usage: swpfsim [flags] <file.ir|-> [args...]")
 	}
 
 	src, err := readInput(fs.Arg(0), stdin)

@@ -19,6 +19,18 @@ type Suite struct {
 	Q Quality
 	// Jobs is the sweep worker count; <= 0 selects GOMAXPROCS.
 	Jobs int
+	// Cache, when non-nil, is a persistent result store (see
+	// internal/store): figure cells already cached are served from
+	// disk, and fresh cells are persisted as they complete.
+	Cache sweep.Cache
+	// OnPutError receives cache-persistence failures (see
+	// sweep.Runner.OnPutError); nil ignores them.
+	OnPutError func(sweep.Request, error)
+}
+
+// runner is the sweep configuration every figure executes under.
+func (s Suite) runner() sweep.Runner {
+	return sweep.Runner{Jobs: s.Jobs, Cache: s.Cache, OnPutError: s.OnPutError}
 }
 
 // batch accumulates the independent runs one figure needs. Figures
@@ -34,8 +46,8 @@ func (b *batch) add(w *workloads.Workload, cfg *sim.Config, v core.Variant, o co
 	return len(b.reqs) - 1
 }
 
-func (b *batch) run(jobs int) ([]*core.Result, error) {
-	set, err := sweep.Execute(b.reqs, jobs)
+func (b *batch) run(r sweep.Runner) ([]*core.Result, error) {
+	set, err := r.Execute(b.reqs)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +110,7 @@ func (s Suite) Fig2() (*Table, error) {
 		o := core.Options{C: cse.c}
 		idx[i] = pair{b.add(w, hw, core.VariantPlain, o), b.add(w, hw, cse.variant, o)}
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +156,7 @@ func (s Suite) Fig4(system string) (*Table, error) {
 		}
 		rows[i] = r
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +218,7 @@ func (s Suite) Fig5() (*Table, error) {
 			full:  b.add(w, hw, core.VariantAuto, core.Options{}),
 		}
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +266,7 @@ func (s Suite) Fig6(benchName string) (*Table, error) {
 		}
 		rows[i] = r
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +325,7 @@ func (s Suite) Fig7() (*Table, error) {
 		}
 		rows[i] = r
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +364,7 @@ func (s Suite) Fig8() (*Table, error) {
 		}
 		rows[i] = r
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +401,7 @@ func (s Suite) Fig9() (*Table, error) {
 			pf:    b.add(w, cfg, core.VariantManual, core.Options{}),
 		}
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +445,7 @@ func (s Suite) Fig10() (*Table, error) {
 			})
 		}
 	}
-	res, err := b.run(s.Jobs)
+	res, err := b.run(s.runner())
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,16 @@ package sim
 
 import "fmt"
 
+// StatsVersion identifies the statistical behaviour of the timing
+// model. Any change that can alter the statistics a simulation reports
+// for some (workload, config, variant, options) cell — a latency
+// formula, a replacement policy, an issue rule — MUST bump this
+// constant. It is the version salt in internal/store cache keys, so
+// bumping it cleanly invalidates every persisted result; changes that
+// are proven bit-identical (cmd/golden diffs) keep it unchanged so
+// caches survive pure refactors.
+const StatsVersion = 1
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	Name     string

@@ -39,6 +39,12 @@ func (g Grid) Run(jobs int) (*ResultSet, error) {
 	return Execute(g.Expand(), jobs)
 }
 
+// RunWith expands the grid and executes it with the given runner, so
+// callers can attach a result cache or a progress callback.
+func (g Grid) RunWith(r Runner) (*ResultSet, error) {
+	return r.Execute(g.Expand())
+}
+
 // Variants lists every variant the engine accepts, in presentation
 // order.
 func Variants() []core.Variant {

@@ -56,16 +56,73 @@ func Jobs(jobs, requests int) int {
 	return jobs
 }
 
-// Execute runs every request on a pool of jobs worker goroutines
-// (jobs <= 0 selects GOMAXPROCS) and returns the outcomes in request
+// Cache is a pluggable persistent result cache consulted by Runner.
+// Get returns the stored result for a request (a miss is (nil, false));
+// Put persists a freshly computed one. A simulation request is fully
+// deterministic, so a cache entry is exactly as good as re-running the
+// cell — internal/store provides the content-addressed on-disk
+// implementation. Implementations must be safe for concurrent use:
+// worker goroutines Put results as they complete.
+type Cache interface {
+	Get(Request) (*core.Result, bool)
+	Put(Request, *core.Result) error
+}
+
+// Runner executes request lists. The zero value runs serially enough:
+// Jobs <= 0 selects GOMAXPROCS workers, no cache, no progress
+// reporting.
+type Runner struct {
+	// Jobs is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Cache, when non-nil, answers cells without simulating and
+	// persists computed results as each cell completes — an
+	// interrupted grid resumes from the cells already stored.
+	Cache Cache
+	// OnProgress, when non-nil, is invoked after every completed cell
+	// (cache hit or simulated) with the running completion count and
+	// the request total. It is called concurrently from worker
+	// goroutines and must be safe for that.
+	OnProgress func(done, total int)
+	// OnPutError, when non-nil, receives cache-persistence failures.
+	// Persistence is best-effort: a failed Put never fails the sweep
+	// (the cell just recomputes next time), so with a nil callback
+	// failures are silently ignored. Called concurrently from worker
+	// goroutines.
+	OnPutError func(Request, error)
+}
+
+// Execute runs every request and returns the outcomes in request
 // order, regardless of completion order. The returned error is the
 // first failure in request order — deterministic even though workers
-// race — and the result set still holds every other outcome.
-func Execute(reqs []Request, jobs int) (*ResultSet, error) {
+// race — and the result set still holds every other outcome. Cache
+// hits are served before the worker pool starts, so only misses cost
+// simulation time; failed cells are never cached.
+func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 	out := make([]Outcome, len(reqs))
+	var done atomic.Int64
+	progress := func() {
+		n := int(done.Add(1))
+		if r.OnProgress != nil {
+			r.OnProgress(n, len(reqs))
+		}
+	}
+
+	// Serve cache hits up front; only the misses go to the pool.
+	var misses []int
+	for i, req := range reqs {
+		if r.Cache != nil {
+			if res, ok := r.Cache.Get(req); ok {
+				out[i] = Outcome{Request: req, Result: res}
+				progress()
+				continue
+			}
+		}
+		misses = append(misses, i)
+	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for k := Jobs(jobs, len(reqs)); k > 0; k-- {
+	for k := Jobs(r.Jobs, len(misses)); k > 0 && len(misses) > 0; k-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -74,17 +131,30 @@ func Execute(reqs []Request, jobs int) (*ResultSet, error) {
 			// goroutines.
 			cx := core.NewContext()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
+				n := int(next.Add(1)) - 1
+				if n >= len(misses) {
 					return
 				}
-				r := reqs[i]
-				res, err := cx.Run(r.Workload, r.System, r.Variant, r.Options)
-				out[i] = Outcome{Request: r, Result: res, Err: err}
+				i := misses[n]
+				req := reqs[i]
+				res, err := cx.Run(req.Workload, req.System, req.Variant, req.Options)
+				out[i] = Outcome{Request: req, Result: res, Err: err}
+				if err == nil && r.Cache != nil {
+					if perr := r.Cache.Put(req, res); perr != nil && r.OnPutError != nil {
+						r.OnPutError(req, perr)
+					}
+				}
+				progress()
 			}
 		}()
 	}
 	wg.Wait()
 	set := &ResultSet{Outcomes: out}
 	return set, set.Err()
+}
+
+// Execute runs every request on a pool of jobs worker goroutines
+// (jobs <= 0 selects GOMAXPROCS); see Runner.Execute.
+func Execute(reqs []Request, jobs int) (*ResultSet, error) {
+	return Runner{Jobs: jobs}.Execute(reqs)
 }

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -65,7 +67,7 @@ func CG(rows, nnzPerRow int64) *Workload {
 		want = Checksum(want, sum)
 	}
 
-	w := &Workload{Name: "CG", want: want}
+	w := &Workload{Name: "CG", Params: fmt.Sprintf("rows=%d,nnzperrow=%d", rows, nnzPerRow), want: want}
 	w.build = func(v Variant, c int64, _ int) *ir.Module {
 		return buildCG(v, c)
 	}

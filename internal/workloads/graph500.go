@@ -147,7 +147,12 @@ func G500(scale, edgeFactor int64) *Workload {
 	// prefetches; depth 2 adds the inner-loop parent prefetch. The paper
 	// reports inner-loop prefetches are suboptimal on Haswell (§6.1),
 	// so figure 4's best-manual selection tries both.
-	w := &Workload{Name: fmt.Sprintf("G500-s%d", scale), want: want, ManualDepths: 2}
+	w := &Workload{
+		Name:         fmt.Sprintf("G500-s%d", scale),
+		Params:       fmt.Sprintf("scale=%d,edgefactor=%d", scale, edgeFactor),
+		want:         want,
+		ManualDepths: 2,
+	}
 	w.build = func(v Variant, c int64, depth int) *ir.Module {
 		return buildG500(v, c, depth)
 	}

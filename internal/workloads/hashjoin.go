@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -85,7 +87,11 @@ func HJ(nkeys, elemsPerBucket int64) *Workload {
 		}
 	}
 
-	w := &Workload{Name: name, ManualDepths: 1 + int(chainNodes)}
+	w := &Workload{
+		Name:         name,
+		Params:       fmt.Sprintf("nkeys=%d,elemsperbucket=%d", nkeys, elemsPerBucket),
+		ManualDepths: 1 + int(chainNodes),
+	}
 	w.want = want
 	w.build = func(v Variant, c int64, depth int) *ir.Module {
 		return buildHJ(v, c, depth, int(chainNodes))

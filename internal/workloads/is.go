@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -36,7 +38,7 @@ func IS(nkeys, nbuckets int64) *Workload {
 		}
 	}
 
-	w := &Workload{Name: "IS", want: want}
+	w := &Workload{Name: "IS", Params: fmt.Sprintf("nkeys=%d,nbuckets=%d", nkeys, nbuckets), want: want}
 	w.build = func(v Variant, c int64, _ int) *ir.Module {
 		return buildIS(v, c)
 	}

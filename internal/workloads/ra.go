@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -48,7 +50,7 @@ func RA(tableBits int64, updates int64) *Workload {
 		}
 	}
 
-	w := &Workload{Name: "RA", want: want}
+	w := &Workload{Name: "RA", Params: fmt.Sprintf("tablebits=%d,updates=%d", tableBits, updates), want: want}
 	w.build = func(v Variant, c int64, _ int) *ir.Module {
 		return buildRA(v, c)
 	}

@@ -73,6 +73,12 @@ func (inst *Instance) Run(m *interp.Machine) error {
 // Workload builds instances of one benchmark.
 type Workload struct {
 	Name string
+	// Params is the canonical rendering of the constructor arguments
+	// (e.g. "nkeys=8192,nbuckets=131072"). Two workloads with equal
+	// Name+Params generate identical kernels, inputs and checksums, so
+	// the pair is the workload component of internal/store cache keys;
+	// Name alone is ambiguous because sizes do not appear in it.
+	Params string
 	// ManualDepths reports how many staggered prefetch levels the
 	// manual variant supports (fig. 7); 0 means the depth argument is
 	// ignored.
