@@ -14,7 +14,10 @@
 //
 // The workload sizes are reduced relative to the benchmark defaults so
 // a full dump takes seconds, while still covering every variant, every
-// machine, both TLB page sizes' behaviours and the stride prefetcher.
+// machine, both TLB page sizes' behaviours and the hardware
+// prefetcher. -hwpf widens the matrix across hardware-prefetcher
+// models (internal/hwpf); `golden -hwpf stride` pins the ported
+// streamer bit-identical to the pre-hwpf engine.
 //
 // -store DIR (default $SWPF_STORE) persists per-cell results in the
 // content-addressed cache of internal/store, so repeated dumps cost
@@ -40,6 +43,13 @@ type record struct {
 	Workload string
 	System   string
 	Variant  string
+	// HWPF labels the hardware-prefetcher model, but only when the
+	// -hwpf axis selects more than one (derived configs keep the
+	// machine name, so multi-model dumps would otherwise repeat
+	// identical labels with different stats). Single-model dumps omit
+	// it, keeping the default and `-hwpf stride` dumps byte-identical
+	// to the pre-hwpf engine.
+	HWPF     string `json:",omitempty"`
 	Checksum int64
 	Cycles   float64
 	Stats    interface{}
@@ -80,6 +90,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	var (
 		jobs = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 		tiny = fs.Bool("tiny", false, "tiny workload sizes (fast smoke dump)")
+		hwpf = fs.String("hwpf", "", "hardware-prefetcher axis: comma-separated models among default,none,stride,nextline,ghb,imp (default: default)")
 	)
 	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
@@ -90,11 +101,16 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	hws, err := sweep.ParseHWPrefetchers(*hwpf)
+	if err != nil {
+		return err
+	}
 	grid := sweep.Grid{
-		Workloads: matrix(*tiny),
-		Systems:   systems,
-		Variants:  sweep.Variants(),
-		Options:   core.Options{Hoist: true},
+		Workloads:     matrix(*tiny),
+		Systems:       systems,
+		HWPrefetchers: hws,
+		Variants:      sweep.Variants(),
+		Options:       core.Options{Hoist: true},
 	}
 	runner := sweep.Runner{Jobs: *jobs}
 	if st, err := resolveStore(); err != nil {
@@ -111,7 +127,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	out := make([]record, 0, len(set.Outcomes))
 	for i := range set.Outcomes {
 		o := &set.Outcomes[i]
-		out = append(out, snapshot(o.Workload.Name, o.System.Name, o.Variant, o.Result))
+		rec := snapshot(o.Workload.Name, o.System.Name, o.Variant, o.Result)
+		if len(hws) > 1 {
+			rec.HWPF = o.System.HWPrefetcherName()
+		}
+		out = append(out, rec)
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", " ")

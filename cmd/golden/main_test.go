@@ -53,6 +53,46 @@ func TestStoredDumpBitIdentical(t *testing.T) {
 	}
 }
 
+// TestHWPFLabelling pins the -hwpf record-labelling contract: a
+// single-model dump (the default, and an explicit -hwpf stride, which
+// behaves identically on every preset machine) omits the HWPF field
+// entirely — keeping such dumps byte-identical to the pre-hwpf engine,
+// the refactor-diffing property golden exists for — while a
+// multi-model dump labels every record with its effective model so
+// same-named systems stay distinguishable.
+func TestHWPFLabelling(t *testing.T) {
+	var def, stride, multi bytes.Buffer
+	if err := run([]string{"-tiny"}, &def, &bytes.Buffer{}); err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	if err := run([]string{"-tiny", "-hwpf", "stride"}, &stride, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-hwpf stride: %v", err)
+	}
+	if !bytes.Equal(def.Bytes(), stride.Bytes()) {
+		t.Error("-hwpf stride dump differs from the default dump")
+	}
+	if strings.Contains(def.String(), "\"HWPF\"") {
+		t.Error("single-model dump carries HWPF labels")
+	}
+
+	if err := run([]string{"-tiny", "-hwpf", "default,none"}, &multi, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-hwpf default,none: %v", err)
+	}
+	s := multi.String()
+	for _, want := range []string{"\"HWPF\": \"stride\"", "\"HWPF\": \"none\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("multi-model dump missing %s", want)
+		}
+	}
+	if n, m := strings.Count(s, "\"HWPF\""), strings.Count(s, "\"Workload\""); n != m {
+		t.Errorf("multi-model dump labels %d of %d records", n, m)
+	}
+
+	if err := run([]string{"-hwpf", "warp"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown hardware prefetcher accepted")
+	}
+}
+
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag accepted")

@@ -9,13 +9,16 @@
 //	swpfbench -exp all                 # every figure (several minutes)
 //	swpfbench -exp fig4 -system A53    # one figure
 //	swpfbench -exp fig6 -bench RA      # one look-ahead sweep
+//	swpfbench -exp swhw                # software-vs-hardware prefetch table
 //	swpfbench -quick                   # reduced input sizes
 //	swpfbench -jobs 1                  # serial execution
+//	swpfbench -list                    # enumerate every grid axis
 //
-// Ad-hoc grids cross user-chosen workloads, systems and variants and
-// dump per-run statistics:
+// Ad-hoc grids cross user-chosen workloads, systems, hardware
+// prefetchers and variants and dump per-run statistics:
 //
 //	swpfbench -sweep -workloads IS,CG -systems Haswell,A53 -variants plain,auto
+//	swpfbench -sweep -hwpf none,stride,imp -variants plain,auto
 //	swpfbench -sweep -quick -variants plain,manual -c 16 -json
 //
 // -store DIR (default $SWPF_STORE) persists per-run results in the
@@ -33,8 +36,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/hwpf"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/uarch"
 )
 
 // errParse marks a flag-parsing failure the FlagSet has already
@@ -59,17 +64,19 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("swpfbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all")
-		system = fs.String("system", "", "restrict fig4 to one system (Haswell, XeonPhi, A57, A53)")
+		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, swhw, all")
+		system = fs.String("system", "", "restrict fig4/swhw to one system (Haswell, XeonPhi, A57, A53)")
 		wl     = fs.String("bench", "", "restrict fig6 to one benchmark (IS, CG, RA, HJ-2)")
 		quick  = fs.Bool("quick", false, "reduced input sizes")
 		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jobs   = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+		list   = fs.Bool("list", false, "list workloads, systems, variants and hardware prefetchers, then exit")
 
-		doSweep   = fs.Bool("sweep", false, "run an ad-hoc grid instead of a figure (see -workloads/-systems/-variants)")
+		doSweep   = fs.Bool("sweep", false, "run an ad-hoc grid instead of a figure (see -workloads/-systems/-variants/-hwpf)")
 		workloads = fs.String("workloads", "", "sweep: comma-separated workloads, exact or prefix (default: all)")
 		systems   = fs.String("systems", "", "sweep: comma-separated systems (default: all)")
 		variants  = fs.String("variants", "", "sweep: comma-separated variants among plain,auto,manual,icc,indirect-only (default: plain,auto)")
+		hwpfAxis  = fs.String("hwpf", "", "sweep: comma-separated hardware prefetchers among default,none,stride,nextline,ghb,imp (default: default)")
 		c         = fs.Int64("c", 0, "sweep: look-ahead constant (0 = the paper's 64)")
 		depth     = fs.Int("depth", 0, "sweep: stagger depth limit (0 = unlimited)")
 		hoist     = fs.Bool("hoist", false, "sweep: enable loop hoisting in the automatic pass")
@@ -86,6 +93,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	q := bench.Full
 	if *quick {
 		q = bench.Quick
+	}
+
+	if *list {
+		return writeAxes(stdout, q)
 	}
 
 	var cache sweep.Cache
@@ -110,11 +121,16 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		hws, err := sweep.ParseHWPrefetchers(*hwpfAxis)
+		if err != nil {
+			return err
+		}
 		grid := sweep.Grid{
-			Workloads: ws,
-			Systems:   cfgs,
-			Variants:  vs,
-			Options:   core.Options{C: *c, Depth: *depth, Hoist: *hoist},
+			Workloads:     ws,
+			Systems:       cfgs,
+			HWPrefetchers: hws,
+			Variants:      vs,
+			Options:       core.Options{C: *c, Depth: *depth, Hoist: *hoist},
 		}
 		set, err := grid.RunWith(sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError})
 		if err != nil {
@@ -178,7 +194,35 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return emit(s.Fig9())
 	case "fig10":
 		return emit(s.Fig10())
+	case "swhw":
+		if *system != "" {
+			return emit(s.FigSWHW(*system))
+		}
+		return emitAll(s.FigSWHWAll())
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+// writeAxes prints every grid axis the sweep and figure modes accept —
+// the -list discovery surface, mirrored by swpfd's GET /meta.
+func writeAxes(w io.Writer, q bench.Quality) error {
+	fmt.Fprintln(w, "workloads (name: params):")
+	for _, wl := range bench.WorkloadSet(q) {
+		fmt.Fprintf(w, "  %-12s %s\n", wl.Name+":", wl.Params)
+	}
+	fmt.Fprintln(w, "systems:")
+	for _, cfg := range uarch.All() {
+		fmt.Fprintf(w, "  %-12s hwpf default: %s\n", cfg.Name+":", cfg.HWPrefetcherName())
+	}
+	fmt.Fprintln(w, "variants:")
+	for _, v := range sweep.Variants() {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+	fmt.Fprintln(w, "hardware prefetchers (-hwpf):")
+	fmt.Fprintf(w, "  %-12s keep each system's own model\n", sweep.HWPrefetcherDefault+":")
+	for _, name := range hwpf.Names() {
+		fmt.Fprintf(w, "  %-12s %s\n", name+":", hwpf.Describe(name))
+	}
+	return nil
 }

@@ -22,7 +22,7 @@ func TestSweepModeCSVAndJSON(t *testing.T) {
 	if !strings.HasPrefix(csv, "workload,system,variant") {
 		t.Errorf("sweep CSV header missing:\n%s", csv)
 	}
-	if !strings.Contains(csv, "IS,A53,manual,16") {
+	if !strings.Contains(csv, "IS,A53,manual,stride,16") {
 		t.Errorf("sweep CSV row missing:\n%s", csv)
 	}
 
@@ -62,6 +62,29 @@ func TestSweepModeRejectsUnknownNames(t *testing.T) {
 	} {
 		if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+// TestListEnumeratesAxes: -list must name every workload, system,
+// variant and hardware-prefetcher model the grid accepts, so the axes
+// are discoverable without reading source.
+func TestListEnumeratesAxes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list", "-quick"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"workloads", "systems", "variants", "hardware prefetchers",
+		"IS", "CG", "RA", "HJ-2", "HJ-8", "G500",
+		"Haswell", "XeonPhi", "A57", "A53",
+		"plain", "auto", "manual", "icc", "indirect-only",
+		"default", "none", "stride", "nextline", "ghb", "imp",
+		"nkeys=", // workload params are listed, not just names
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-list output missing %q:\n%s", want, s)
 		}
 	}
 }

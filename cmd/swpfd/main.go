@@ -13,6 +13,11 @@
 //	GET  /results?id=ID[&format=csv|json]
 //	                   a completed job's ResultSet (JSON records by
 //	                   default, CSV on request)
+//	GET  /meta[?quality=full|quick|tiny]
+//	                   enumerate every grid axis — workloads (per
+//	                   quality), systems, variants, hardware
+//	                   prefetchers — so specs can be built without
+//	                   reading source
 //
 // Jobs run FIFO on a single executor (states queued → running →
 // done/failed): one sweep already saturates the machine with its
@@ -46,8 +51,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/hwpf"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
 
@@ -93,10 +100,14 @@ type SweepSpec struct {
 	Workloads string `json:"workloads"`
 	Systems   string `json:"systems"`
 	Variants  string `json:"variants"`
-	C         int64  `json:"c"`
-	Depth     int    `json:"depth"`
-	Hoist     bool   `json:"hoist"`
-	Quality   string `json:"quality"`
+	// HWPF is the hardware-prefetcher axis: comma-separated models
+	// among default,none,stride,nextline,ghb,imp ("" = default, each
+	// system's own model).
+	HWPF    string `json:"hwpf"`
+	C       int64  `json:"c"`
+	Depth   int    `json:"depth"`
+	Hoist   bool   `json:"hoist"`
+	Quality string `json:"quality"`
 }
 
 // Workload pools are memoized per quality: constructing one runs the
@@ -137,11 +148,16 @@ func (sp SweepSpec) grid() (sweep.Grid, error) {
 	if err != nil {
 		return sweep.Grid{}, err
 	}
+	hws, err := sweep.ParseHWPrefetchers(sp.HWPF)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
 	return sweep.Grid{
-		Workloads: ws,
-		Systems:   cfgs,
-		Variants:  vs,
-		Options:   core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
+		Workloads:     ws,
+		Systems:       cfgs,
+		HWPrefetchers: hws,
+		Variants:      vs,
+		Options:       core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
 	}, nil
 }
 
@@ -238,7 +254,79 @@ func newServer(jobs int, cache sweep.Cache) http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("GET /meta", s.handleMeta)
 	return mux
+}
+
+// MetaWorkload is one selectable workload in the GET /meta listing.
+type MetaWorkload struct {
+	Name   string `json:"name"`
+	Params string `json:"params"`
+}
+
+// MetaSystem is one machine in the GET /meta listing.
+type MetaSystem struct {
+	Name string `json:"name"`
+	HWPF string `json:"hwpf_default"`
+}
+
+// MetaModel is one hardware-prefetcher axis value in GET /meta.
+type MetaModel struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Meta is the GET /meta response: every axis a SweepSpec selects over.
+type Meta struct {
+	Qualities     []string                  `json:"qualities"`
+	Workloads     map[string][]MetaWorkload `json:"workloads"`
+	Systems       []MetaSystem              `json:"systems"`
+	Variants      []string                  `json:"variants"`
+	HWPrefetchers []MetaModel               `json:"hwprefetchers"`
+}
+
+// handleMeta enumerates the grid axes. ?quality restricts the workload
+// listing to one pool (the first request for a quality constructs and
+// memoizes that pool, which generates workload input data — a one-off
+// cost per quality per process).
+func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	pools := map[string]func() []*workloads.Workload{
+		"full": fullPool, "quick": quickPool, "tiny": tinyPool,
+	}
+	qualities := []string{"full", "quick", "tiny"}
+	if q := r.URL.Query().Get("quality"); q != "" {
+		if _, ok := pools[q]; !ok {
+			writeError(w, http.StatusBadRequest, "unknown quality %q (have full, quick, tiny)", q)
+			return
+		}
+		qualities = []string{q}
+	}
+	m := Meta{
+		Qualities: []string{"full", "quick", "tiny"},
+		Workloads: make(map[string][]MetaWorkload),
+		Variants:  make([]string, 0, len(sweep.Variants())),
+	}
+	for _, q := range qualities {
+		var ws []MetaWorkload
+		for _, wl := range pools[q]() {
+			ws = append(ws, MetaWorkload{Name: wl.Name, Params: wl.Params})
+		}
+		m.Workloads[q] = ws
+	}
+	for _, cfg := range uarch.All() {
+		m.Systems = append(m.Systems, MetaSystem{Name: cfg.Name, HWPF: cfg.HWPrefetcherName()})
+	}
+	for _, v := range sweep.Variants() {
+		m.Variants = append(m.Variants, string(v))
+	}
+	m.HWPrefetchers = append(m.HWPrefetchers, MetaModel{
+		Name:        sweep.HWPrefetcherDefault,
+		Description: "keep each system's own model",
+	})
+	for _, name := range hwpf.Names() {
+		m.HWPrefetchers = append(m.HWPrefetchers, MetaModel{Name: name, Description: hwpf.Describe(name)})
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 // executor drains the queue one job at a time: a single sweep already

@@ -197,6 +197,85 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestMeta: GET /meta enumerates every grid axis, and the hwpf spec
+// field both validates and changes what a sweep runs.
+func TestMeta(t *testing.T) {
+	ts := httptest.NewServer(newServer(1, nil))
+	defer ts.Close()
+
+	code, body := fetch(t, ts, "/meta?quality=tiny")
+	if code != http.StatusOK {
+		t.Fatalf("GET /meta = %d: %s", code, body)
+	}
+	var m Meta
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Qualities) != 3 || len(m.Workloads["tiny"]) == 0 {
+		t.Errorf("meta workloads wrong: %+v", m)
+	}
+	if len(m.Workloads) != 1 {
+		t.Errorf("quality filter ignored: listed %d pools", len(m.Workloads))
+	}
+	if m.Workloads["tiny"][0].Params == "" {
+		t.Error("meta omits workload params")
+	}
+	if len(m.Systems) != 4 || m.Systems[0].HWPF != "stride" {
+		t.Errorf("meta systems wrong: %+v", m.Systems)
+	}
+	if len(m.Variants) != 5 {
+		t.Errorf("meta variants wrong: %v", m.Variants)
+	}
+	// default + none,stride,nextline,ghb,imp.
+	if len(m.HWPrefetchers) != 6 || m.HWPrefetchers[0].Name != "default" {
+		t.Errorf("meta hwprefetchers wrong: %+v", m.HWPrefetchers)
+	}
+	for _, hw := range m.HWPrefetchers {
+		if hw.Description == "" {
+			t.Errorf("model %s lacks a description", hw.Name)
+		}
+	}
+	if code, _ := fetch(t, ts, "/meta?quality=huge"); code != http.StatusBadRequest {
+		t.Errorf("bad quality = %d, want 400", code)
+	}
+}
+
+// TestSweepHWPFAxis submits a grid across the hardware axis and checks
+// the cell count multiplies and the records carry the model column.
+func TestSweepHWPFAxis(t *testing.T) {
+	ts := httptest.NewServer(newServer(2, nil))
+	defer ts.Close()
+
+	id, cells := submit(t, ts,
+		`{"workloads":"IS","systems":"A53","variants":"plain","hwpf":"none,imp","quality":"tiny"}`)
+	if cells != 2 {
+		t.Fatalf("submitted %d cells, want 2 (one per hardware model)", cells)
+	}
+	if st := poll(t, ts, id); st.State != stateDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	code, body := fetch(t, ts, "/results?id="+id+"&format=csv")
+	if code != http.StatusOK {
+		t.Fatalf("GET /results = %d", code)
+	}
+	for _, want := range []string{"IS,A53,plain,none,", "IS,A53,plain,imp,"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("results missing %q:\n%s", want, body)
+		}
+	}
+
+	// Validation: an unknown model is a 400 at submission time.
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"hwpf":"warp-drive","quality":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad hwpf spec = %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestBadFlagRejected keeps the flag surface honest.
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {

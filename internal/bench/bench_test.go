@@ -241,10 +241,61 @@ func TestRunAllQuick(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Figure 2", "Figure 4", "Figure 5", "Figure 6",
-		"Figure 7", "Figure 8", "Figure 9", "Figure 10"} {
+		"Figure 7", "Figure 8", "Figure 9", "Figure 10", "SW vs HW"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}
+	}
+}
+
+// TestFigSWHWShape pins the software-vs-hardware comparison to the
+// paper's headline relations on the in-order machines, and requires
+// the figure to be deterministic across worker counts.
+func TestFigSWHWShape(t *testing.T) {
+	skipInShort(t)
+	// Geomean-row column indices (after the benchmark name).
+	const (
+		colSW     = 1 // auto software prefetch, no hardware
+		colStride = 2
+		colGHB    = 4
+		colIMP    = 6
+		colIMPSW  = 7
+	)
+	tbl, err := Suite{Q: Quick, Jobs: 1}.FigSWHW("A53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	for _, jobs := range []int{2, 8} {
+		again, err := Suite{Q: Quick, Jobs: jobs}.FigSWHW("A53")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != tbl.String() {
+			t.Fatalf("swhw figure differs between jobs=1 and jobs=%d", jobs)
+		}
+	}
+
+	g := rowByName(t, tbl, "Geomean")
+	sw := parseCell(t, g[colSW])
+	for _, hw := range []struct {
+		name string
+		col  int
+	}{{"stride", colStride}, {"ghb", colGHB}, {"imp", colIMP}} {
+		if got := parseCell(t, g[hw.col]); got >= sw {
+			t.Errorf("A53: hardware %s alone (%.2f) should not beat auto software prefetch (%.2f) on an in-order core",
+				hw.name, got, sw)
+		}
+	}
+	if best := parseCell(t, g[colIMPSW]); best < sw {
+		t.Errorf("A53: IMP+software (%.2f) should compose at least as well as software alone (%.2f)", best, sw)
+	}
+
+	// IMP must beat the stride streamer on an indirect workload — the
+	// A[B[i]] pattern it exists to cover (CG's a[col[j]]).
+	cg := rowByName(t, tbl, "CG")
+	if imp, stride := parseCell(t, cg[colIMP]), parseCell(t, cg[colStride]); imp <= stride {
+		t.Errorf("CG: IMP (%.2f) should beat the stride streamer (%.2f)", imp, stride)
 	}
 }
 

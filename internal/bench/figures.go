@@ -459,6 +459,99 @@ func (s Suite) Fig10() (*Table, error) {
 	return t, nil
 }
 
+// swhwModels is the hardware side of the software-vs-hardware
+// comparison: the legacy streamer, the Markov correlator, and the
+// indirect memory prefetcher (the paper's §7 hardware competitor).
+var swhwModels = []string{"stride", "ghb", "imp"}
+
+// FigSWHW is the software-vs-hardware prefetching comparison on one
+// machine — the table the paper argues from but never prints: every
+// benchmark under {no software prefetch, auto software prefetch} ×
+// {no hardware prefetcher, stride, GHB, IMP}, as speedup over the
+// fully-prefetch-free baseline (plain code, hwpf=none). The "sw only"
+// column isolates the compiler pass; the per-model pairs show what
+// hardware achieves alone and whether it still composes with the
+// software pass on top.
+func (s Suite) FigSWHW(system string) (*Table, error) {
+	cfg := uarch.ByName(system)
+	if cfg == nil {
+		return nil, fmt.Errorf("bench: unknown system %q", system)
+	}
+	cols := []string{"benchmark", "sw only"}
+	for _, m := range swhwModels {
+		cols = append(cols, m, m+"+sw")
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("SW vs HW prefetching: speedup over no-prefetch baseline, %s (c=64)", system),
+		Columns: cols,
+		Note:    "paper §7: software prefetch beats hardware (incl. IMP) for indirect accesses; IMP beats stride where A[B[i]] dominates",
+	}
+	none := uarch.WithHWPrefetcher(cfg, "none")
+	hwCfgs := make([]*sim.Config, len(swhwModels))
+	for i, m := range swhwModels {
+		hwCfgs[i] = uarch.WithHWPrefetcher(cfg, m)
+	}
+
+	ws := workloadSet(s.Q)
+	b := &batch{}
+	type row struct {
+		base, sw int   // plain/auto on hwpf=none
+		hw, both []int // plain/auto per hardware model
+	}
+	rows := make([]row, len(ws))
+	for i, w := range ws {
+		r := row{
+			base: b.add(w, none, core.VariantPlain, core.Options{}),
+			sw:   b.add(w, none, core.VariantAuto, core.Options{}),
+		}
+		for _, hc := range hwCfgs {
+			r.hw = append(r.hw, b.add(w, hc, core.VariantPlain, core.Options{}))
+			r.both = append(r.both, b.add(w, hc, core.VariantAuto, core.Options{}))
+		}
+		rows[i] = r
+	}
+	res, err := b.run(s.runner())
+	if err != nil {
+		return nil, err
+	}
+	geo := make([][]float64, len(cols)-1)
+	for i, w := range ws {
+		base := res[rows[i].base]
+		speeds := []float64{core.Speedup(base, res[rows[i].sw])}
+		for j := range swhwModels {
+			speeds = append(speeds,
+				core.Speedup(base, res[rows[i].hw[j]]),
+				core.Speedup(base, res[rows[i].both[j]]))
+		}
+		cells := []string{w.Name}
+		for j, sp := range speeds {
+			geo[j] = append(geo[j], sp)
+			cells = append(cells, f2(sp))
+		}
+		t.AddRow(cells...)
+	}
+	grow := []string{"Geomean"}
+	for _, g := range geo {
+		grow = append(grow, f2(geomean(g)))
+	}
+	t.AddRow(grow...)
+	return t, nil
+}
+
+// FigSWHWAll runs the software-vs-hardware comparison on all four
+// machines.
+func (s Suite) FigSWHWAll() ([]*Table, error) {
+	var out []*Table
+	for _, cfg := range systems() {
+		t, err := s.FigSWHW(cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
 // RunAll regenerates every figure and writes the tables to out.
 func (s Suite) RunAll(out io.Writer) error {
 	var tables []*Table
@@ -497,6 +590,11 @@ func (s Suite) RunAll(out io.Writer) error {
 	if err := add(s.Fig10()); err != nil {
 		return err
 	}
+	fhw, err := s.FigSWHWAll()
+	if err != nil {
+		return err
+	}
+	tables = append(tables, fhw...)
 	for _, t := range tables {
 		fmt.Fprintln(out, t.String())
 	}

@@ -82,6 +82,7 @@ type Result struct {
 	DRAMAccesses       uint64
 	SWPrefetches       uint64
 	HWPrefetches       uint64
+	HWPrefetchDropped  uint64 // hardware prefetches dropped on a TLB miss
 	TLBWalks           uint64
 	LoadStallCycles    float64
 	PrefetchedUnusedL1 uint64
@@ -209,6 +210,7 @@ func (cx *Context) Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Opti
 		DRAMAccesses:       hier.DRAMAccesses,
 		SWPrefetches:       hier.SWPrefetches,
 		HWPrefetches:       hier.HWPrefetches,
+		HWPrefetchDropped:  hier.HWPrefetchDropped,
 		TLBWalks:           hier.TLBStats().Walks,
 		LoadStallCycles:    hier.LoadStallCycles,
 		PrefetchedUnusedL1: l1.PrefetchedUnused,

@@ -1,0 +1,38 @@
+package hwpf
+
+import (
+	"testing"
+)
+
+// benchDrive feeds a model a deterministic mix of one sequential
+// stream and random misses — the traffic shape of the irregular
+// workloads — reusing one candidate buffer like the hierarchy does.
+func benchDrive(b *testing.B, p Prefetcher) {
+	b.ReportAllocs()
+	var buf []int64
+	r := uint64(1)
+	for i := 0; i < b.N; i++ {
+		buf = p.Observe(1, int64(i%4096)*64, false, buf[:0])
+		r = r*6364136223846793005 + 1442695040888963407
+		buf = p.Observe(2, int64(r%(1<<26)), true, buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkStrideObserve measures the ported region streamer — the
+// model on the hot path of every default machine configuration.
+func BenchmarkStrideObserve(b *testing.B) { benchDrive(b, NewStride(cfg64)) }
+
+// BenchmarkNextLineObserve measures the stateless next-line fetcher.
+func BenchmarkNextLineObserve(b *testing.B) { benchDrive(b, NewNextLine(cfg64)) }
+
+// BenchmarkGHBObserve measures the Markov correlator's history upkeep.
+func BenchmarkGHBObserve(b *testing.B) { benchDrive(b, NewGHB(cfg64)) }
+
+// BenchmarkIMPObserve measures the indirect prefetcher with a live
+// peek hook, including the pattern-detector path on every miss.
+func BenchmarkIMPObserve(b *testing.B) {
+	p := NewIMP(cfg64)
+	p.SetPeek(func(addr, width int64) (int64, bool) { return addr ^ 0x5bd1e995, true })
+	benchDrive(b, p)
+}

@@ -1,0 +1,113 @@
+package hwpf
+
+// GHB is a global-history-buffer prefetcher in the address-correlating
+// (Markov) style of Nesbit & Smith: misses are appended to a circular
+// global history, entries for the same miss line are chained, and a
+// recurring miss prefetches the lines that followed it in earlier
+// visits. It captures repeated pointer chases and short repeated
+// traversals, and — unlike the stride streamer — can follow patterns
+// across page boundaries, because the correlation is learned per line,
+// not per region. On the first pass over a large irregular dataset it
+// has nothing to replay, which is why the paper's §7 dismisses
+// history-based hardware for the workloads software prefetching
+// targets.
+type GHB struct {
+	cfg    Config
+	degree int
+
+	// buf is the circular history; positions are absolute (monotonic),
+	// so a chain link is stale exactly when it has fallen out of the
+	// window. index maps a miss line to the absolute position of its
+	// most recent occurrence.
+	buf   []ghbEntry
+	index map[int64]int
+	n     int // absolute position of the next append
+}
+
+type ghbEntry struct {
+	line int64
+	prev int // absolute position of the previous occurrence; -1 = none
+}
+
+// ghbHistory is the history depth: how many misses the buffer retains.
+// 256 matches the small SRAM budgets of the hardware proposals this
+// models.
+const ghbHistory = 256
+
+// ghbWidth is how many prior occurrences of a miss line are replayed.
+const ghbWidth = 2
+
+// NewGHB builds the prefetcher; Degree (clamped to at least 1) bounds
+// the candidates emitted per miss.
+func NewGHB(cfg Config) *GHB {
+	return &GHB{
+		cfg:    cfg,
+		degree: cfg.degreeAtLeast1(),
+		buf:    make([]ghbEntry, ghbHistory),
+		index:  make(map[int64]int, ghbHistory),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *GHB) Name() string { return NameGHB }
+
+// valid reports whether an absolute position is still in the window.
+func (p *GHB) valid(pos int) bool { return pos >= 0 && pos >= p.n-ghbHistory && pos < p.n }
+
+// Observe appends each miss to the history and emits the successors of
+// the line's most recent prior occurrences, nearest-first.
+func (p *GHB) Observe(pc int, addr int64, miss bool, out []int64) []int64 {
+	_ = pc
+	if !miss {
+		return out
+	}
+	line := addr >> p.cfg.LineShift
+
+	prev := -1
+	if pos, ok := p.index[line]; ok && p.valid(pos) && p.buf[pos%ghbHistory].line == line {
+		prev = pos
+	}
+
+	// Replay: walk the chain of prior occurrences, emitting the misses
+	// that followed each one, until degree candidates are gathered.
+	pos := prev
+	for w := 0; w < ghbWidth && p.valid(pos) && len(out) < p.degree; w++ {
+		for s := pos + 1; s < p.n && s <= pos+p.degree && len(out) < p.degree; s++ {
+			if !p.valid(s) {
+				break
+			}
+			succ := p.buf[s%ghbHistory].line
+			if succ != line {
+				out = append(out, succ<<p.cfg.LineShift)
+			}
+		}
+		next := p.buf[pos%ghbHistory].prev
+		if !p.valid(next) || p.buf[next%ghbHistory].line != line {
+			break
+		}
+		pos = next
+	}
+
+	// Evict the index entry of the occurrence this append overwrites,
+	// keeping the map bounded at the history depth. Behaviourally a
+	// no-op: an entry pointing at an aged-out position already failed
+	// the valid() check.
+	slot := p.n % ghbHistory
+	if p.n >= ghbHistory {
+		old := p.buf[slot]
+		if pos, ok := p.index[old.line]; ok && pos == p.n-ghbHistory {
+			delete(p.index, old.line)
+		}
+	}
+	p.buf[slot] = ghbEntry{line: line, prev: prev}
+	p.index[line] = p.n
+	p.n++
+	return out
+}
+
+// Reset restores the cold state, keeping the history buffer and the
+// index's bucket storage.
+func (p *GHB) Reset() {
+	clear(p.index)
+	p.n = 0
+}

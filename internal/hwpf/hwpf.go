@@ -1,0 +1,158 @@
+// Package hwpf provides pluggable hardware-prefetcher models for the
+// memory hierarchy of internal/sim. A model watches the demand-access
+// stream (program counter, address, hit/miss) and proposes candidate
+// addresses to fetch; the hierarchy owns everything microarchitectural
+// about acting on a candidate — the cache-presence filter, the fill
+// level, TLB translation, MSHR and bus arbitration.
+//
+// The split exists because the source paper's central claim is
+// comparative: software prefetching for indirect memory accesses beats
+// what hardware prefetchers achieve on real machines (Ainsworth &
+// Jones, CGO 2017, §2 and §7). Making the hardware side a pluggable
+// axis lets the experiment grid cross software-prefetch variants with
+// hardware designs — the region-based stride streamer the simulator
+// always had, a next-line fetcher, a GHB/Markov correlator, and an
+// indirect-memory-prefetcher (IMP) model in the style of Yu et al.
+// (MICRO 2015), the paper's strongest hardware comparison point.
+//
+// Models are deterministic, single-threaded, and reset in place so a
+// sweep worker recycles their storage across runs (the PR-1 contract
+// every sim table follows). See docs/hwpf.md for the model
+// descriptions and the exact interface contract.
+package hwpf
+
+import "fmt"
+
+// Prefetcher is one hardware-prefetcher model. Implementations must be
+// deterministic: candidate addresses may depend only on the observation
+// stream (and, for peeking models, on simulated memory contents).
+type Prefetcher interface {
+	// Name returns the registry name of the model.
+	Name() string
+
+	// Observe presents one demand access: the load site pc, the
+	// accessed address, and whether the access missed the first cache
+	// level. Candidate prefetch addresses are appended to out (a
+	// reusable buffer) and returned; the caller drops candidates whose
+	// line is already cached and issues the rest in order, so models
+	// emit nearest-first. Observe must not retain out.
+	Observe(pc int, addr int64, miss bool, out []int64) []int64
+
+	// Reset restores the cold state while preserving storage, so a
+	// reset model is indistinguishable from a fresh one (bit-identical
+	// candidate streams) without reallocating its tables.
+	Reset()
+}
+
+// PeekFunc reads a little-endian, sign-extended value of the given
+// byte width from simulated memory without faulting or affecting
+// timing. It models a prefetcher's ability to inspect data the
+// hierarchy already fetched: real indirect prefetchers read index
+// values out of arriving cache lines (Yu et al., §3.2). ok is false
+// when the address is unmapped.
+type PeekFunc func(addr, width int64) (int64, bool)
+
+// PeekSetter is implemented by models that speculate on memory values
+// (IMP). The interpreter installs its memory reader through the
+// hierarchy after construction; models without the method ignore it.
+type PeekSetter interface {
+	SetPeek(PeekFunc)
+}
+
+// Config carries the machine parameters a model needs. The Degree,
+// Conf and Streams knobs are shared across models (they come from the
+// sim.Config Stride* fields, which predate the pluggable subsystem);
+// each model documents how it interprets them.
+type Config struct {
+	// LineShift is log2 of the cache-line size.
+	LineShift uint
+	// Degree is how many candidates a trained pattern emits per
+	// observation. The stride model uses it exactly as the old
+	// hard-wired streamer did (0 emits nothing); other models clamp it
+	// to at least 1.
+	Degree int
+	// Conf is the number of confirming observations required before a
+	// pattern starts issuing.
+	Conf int
+	// Streams bounds concurrent pattern trackers (stride regions, IMP
+	// per-PC streams); 0 selects 16, the old streamer's default.
+	Streams int
+}
+
+// streams returns the tracker capacity with the historical default.
+func (c Config) streams() int {
+	if c.Streams <= 0 {
+		return 16
+	}
+	return c.Streams
+}
+
+// degreeAtLeast1 is the clamp used by every model except stride (whose
+// raw-Degree semantics are pinned by the bit-identity contract).
+func (c Config) degreeAtLeast1() int {
+	if c.Degree < 1 {
+		return 1
+	}
+	return c.Degree
+}
+
+// Model names, in presentation order.
+const (
+	NameNone     = "none"
+	NameStride   = "stride"
+	NameNextLine = "nextline"
+	NameGHB      = "ghb"
+	NameIMP      = "imp"
+)
+
+// Names returns every model name the registry accepts, in presentation
+// order ("none" first).
+func Names() []string {
+	return []string{NameNone, NameStride, NameNextLine, NameGHB, NameIMP}
+}
+
+// Known reports whether name is a registered model.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe returns a one-line description of a model, for CLI/API
+// discovery surfaces (swpfbench -list, swpfd GET /meta).
+func Describe(name string) string {
+	switch name {
+	case NameNone:
+		return "no hardware prefetching"
+	case NameStride:
+		return "region-based stride streamer (per-4KiB trackers, LRU-replaced; the legacy hard-wired design)"
+	case NameNextLine:
+		return "next-line fetcher: on a miss, fetch the following lines within the page"
+	case NameGHB:
+		return "global history buffer (Markov): replay the miss lines that followed this miss before"
+	case NameIMP:
+		return "indirect memory prefetcher (Yu et al. style): detects A[B[i]] and prefetches targets of future index values"
+	}
+	return ""
+}
+
+// New builds the named model. "none" returns (nil, nil): the hierarchy
+// treats a nil prefetcher as hardware prefetching disabled.
+func New(name string, cfg Config) (Prefetcher, error) {
+	switch name {
+	case NameNone:
+		return nil, nil
+	case NameStride:
+		return NewStride(cfg), nil
+	case NameNextLine:
+		return NewNextLine(cfg), nil
+	case NameGHB:
+		return NewGHB(cfg), nil
+	case NameIMP:
+		return NewIMP(cfg), nil
+	}
+	return nil, fmt.Errorf("hwpf: unknown prefetcher %q (have %v)", name, Names())
+}

@@ -1,0 +1,345 @@
+package hwpf
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// cfg64 is the test configuration: 64-byte lines, degree 4, conf 2 —
+// the Haswell-style streamer settings.
+var cfg64 = Config{LineShift: 6, Degree: 4, Conf: 2, Streams: 16}
+
+func TestRegistry(t *testing.T) {
+	if got := Names(); len(got) != 5 || got[0] != NameNone {
+		t.Fatalf("Names() = %v", got)
+	}
+	for _, name := range Names() {
+		if !Known(name) {
+			t.Errorf("Known(%q) = false", name)
+		}
+		if Describe(name) == "" {
+			t.Errorf("Describe(%q) empty", name)
+		}
+		p, err := New(name, cfg64)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+		if name == NameNone {
+			if p != nil {
+				t.Error("New(none) should return a nil prefetcher")
+			}
+			continue
+		}
+		if p == nil || p.Name() != name {
+			t.Errorf("New(%q) = %v", name, p)
+		}
+	}
+	if Known("bogus") {
+		t.Error("Known(bogus) = true")
+	}
+	if _, err := New("bogus", cfg64); err == nil {
+		t.Error("New(bogus) accepted")
+	}
+}
+
+// observe runs one access through a model and returns the candidates.
+func observe(p Prefetcher, pc int, addr int64, miss bool) []int64 {
+	return p.Observe(pc, addr, miss, nil)
+}
+
+func TestStrideSequentialStream(t *testing.T) {
+	p := NewStride(cfg64)
+	base := int64(1 << 20)
+	var got []int64
+	for i := int64(0); i < 4; i++ {
+		got = observe(p, 1, base+i*64, true)
+	}
+	// After conf reaches 2 the streamer runs degree lines ahead.
+	want := []int64{base + 4*64, base + 5*64, base + 6*64, base + 7*64}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("candidates = %#x, want %#x", got, want)
+	}
+	// Same-line re-access carries no information.
+	if got := observe(p, 1, base+3*64+8, true); len(got) != 0 {
+		t.Errorf("same-line access emitted %#x", got)
+	}
+}
+
+func TestStridePageBoundary(t *testing.T) {
+	p := NewStride(cfg64)
+	// Train right below a 4KiB boundary: candidates must stop at it.
+	base := int64(4096 - 4*64)
+	var got []int64
+	for i := int64(0); i < 3; i++ {
+		got = observe(p, 1, base+i*64, true)
+	}
+	want := []int64{4096 - 64} // one line left in the page
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("candidates = %#x, want %#x", got, want)
+	}
+	// The last line of the page emits nothing at all.
+	if got := observe(p, 1, 4096-64, true); len(got) != 0 {
+		t.Errorf("page-boundary access emitted %#x", got)
+	}
+}
+
+func TestStrideTrackerEviction(t *testing.T) {
+	cfg := cfg64
+	cfg.Streams = 2
+	p := NewStride(cfg)
+	// Two regions train; touching a third evicts the LRU one, so its
+	// region must retrain from scratch.
+	for i := int64(0); i < 4; i++ {
+		observe(p, 1, 0<<12|i*64, true)
+		observe(p, 1, 8<<12|i*64+i*64, true) // different region
+	}
+	observe(p, 1, 16<<12, true) // allocates, evicting region 0
+	if got := observe(p, 1, 4*64, true); len(got) != 0 {
+		t.Errorf("evicted region kept its stride state: %#x", got)
+	}
+}
+
+// TestStrideResetBitIdentical drives a mixed stream, resets, and
+// replays: the candidate sequences must match a fresh model exactly,
+// and the tracker array must be reused, not reallocated.
+func TestStrideResetBitIdentical(t *testing.T) {
+	drive := func(p *Stride) [][]int64 {
+		var out [][]int64
+		r := uint64(7)
+		for i := 0; i < 4000; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			addr := int64(r % (1 << 24))
+			out = append(out, append([]int64(nil), p.Observe(3, addr, true, nil)...))
+			out = append(out, append([]int64(nil), p.Observe(4, int64(i)*64, false, nil)...))
+		}
+		return out
+	}
+	p := NewStride(cfg64)
+	first := drive(p)
+	arr := &p.entries[0]
+	p.Reset()
+	if &p.entries[0] != arr {
+		t.Fatal("Reset reallocated the tracker array")
+	}
+	second := drive(p)
+	fresh := drive(NewStride(cfg64))
+	if !reflect.DeepEqual(first, second) {
+		t.Error("reset model diverged from its own first run")
+	}
+	if !reflect.DeepEqual(first, fresh) {
+		t.Error("reset model diverged from a fresh model")
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine(Config{LineShift: 6, Degree: 2})
+	if got := observe(p, 1, 1<<20, false); len(got) != 0 {
+		t.Errorf("hit emitted %#x", got)
+	}
+	want := []int64{1<<20 + 64, 1<<20 + 128}
+	if got := observe(p, 1, 1<<20, true); !reflect.DeepEqual(got, want) {
+		t.Errorf("miss candidates = %#x, want %#x", got, want)
+	}
+	// Last line of a page: nothing to fetch.
+	if got := observe(p, 1, 4096-64, true); len(got) != 0 {
+		t.Errorf("page-boundary miss emitted %#x", got)
+	}
+}
+
+func TestGHBReplaysHistory(t *testing.T) {
+	p := NewGHB(cfg64)
+	seq := []int64{0x10000, 0x40000, 0x20000, 0x80000}
+	for _, a := range seq {
+		if got := observe(p, 1, a, true); len(got) != 0 {
+			t.Errorf("first pass emitted %#x", got)
+		}
+	}
+	// Revisiting the first miss replays its recorded successors.
+	got := observe(p, 1, seq[0], true)
+	want := []int64{seq[1], seq[2], seq[3]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replay = %#x, want %#x", got, want)
+	}
+	// Hits train nothing.
+	if got := observe(p, 1, seq[1], false); len(got) != 0 {
+		t.Errorf("hit emitted %#x", got)
+	}
+	p.Reset()
+	if got := observe(p, 1, seq[0], true); len(got) != 0 {
+		t.Errorf("reset model still correlates: %#x", got)
+	}
+}
+
+// TestGHBIndexBounded: the line→position index must evict with the
+// history, not grow with the footprint — a sweep worker keeps one
+// model alive across many full-size runs.
+func TestGHBIndexBounded(t *testing.T) {
+	p := NewGHB(cfg64)
+	for i := int64(0); i < 100*ghbHistory; i++ {
+		p.Observe(1, i*64, true, nil) // every miss a new line
+	}
+	if len(p.index) > ghbHistory {
+		t.Fatalf("index holds %d entries, want <= %d", len(p.index), ghbHistory)
+	}
+	// Eviction must not break live correlations: a fresh repeating
+	// pair still replays.
+	p.Observe(1, 1<<30, true, nil)
+	p.Observe(1, 1<<31, true, nil)
+	if got := p.Observe(1, 1<<30, true, nil); len(got) == 0 || got[0] != 1<<31 {
+		t.Errorf("replay after heavy eviction = %#x, want [%#x]", got, int64(1<<31))
+	}
+}
+
+// impMemory is a fake address space for IMP tests: a little-endian
+// index array B of 4-byte elements at idxBase.
+type impMemory struct {
+	idxBase int64
+	b       []byte
+}
+
+func newIMPMemory(idxBase int64, vals []int64) *impMemory {
+	m := &impMemory{idxBase: idxBase, b: make([]byte, 4*len(vals))}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(m.b[4*i:], uint32(v))
+	}
+	return m
+}
+
+func (m *impMemory) peek(addr, width int64) (int64, bool) {
+	off := addr - m.idxBase
+	if off < 0 || off+width > int64(len(m.b)) || width != 4 {
+		return 0, false
+	}
+	return int64(int32(binary.LittleEndian.Uint32(m.b[off:]))), true
+}
+
+// TestIMPDetectsIndirection drives the A[B[i]] shape the model exists
+// for: a 4-byte index stream at one site and data-dependent misses at
+// another, with addr = arrBase + 8*B[i]. After pairing and
+// verification IMP must prefetch the target of the index value
+// impDistance elements ahead.
+func TestIMPDetectsIndirection(t *testing.T) {
+	const (
+		idxBase = int64(1 << 20)
+		arrBase = int64(1 << 28)
+		coeff   = int64(8)
+		n       = 64
+	)
+	vals := make([]int64, n)
+	r := uint64(99)
+	for i := range vals {
+		r = r*6364136223846793005 + 1442695040888963407
+		vals[i] = int64(r % 4096)
+	}
+	mem := newIMPMemory(idxBase, vals)
+	p := NewIMP(cfg64)
+	p.SetPeek(mem.peek)
+
+	sawTarget := false
+	for i := 0; i < n-impDistance; i++ {
+		idxAddr := idxBase + 4*int64(i)
+		cands := observe(p, 1, idxAddr, false)
+		target := arrBase + coeff*vals[i+impDistance]
+		for _, c := range cands {
+			if c == target {
+				sawTarget = true
+			}
+		}
+		observe(p, 2, arrBase+coeff*vals[i], true)
+	}
+	if !sawTarget {
+		t.Fatal("IMP never prefetched the verified indirect target")
+	}
+
+	// Reset restores the cold state (no verified pattern) but keeps
+	// the peek hook wired.
+	p.Reset()
+	cands := observe(p, 1, idxBase, false)
+	if len(cands) != 0 {
+		t.Errorf("cold model emitted %#x", cands)
+	}
+	if p.peek == nil {
+		t.Error("Reset dropped the peek hook")
+	}
+}
+
+// TestIMPIgnoresNonAffineMisses: misses unrelated to any index value
+// (a hash-join-style pattern) must never verify.
+func TestIMPIgnoresNonAffineMisses(t *testing.T) {
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i * 3)
+	}
+	mem := newIMPMemory(1<<20, vals)
+	p := NewIMP(cfg64)
+	p.SetPeek(mem.peek)
+	r := uint64(5)
+	for i := 0; i < 60; i++ {
+		observe(p, 1, 1<<20+4*int64(i), false)
+		r = r*6364136223846793005 + 1442695040888963407
+		observe(p, 2, int64(1<<28)+int64(r%(1<<20))*64, true) // uncorrelated
+	}
+	for i := range p.assocs {
+		if p.assocs[i].live && p.assocs[i].ok {
+			t.Fatal("IMP verified a non-affine pattern")
+		}
+	}
+}
+
+// TestIMPWithoutPeekFallsBackToStride: no peek hook means the indirect
+// engine stays dormant but the embedded stream engine still covers
+// sequential traffic.
+func TestIMPWithoutPeekFallsBackToStride(t *testing.T) {
+	p := NewIMP(cfg64)
+	base := int64(1 << 20)
+	var got []int64
+	for i := int64(0); i < 4; i++ {
+		got = observe(p, 1, base+i*64, true)
+	}
+	want := []int64{base + 4*64, base + 5*64, base + 6*64, base + 7*64}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stride fallback = %#x, want %#x", got, want)
+	}
+}
+
+// TestObserveDoesNotRetainBuffer: models must append to the caller's
+// buffer, never keep it — the hierarchy truncates and rewrites one
+// buffer per demand load, so a model that stashes the slice would see
+// its view corrupted. The test poisons the returned backing array
+// after every call and requires the candidate stream to match a twin
+// model fed fresh buffers.
+func TestObserveDoesNotRetainBuffer(t *testing.T) {
+	for _, name := range []string{NameStride, NameNextLine, NameGHB, NameIMP} {
+		p, _ := New(name, cfg64)
+		twin, _ := New(name, cfg64)
+		buf := make([]int64, 0, 8)
+		r := uint64(13)
+		for i := int64(0); i < 4000; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			addr := (1 << 20) + int64(r%(1<<22))
+			if i%3 == 0 {
+				addr = (1 << 20) + i*64 // interleave a clean stream
+			}
+			got := p.Observe(1, addr, true, buf[:0])
+			want := twin.Observe(1, addr, true, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%s step %d: %d candidates with reused buffer, %d with fresh", name, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s step %d: candidate %d = %#x, want %#x", name, i, j, got[j], want[j])
+				}
+				if got[j] < 0 {
+					t.Errorf("%s emitted negative address %#x", name, got[j])
+				}
+			}
+			// Poison the shared backing array: a model that retained
+			// the slice now reads garbage and diverges from its twin.
+			buf = got[:0]
+			for j := range got {
+				got[j] = -0x5bd1e995
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package hwpf
+
+// IMP models an Indirect Memory Prefetcher in the style of Yu et al.
+// (MICRO 2015), the hardware design the source paper's §7 names as its
+// closest competitor. Real IMP sits on top of a stream prefetcher: a
+// per-PC stride table finds "index streams" (sequential loads of
+// B[i]), an Indirect Pattern Detector correlates recent index *values*
+// with the miss addresses of another load site to solve
+//
+//	addr = base + coeff * B[i]
+//
+// for small power-of-two coefficients, and a verified pattern then
+// prefetches A[B[i+Δ]] by reading B[i+Δ] out of index cache lines the
+// stream engine fetched ahead.
+//
+// This model reproduces that pipeline against the simulator's
+// observation stream. Reading index values uses the PeekFunc installed
+// by the interpreter — the stand-in for hardware's ability to inspect
+// lines it has already fetched (see docs/hwpf.md for the idealisations
+// involved). Without a peek hook the indirect engine stays dormant and
+// only the embedded stride component runs.
+type IMP struct {
+	cfg    Config
+	degree int
+	conf   int
+	peek   PeekFunc
+
+	// Per-PC stride trackers: the stream table. Confident entries with
+	// an element-sized stride are index-stream candidates.
+	streams []impStream
+	live    int
+	stamp   uint64
+
+	// Indirect-pattern table, keyed by the indirect load site.
+	assocs []impAssoc
+
+	// Ring of the most recent confident index-stream observations,
+	// the pairing window of the pattern detector.
+	ring    [impRing]impIdxEvent
+	ringPos int
+}
+
+type impStream struct {
+	pc       int
+	lastAddr int64
+	stride   int64
+	conf     int
+	used     uint64
+	live     bool
+}
+
+type impAssoc struct {
+	pc    int // indirect load site
+	idxPC int // paired index-stream site
+	coeff int64
+	base  int64
+	hits  int
+	ok    bool // verified
+
+	// Pending first (index value, address) pair while unverified.
+	havePair bool
+	v0, a0   int64
+
+	// tries cycles the ring when pairing fails, so the detector
+	// eventually tests every candidate index stream deterministically.
+	tries int
+
+	used uint64
+	live bool
+}
+
+type impIdxEvent struct {
+	pc   int
+	val  int64
+	live bool
+}
+
+const (
+	// impRing is the pattern detector's pairing window.
+	impRing = 4
+	// impAssocs bounds the indirect-pattern table.
+	impAssocs = 8
+	// impDistance is the lookahead in index elements: how far ahead of
+	// the demand stream verified patterns prefetch. Fixed in hardware
+	// (Yu et al. use a small counter per stream); well below the
+	// software pass's c=64 look-ahead.
+	impDistance = 16
+	// impCoeffs are the plausible bytes-per-index-unit shifts the
+	// detector solves for — scalar element sizes.
+	impCoeffs = "\x01\x02\x04\x08"
+)
+
+// NewIMP builds the prefetcher. Degree (clamped to at least 1) sizes
+// the embedded stride engine; Conf gates both stride confidence and
+// indirect-pattern verification; Streams bounds the stream table.
+func NewIMP(cfg Config) *IMP {
+	c := cfg.Conf
+	if c < 1 {
+		c = 1
+	}
+	return &IMP{
+		cfg:     cfg,
+		degree:  cfg.degreeAtLeast1(),
+		conf:    c,
+		streams: make([]impStream, cfg.streams()),
+		assocs:  make([]impAssoc, impAssocs),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *IMP) Name() string { return NameIMP }
+
+// SetPeek installs the simulated-memory reader (PeekSetter).
+func (p *IMP) SetPeek(f PeekFunc) { p.peek = f }
+
+// elemWidth reports whether stride is a plausible element size and
+// returns it.
+func elemWidth(stride int64) (int64, bool) {
+	w := stride
+	if w < 0 {
+		w = -w
+	}
+	switch w {
+	case 1, 2, 4, 8:
+		return w, true
+	}
+	return 0, false
+}
+
+// Observe drives all three engines: stream tracking, indirect-pattern
+// detection (on misses), and candidate generation.
+func (p *IMP) Observe(pc int, addr int64, miss bool, out []int64) []int64 {
+	e := p.stream(pc, addr)
+	confident := false
+	if e.used != p.stamp { // existing entry, not just allocated
+		d := addr - e.lastAddr
+		if d != 0 {
+			if d == e.stride {
+				if e.conf < 16 {
+					e.conf++
+				}
+			} else {
+				e.stride = d
+				e.conf = 1
+			}
+			e.lastAddr = addr
+		}
+		confident = e.conf >= p.conf && e.stride != 0
+	}
+	e.used = p.stamp
+
+	if confident {
+		if w, ok := elemWidth(e.stride); ok && p.peek != nil {
+			// An index-stream observation: record the value for the
+			// pattern detector and generate for verified patterns.
+			if v, ok := p.peek(addr, w); ok {
+				p.ringPos = (p.ringPos + 1) % impRing
+				p.ring[p.ringPos] = impIdxEvent{pc: pc, val: v, live: true}
+			}
+			out = p.generate(pc, addr, e.stride, w, out)
+		}
+		out = p.strideCandidates(addr, e.stride, out)
+		return out
+	}
+
+	if miss {
+		out = p.detect(pc, addr, out)
+	}
+	return out
+}
+
+// stream returns the tracker for pc, allocating (LRU) if needed. A
+// freshly allocated entry records the allocating address as lastAddr
+// (so the next observation trains on the true delta) and has
+// used == p.stamp, which Observe uses to skip training on the
+// allocation itself.
+func (p *IMP) stream(pc int, addr int64) *impStream {
+	p.stamp++
+	for i := range p.streams {
+		if p.streams[i].live && p.streams[i].pc == pc {
+			return &p.streams[i]
+		}
+	}
+	slot := -1
+	if p.live >= len(p.streams) {
+		slot = 0
+		for i := 1; i < len(p.streams); i++ {
+			if p.streams[i].used < p.streams[slot].used {
+				slot = i
+			}
+		}
+	} else {
+		for i := range p.streams {
+			if !p.streams[i].live {
+				slot = i
+				break
+			}
+		}
+		p.live++
+	}
+	p.streams[slot] = impStream{pc: pc, lastAddr: addr, used: p.stamp, live: true}
+	return &p.streams[slot]
+}
+
+// strideCandidates is the embedded stream engine: like the region
+// streamer it advances whole lines and stops at 4KiB boundaries.
+func (p *IMP) strideCandidates(addr, stride int64, out []int64) []int64 {
+	line := addr >> p.cfg.LineShift
+	lineStep := stride >> p.cfg.LineShift
+	if lineStep == 0 {
+		if stride > 0 {
+			lineStep = 1
+		} else {
+			lineStep = -1
+		}
+	}
+	for k := 1; k <= p.degree; k++ {
+		next := (line + int64(k)*lineStep) << p.cfg.LineShift
+		if next < 0 || next>>12 != addr>>12 {
+			break
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+// generate emits prefetches for every verified pattern fed by this
+// index stream: the indirect target of the index value Δ elements
+// ahead, plus the index line that far ahead (hardware fetches it to
+// read the value from; here it warms the stream for later iterations).
+func (p *IMP) generate(pc int, addr, stride, width int64, out []int64) []int64 {
+	ahead := addr + impDistance*stride
+	for i := range p.assocs {
+		a := &p.assocs[i]
+		if !a.live || !a.ok || a.idxPC != pc {
+			continue
+		}
+		if v, ok := p.peek(ahead, width); ok {
+			if target := a.base + a.coeff*v; target >= 0 {
+				out = append(out, target)
+			}
+		}
+	}
+	if ahead >= 0 && ahead>>12 == addr>>12 {
+		out = append(out, (ahead>>p.cfg.LineShift)<<p.cfg.LineShift)
+	}
+	return out
+}
+
+// detect is the Indirect Pattern Detector: it pairs a missing load
+// site with recent index values and solves addr = base + coeff*value
+// across two pairs, verifying on the following misses.
+func (p *IMP) detect(pc int, addr int64, out []int64) []int64 {
+	if p.peek == nil {
+		return out
+	}
+	a := p.assoc(pc)
+
+	if a.ok {
+		// Verified: check the prediction still holds for this miss's
+		// index value; a mismatch sends the pattern back to pairing.
+		if ev, ok := p.ringFind(a.idxPC); ok {
+			if addr != a.base+a.coeff*ev.val {
+				if a.hits > 0 {
+					a.hits--
+				} else {
+					a.ok = false
+					a.havePair = false
+				}
+			} else if a.hits < 16 {
+				a.hits++
+			}
+		}
+		return out
+	}
+
+	if a.havePair {
+		if ev, ok := p.ringFind(a.idxPC); ok {
+			for i := 0; i < len(impCoeffs); i++ {
+				coeff := int64(impCoeffs[i])
+				if ev.val != a.v0 && addr-coeff*ev.val == a.a0-coeff*a.v0 {
+					a.coeff = coeff
+					a.base = a.a0 - coeff*a.v0
+					a.hits++
+					if a.hits >= p.conf {
+						a.ok = true
+					} else {
+						a.v0, a.a0 = ev.val, addr
+					}
+					return out
+				}
+			}
+		}
+		// No coefficient works against this index stream; fall through
+		// and re-pair with the next ring candidate.
+		a.havePair = false
+		a.hits = 0
+	}
+
+	// Start (or restart) pairing: cycle deterministically through the
+	// ring so every candidate index stream eventually gets tested.
+	for try := 0; try < impRing; try++ {
+		ev := p.ring[(p.ringPos+impRing-(a.tries%impRing))%impRing]
+		a.tries++
+		if ev.live && ev.pc != pc {
+			a.idxPC = ev.pc
+			a.v0, a.a0 = ev.val, addr
+			a.havePair = true
+			break
+		}
+	}
+	return out
+}
+
+// ringFind returns the most recent index event for the given site.
+func (p *IMP) ringFind(pc int) (impIdxEvent, bool) {
+	for i := 0; i < impRing; i++ {
+		ev := p.ring[(p.ringPos+impRing-i)%impRing]
+		if ev.live && ev.pc == pc {
+			return ev, true
+		}
+	}
+	return impIdxEvent{}, false
+}
+
+// assoc returns the pattern entry for an indirect site, allocating
+// (LRU by recency of touch) if needed.
+func (p *IMP) assoc(pc int) *impAssoc {
+	for i := range p.assocs {
+		if p.assocs[i].live && p.assocs[i].pc == pc {
+			p.assocs[i].used = p.stamp
+			return &p.assocs[i]
+		}
+	}
+	slot := 0
+	for i := range p.assocs {
+		if !p.assocs[i].live {
+			slot = i
+			break
+		}
+		if p.assocs[i].used < p.assocs[slot].used {
+			slot = i
+		}
+	}
+	p.assocs[slot] = impAssoc{pc: pc, used: p.stamp, live: true}
+	return &p.assocs[slot]
+}
+
+// Reset restores the cold state, keeping every table's storage. The
+// peek hook survives: it is per-machine wiring, not run state.
+func (p *IMP) Reset() {
+	clear(p.streams)
+	p.live = 0
+	p.stamp = 0
+	clear(p.assocs[:])
+	p.ring = [impRing]impIdxEvent{}
+	p.ringPos = 0
+}

@@ -1,0 +1,41 @@
+package hwpf
+
+// NextLine is the simplest hardware design: on a demand miss, fetch
+// the next Degree lines of the same page. It needs no training state,
+// so it reacts instantly — and pollutes instantly on irregular
+// traffic, which is exactly the trade-off the stride streamer's
+// confidence counters exist to avoid. It is the conventional baseline
+// of the paper's related-work comparison (§7).
+type NextLine struct {
+	cfg    Config
+	degree int
+}
+
+// NewNextLine builds the fetcher; Degree is clamped to at least 1.
+func NewNextLine(cfg Config) *NextLine {
+	return &NextLine{cfg: cfg, degree: cfg.degreeAtLeast1()}
+}
+
+// Name implements Prefetcher.
+func (p *NextLine) Name() string { return NameNextLine }
+
+// Observe emits the next Degree lines on a miss, stopping at the 4KiB
+// boundary like every physically-addressed hardware fetcher here.
+func (p *NextLine) Observe(pc int, addr int64, miss bool, out []int64) []int64 {
+	_ = pc
+	if !miss {
+		return out
+	}
+	line := addr >> p.cfg.LineShift
+	for k := 1; k <= p.degree; k++ {
+		next := (line + int64(k)) << p.cfg.LineShift
+		if next < 0 || next>>12 != addr>>12 {
+			break
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+// Reset implements Prefetcher; the fetcher is stateless.
+func (p *NextLine) Reset() {}

@@ -1,0 +1,114 @@
+package hwpf
+
+// Stride is the region-based stride streamer that used to be
+// hard-wired into sim.Hierarchy: a limited set of per-4KiB-region
+// stream trackers, LRU-replaced. Random access patterns allocate and
+// evict trackers constantly, starving concurrent sequential streams of
+// coverage — the behaviour of real region-based streamers that makes
+// software stride prefetches profitable next to indirect accesses
+// (paper §3, figures 2 and 5).
+//
+// The port is a pure refactor: for any observation stream the
+// candidate stream is bit-identical to the old trainStride code, which
+// cmd/golden dumps pin (see docs/hwpf.md).
+type Stride struct {
+	cfg     Config
+	entries []strideEntry
+	live    int
+	stamp   uint64
+}
+
+type strideEntry struct {
+	region   int64
+	lastLine int64
+	stride   int64
+	conf     int
+	used     uint64 // LRU stamp
+	live     bool
+}
+
+// NewStride builds the streamer with Streams trackers (default 16).
+func NewStride(cfg Config) *Stride {
+	return &Stride{cfg: cfg, entries: make([]strideEntry, cfg.streams())}
+}
+
+// Name implements Prefetcher.
+func (p *Stride) Name() string { return NameStride }
+
+// Observe trains the tracker for the access's 4KiB region and, once
+// the stride is confident, emits Degree lines ahead. Like real stream
+// prefetchers it never crosses a 4KiB boundary, so a sequential stream
+// still pays page-crossing misses — the headroom software stride
+// prefetches exploit (figure 5). pc and miss are ignored: the streamer
+// trains on every demand access, keyed by region alone.
+func (p *Stride) Observe(pc int, addr int64, miss bool, out []int64) []int64 {
+	_, _ = pc, miss
+	line := addr >> p.cfg.LineShift
+	region := addr >> 12
+	p.stamp++
+	var e *strideEntry
+	for i := range p.entries {
+		if p.entries[i].live && p.entries[i].region == region {
+			e = &p.entries[i]
+			break
+		}
+	}
+	if e == nil {
+		slot := -1
+		if p.live >= len(p.entries) {
+			// Evict the LRU tracker (stamps are unique, so the victim is
+			// exactly the least recently touched region).
+			slot = 0
+			for i := 1; i < len(p.entries); i++ {
+				if p.entries[i].used < p.entries[slot].used {
+					slot = i
+				}
+			}
+		} else {
+			for i := range p.entries {
+				if !p.entries[i].live {
+					slot = i
+					break
+				}
+			}
+			p.live++
+		}
+		p.entries[slot] = strideEntry{region: region, lastLine: line, used: p.stamp, live: true}
+		return out
+	}
+	e.used = p.stamp
+	d := line - e.lastLine
+	if d == 0 {
+		return out // same line; no information
+	}
+	if d == e.stride {
+		if e.conf < 16 {
+			e.conf++
+		}
+	} else {
+		e.stride = d
+		e.conf = 1
+	}
+	e.lastLine = line
+	if e.conf >= p.cfg.Conf && e.stride != 0 {
+		for k := 1; k <= p.cfg.Degree; k++ {
+			next := (line + int64(k)*e.stride) << p.cfg.LineShift
+			if next < 0 {
+				break
+			}
+			// Real stream prefetchers do not cross 4KiB boundaries.
+			if next>>12 != addr>>12 {
+				break
+			}
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// Reset restores the cold state, keeping the tracker array.
+func (p *Stride) Reset() {
+	clear(p.entries)
+	p.live = 0
+	p.stamp = 0
+}

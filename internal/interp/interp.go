@@ -43,11 +43,13 @@ type Machine struct {
 
 // New builds a machine for the module on the given core configuration.
 func New(mod *ir.Module, cfg *sim.Config) *Machine {
-	return &Machine{
+	m := &Machine{
 		Mod:  mod,
 		Core: sim.NewCore(cfg),
 		Mem:  NewMemory(),
 	}
+	m.Core.Hierarchy().SetPeek(m.Mem.Peek)
+	return m
 }
 
 // NewOnCore builds a machine over an existing simulator core, resetting
@@ -59,11 +61,15 @@ func New(mod *ir.Module, cfg *sim.Config) *Machine {
 // identical to New with a freshly built core.
 func NewOnCore(mod *ir.Module, core *sim.Core) *Machine {
 	core.Reset()
-	return &Machine{
+	m := &Machine{
 		Mod:  mod,
 		Core: core,
 		Mem:  NewMemory(),
 	}
+	// Re-point the prefetcher peek hook at this machine's memory; the
+	// recycled core last peeked into the previous run's address space.
+	m.Core.Hierarchy().SetPeek(m.Mem.Peek)
+	return m
 }
 
 // Stats returns the accumulated statistics.

@@ -113,6 +113,30 @@ func (m *Memory) Load(addr int64, t ir.Type) (int64, error) {
 	return 0, nil // zero-width access
 }
 
+// Peek reads a little-endian, sign-extended value of width bytes
+// without faulting: ok is false for unmapped addresses or odd widths.
+// It backs the hardware-prefetcher peek hook (hwpf.PeekFunc) — a
+// value-speculating model like IMP inspecting data the hierarchy
+// fetched — so it must never affect program semantics or timing.
+func (m *Memory) Peek(addr, width int64) (int64, bool) {
+	s := m.find(addr, width)
+	if s == nil {
+		return 0, false
+	}
+	off := addr - s.base
+	switch width {
+	case 1:
+		return int64(int8(s.data[off])), true
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(s.data[off:]))), true
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(s.data[off:]))), true
+	case 8:
+		return int64(binary.LittleEndian.Uint64(s.data[off:])), true
+	}
+	return 0, false
+}
+
 // Store writes a little-endian value of the given type.
 func (m *Memory) Store(addr int64, val int64, t ir.Type) error {
 	w := t.Size()

@@ -13,7 +13,11 @@
 // DRAM bus saturation.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/hwpf"
+)
 
 // StatsVersion identifies the statistical behaviour of the timing
 // model. Any change that can alter the statistics a simulation reports
@@ -23,7 +27,15 @@ import "fmt"
 // bumping it cleanly invalidates every persisted result; changes that
 // are proven bit-identical (cmd/golden diffs) keep it unchanged so
 // caches survive pure refactors.
-const StatsVersion = 1
+//
+// Version history:
+//
+//	1  the PR-1 array-refactored engine (bit-identical to the seed)
+//	2  the pluggable hardware-prefetcher subsystem (internal/hwpf):
+//	   hwpf=stride is a pure port pinned bit-identical by cmd/golden,
+//	   but the Config gained the HWPrefetcher axis and the nextline/
+//	   ghb/imp models shape statistics, so v1 entries must miss.
+const StatsVersion = 2
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -74,16 +86,39 @@ type Config struct {
 	WalkLatency int64 // page-table walk latency in cycles
 	PageWalkers int   // concurrent page-table walks supported
 
-	// Hardware stride prefetcher. Like real stream prefetchers it
-	// stops at 4KiB boundaries and fills from StrideFillLevel down
-	// (0 = L1, 1 = L2 like Intel's streamer), so a sequential stream
-	// still pays inner-level latencies and page-crossing misses —
-	// the headroom software stride prefetches exploit (figure 5).
+	// Hardware prefetcher. HWPrefetcher selects the model the memory
+	// hierarchy drives (see internal/hwpf): "none", "stride",
+	// "nextline", "ghb" or "imp". Empty preserves the pre-hwpf
+	// behaviour: "stride" when StridePrefetch is set, else "none".
+	//
+	// The Stride* knobs predate the pluggable subsystem and now
+	// parameterise every model: Degree is candidates emitted per
+	// trained observation, Conf the observations required before
+	// issuing, Streams the concurrent pattern trackers (default 16),
+	// and FillLevel the first cache level hardware prefetches fill
+	// into (0 = L1, 1 = L2 like Intel's streamer) — so a covered
+	// sequential stream still pays inner-level latencies and
+	// page-crossing misses, the headroom software stride prefetches
+	// exploit (figure 5).
+	HWPrefetcher    string
 	StridePrefetch  bool
-	StrideDegree    int // lines fetched ahead once a stride is confident
+	StrideDegree    int // candidates issued ahead once a pattern is confident
 	StrideConf      int // observations required before issuing
 	StrideFillLevel int // first cache level HW prefetches fill into
-	StrideStreams   int // concurrent region trackers (default 16)
+	StrideStreams   int // concurrent pattern trackers (default 16)
+}
+
+// HWPrefetcherName resolves the effective hardware-prefetcher model:
+// an explicit HWPrefetcher wins; empty falls back to "stride" or
+// "none" according to the legacy StridePrefetch switch.
+func (c *Config) HWPrefetcherName() string {
+	if c.HWPrefetcher != "" {
+		return c.HWPrefetcher
+	}
+	if c.StridePrefetch {
+		return hwpf.NameStride
+	}
+	return hwpf.NameNone
 }
 
 // Validate reports configuration errors.
@@ -120,6 +155,10 @@ func (c *Config) Validate() error {
 	}
 	if c.PageWalkers <= 0 {
 		return fmt.Errorf("sim: %s: PageWalkers must be positive", c.Name)
+	}
+	if c.HWPrefetcher != "" && !hwpf.Known(c.HWPrefetcher) {
+		return fmt.Errorf("sim: %s: unknown hardware prefetcher %q (have %v)",
+			c.Name, c.HWPrefetcher, hwpf.Names())
 	}
 	return nil
 }

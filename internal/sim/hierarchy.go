@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/hwpf"
+
 // AccessKind distinguishes the flavours of memory access presented to
 // the hierarchy.
 type AccessKind int
@@ -13,7 +15,7 @@ const (
 )
 
 // Hierarchy ties together the caches, TLB, DRAM bus, MSHRs and the
-// hardware stride prefetcher of one machine.
+// hardware prefetcher of one machine.
 type Hierarchy struct {
 	cfg    *Config
 	caches []*Cache
@@ -34,15 +36,13 @@ type Hierarchy struct {
 	// already being fetched merge instead of issuing twice.
 	inflight *timeMap
 
-	// Stride prefetcher state: a limited set of per-4KiB-region stream
-	// trackers, LRU-replaced. Random access patterns allocate and evict
-	// trackers constantly, starving concurrent sequential streams of
-	// coverage — the behaviour of real region-based streamers that
-	// makes software stride prefetches profitable next to indirect
-	// accesses (paper §3, figures 2 and 5).
-	stride      []strideEntry
-	strideLive  int
-	strideStamp uint64
+	// Hardware prefetcher: a pluggable model (internal/hwpf) trained
+	// on the demand-load stream; nil when disabled. The hierarchy owns
+	// acting on its candidates — the fill-level presence filter, TLB
+	// translation, MSHRs and the bus — so models stay pure pattern
+	// machines. pfBuf is the reusable candidate buffer.
+	pf    hwpf.Prefetcher
+	pfBuf []int64
 
 	// tracer, when non-nil, records every access (see trace.go).
 	tracer *Tracer
@@ -51,6 +51,7 @@ type Hierarchy struct {
 	Loads, Stores      uint64
 	SWPrefetches       uint64
 	HWPrefetches       uint64
+	HWPrefetchDropped  uint64 // hardware prefetches dropped on a TLB miss
 	DRAMAccesses       uint64
 	DRAMBytes          uint64
 	MSHRStallCycles    float64
@@ -58,29 +59,15 @@ type Hierarchy struct {
 	PrefetchLateCycles float64 // demand hits that waited on an in-flight prefetch
 }
 
-type strideEntry struct {
-	region   int64
-	lastLine int64
-	stride   int64
-	conf     int
-	used     uint64 // LRU stamp
-	live     bool
-}
-
 // NewHierarchy builds the memory system for a machine configuration.
 func NewHierarchy(cfg *Config) *Hierarchy {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	streams := cfg.StrideStreams
-	if streams <= 0 {
-		streams = 16
-	}
 	h := &Hierarchy{
 		cfg:      cfg,
 		tlb:      NewTLB(cfg),
 		inflight: newTimeMap(4 * cfg.MSHRs),
-		stride:   make([]strideEntry, streams),
 		mshr:     make([]float64, cfg.MSHRs),
 	}
 	for _, cc := range cfg.Caches {
@@ -90,6 +77,16 @@ func NewHierarchy(cfg *Config) *Hierarchy {
 	for 1<<h.lineShift != h.lineSize {
 		h.lineShift++
 	}
+	pf, err := hwpf.New(cfg.HWPrefetcherName(), hwpf.Config{
+		LineShift: h.lineShift,
+		Degree:    cfg.StrideDegree,
+		Conf:      cfg.StrideConf,
+		Streams:   cfg.StrideStreams,
+	})
+	if err != nil {
+		panic(err) // Validate vets the name; unreachable
+	}
+	h.pf = pf
 	h.occupancy = float64(h.lineSize) / cfg.BytesPerCycle
 	if cfg.SharedCores > 1 {
 		load := cfg.ContentionLoad
@@ -125,9 +122,27 @@ func (h *Hierarchy) Access(kind AccessKind, pc int, addr int64, start float64) f
 		h.HWPrefetches++
 	}
 
-	// Address translation. Prefetches translate too — warming the TLB
-	// is part of the benefit the paper measures (§6.2, fig. 10).
-	t := h.tlb.Translate(addr, start)
+	// Address translation. Software prefetches translate (and walk)
+	// too — warming the TLB is part of the benefit the paper measures
+	// (§6.2, fig. 10). Hardware prefetches are speculative addresses a
+	// real engine would never hand to a page-table walker: they
+	// translate only on a TLB hit and are dropped otherwise. A model
+	// whose candidates stay on the triggering page (the stride
+	// streamer) always hits the entry the demand access just touched,
+	// so this rule only bites page-crossing designs (GHB, IMP).
+	var t float64
+	if kind == AccessHW {
+		var ok bool
+		if t, ok = h.tlb.TranslateNoWalk(addr, start); !ok {
+			h.HWPrefetchDropped++
+			if h.tracer != nil {
+				h.tracer.record(TraceEvent{Kind: kind, PC: pc, Addr: addr, Start: start, Complete: start, Level: LevelDropped})
+			}
+			return start
+		}
+	} else {
+		t = h.tlb.Translate(addr, start)
+	}
 
 	demand := kind == AccessLoad
 	// Hardware prefetches skip levels above their fill level.
@@ -159,7 +174,7 @@ func (h *Hierarchy) Access(kind AccessKind, pc int, addr int64, start float64) f
 		}
 		if demand {
 			h.LoadStallCycles += done - start - float64(h.caches[0].cfg.Latency)
-			h.trainStride(pc, addr, start)
+			h.trainHW(pc, addr, lvl > 0, start)
 		}
 		if h.tracer != nil {
 			h.tracer.record(TraceEvent{Kind: kind, PC: pc, Addr: addr, Start: start, Complete: done, Level: lvl})
@@ -171,7 +186,7 @@ func (h *Hierarchy) Access(kind AccessKind, pc int, addr int64, start float64) f
 	done := h.dramFetch(addr, t, kind, firstLevel)
 	if demand {
 		h.LoadStallCycles += done - start - float64(h.caches[0].cfg.Latency)
-		h.trainStride(pc, addr, start)
+		h.trainHW(pc, addr, true, start)
 	}
 	if h.tracer != nil {
 		h.tracer.record(TraceEvent{Kind: kind, PC: pc, Addr: addr, Start: start, Complete: done, Level: -1})
@@ -223,81 +238,44 @@ func (h *Hierarchy) dramFetch(addr int64, t float64, kind AccessKind, firstLevel
 	return done
 }
 
-// trainStride updates the hardware stride prefetcher on a demand access
-// and issues degree fills once the stride is confident. Trackers are
-// allocated per 4KiB region with limited capacity: interleaved random
-// accesses evict stream trackers before they regain confidence.
-func (h *Hierarchy) trainStride(pc int, addr int64, now float64) {
-	if !h.cfg.StridePrefetch {
+// trainHW presents a demand load to the hardware-prefetcher model and
+// acts on its candidates: each candidate whose line is absent from the
+// fill-level cache is fetched via the AccessHW path, which skips the
+// levels above the fill level, translates (warming the TLB) and
+// consumes MSHR/bus resources like any other fill. The presence probe
+// touches LRU state exactly like the old hard-wired streamer did, so
+// the hwpf=stride port stays bit-identical.
+func (h *Hierarchy) trainHW(pc int, addr int64, miss bool, now float64) {
+	if h.pf == nil {
 		return
 	}
-	_ = pc
-	line := addr >> h.lineShift
-	region := addr >> 12
-	h.strideStamp++
-	var e *strideEntry
-	for i := range h.stride {
-		if h.stride[i].live && h.stride[i].region == region {
-			e = &h.stride[i]
-			break
-		}
-	}
-	if e == nil {
-		slot := -1
-		if h.strideLive >= len(h.stride) {
-			// Evict the LRU tracker (stamps are unique, so the victim is
-			// the same one the map version chose).
-			slot = 0
-			for i := 1; i < len(h.stride); i++ {
-				if h.stride[i].used < h.stride[slot].used {
-					slot = i
-				}
-			}
-		} else {
-			for i := range h.stride {
-				if !h.stride[i].live {
-					slot = i
-					break
-				}
-			}
-			h.strideLive++
-		}
-		h.stride[slot] = strideEntry{region: region, lastLine: line, used: h.strideStamp, live: true}
+	h.pfBuf = h.pf.Observe(pc, addr, miss, h.pfBuf[:0])
+	if len(h.pfBuf) == 0 {
 		return
 	}
-	e.used = h.strideStamp
-	d := line - e.lastLine
-	if d == 0 {
-		return // same line; no information
+	fillLvl := h.cfg.StrideFillLevel
+	if fillLvl >= len(h.caches) {
+		fillLvl = len(h.caches) - 1
 	}
-	if d == e.stride {
-		if e.conf < 16 {
-			e.conf++
+	// AccessHW never re-enters trainHW (it is not a demand load), so
+	// iterating the shared buffer during issue is safe.
+	for _, next := range h.pfBuf {
+		if _, ok := h.caches[fillLvl].Lookup(next, now, false); ok {
+			continue
 		}
-	} else {
-		e.stride = d
-		e.conf = 1
+		h.Access(AccessHW, -pc-1, next, now)
 	}
-	e.lastLine = line
-	if e.conf >= h.cfg.StrideConf && e.stride != 0 {
-		fillLvl := h.cfg.StrideFillLevel
-		if fillLvl >= len(h.caches) {
-			fillLvl = len(h.caches) - 1
-		}
-		for k := 1; k <= h.cfg.StrideDegree; k++ {
-			next := (line + int64(k)*e.stride) << h.lineShift
-			if next < 0 {
-				break
-			}
-			// Real stream prefetchers do not cross 4KiB boundaries.
-			if next>>12 != addr>>12 {
-				break
-			}
-			if _, ok := h.caches[fillLvl].Lookup(next, now, false); ok {
-				continue
-			}
-			h.Access(AccessHW, -pc-1, next, now)
-		}
+}
+
+// Prefetcher exposes the hardware-prefetcher model (nil when off).
+func (h *Hierarchy) Prefetcher() hwpf.Prefetcher { return h.pf }
+
+// SetPeek installs a simulated-memory reader for value-speculating
+// prefetcher models (hwpf.IMP); models that do not peek ignore it.
+// The interpreter calls this when it attaches to a core.
+func (h *Hierarchy) SetPeek(f hwpf.PeekFunc) {
+	if ps, ok := h.pf.(hwpf.PeekSetter); ok {
+		ps.SetPeek(f)
 	}
 }
 
@@ -323,10 +301,11 @@ func (h *Hierarchy) Reset() {
 		h.mshr[i] = 0
 	}
 	h.inflight.reset()
-	clear(h.stride)
-	h.strideLive = 0
-	h.strideStamp = 0
+	if h.pf != nil {
+		h.pf.Reset()
+	}
 	h.Loads, h.Stores, h.SWPrefetches, h.HWPrefetches = 0, 0, 0, 0
+	h.HWPrefetchDropped = 0
 	h.DRAMAccesses, h.DRAMBytes = 0, 0
 	h.MSHRStallCycles, h.LoadStallCycles, h.PrefetchLateCycles = 0, 0, 0
 }

@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// TestHWPrefetchTLBDrop pins the hardware-prefetch translation rule:
+// a candidate whose page misses every TLB level is dropped — counted
+// in HWPrefetchDropped, no page walk, no DRAM traffic — while
+// same-page candidates (the stride streamer's entire output) always
+// hit the entry the triggering demand access just touched and are
+// never dropped.
+func TestHWPrefetchTLBDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HWPrefetcher = "ghb" // page-crossing correlator
+	cfg.TLBEntries = 1       // only the most recent page translates
+	cfg.TLB2Entries = 0
+	// A 2-set direct-mapped cache so the second page's line evicts the
+	// first and the revisit below is a genuine miss.
+	cfg.Caches = []CacheConfig{{Name: "L1", Size: 128, LineSize: 64, Assoc: 1, Latency: 4}}
+	cfg.StrideFillLevel = 0
+	h := NewHierarchy(cfg)
+
+	a, b := int64(0), int64(1<<20)   // distinct pages, same cache set
+	h.Access(AccessLoad, 1, a, 0)    // GHB history: a
+	h.Access(AccessLoad, 1, b, 1000) // GHB history: a,b; TLB now holds only page(b)
+
+	walks := h.tlb.Walks
+	dram := h.DRAMAccesses
+	tr := NewTracer(16)
+	h.SetTracer(tr)
+	// Far enough out that the earlier fills completed: the revisit is
+	// a fresh miss whose fill evicts b, so the GHB candidate (b) passes
+	// the presence filter and reaches translation.
+	h.Access(AccessLoad, 1, a, 2000) // miss on a: GHB proposes b, whose page just left the TLB
+
+	if h.HWPrefetchDropped != 1 {
+		t.Fatalf("HWPrefetchDropped = %d, want 1", h.HWPrefetchDropped)
+	}
+	// The tracer still records every access: the dropped prefetch
+	// appears as a zero-latency AccessHW event at LevelDropped.
+	var dropped *TraceEvent
+	for i, e := range tr.Events() {
+		if e.Kind == AccessHW && e.Level == LevelDropped {
+			dropped = &tr.Events()[i]
+		}
+	}
+	if dropped == nil {
+		t.Fatalf("dropped prefetch missing from the trace:\n%s", tr.Dump())
+	}
+	if dropped.Addr != b || dropped.Latency() != 0 {
+		t.Errorf("drop event wrong: %+v", *dropped)
+	}
+	if h.HWPrefetches != 1 {
+		t.Errorf("HWPrefetches = %d, want 1 (issued, then dropped)", h.HWPrefetches)
+	}
+	if h.tlb.Walks != walks+1 {
+		t.Errorf("walks went %d -> %d; the dropped prefetch must not walk (only the demand)", walks, h.tlb.Walks)
+	}
+	if h.DRAMAccesses != dram+1 {
+		t.Errorf("DRAM accesses went %d -> %d; the dropped prefetch must not fetch", dram, h.DRAMAccesses)
+	}
+
+	// Same-page candidates never drop: a trained stride stream on a
+	// TLB this small still issues every prefetch.
+	cfg2 := DefaultConfig()
+	cfg2.TLBEntries = 1
+	cfg2.TLB2Entries = 0
+	h2 := NewHierarchy(cfg2)
+	for i := int64(0); i < 8; i++ {
+		h2.Access(AccessLoad, 1, i*64, float64(i)*100)
+	}
+	if h2.HWPrefetches == 0 {
+		t.Fatal("stride stream issued no hardware prefetches")
+	}
+	if h2.HWPrefetchDropped != 0 {
+		t.Errorf("stride (same-page) prefetches dropped %d times, want 0", h2.HWPrefetchDropped)
+	}
+
+	// Reset clears the counter.
+	h.Reset()
+	if h.HWPrefetchDropped != 0 {
+		t.Error("Reset left HWPrefetchDropped set")
+	}
+}

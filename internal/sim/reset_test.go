@@ -100,7 +100,7 @@ func TestResetPreservesStorage(t *testing.T) {
 	h := NewHierarchy(DefaultConfig())
 	driveHierarchy(h)
 
-	strideBefore := &h.stride[0]
+	pfBefore := h.pf
 	inflightBefore := h.inflight
 	inflightKeys := &h.inflight.keys[0]
 	l1Before := h.tlb.l1
@@ -109,8 +109,8 @@ func TestResetPreservesStorage(t *testing.T) {
 
 	h.Reset()
 
-	if &h.stride[0] != strideBefore {
-		t.Error("Reset reallocated the stride tracker array")
+	if h.pf != pfBefore {
+		t.Error("Reset replaced the hardware-prefetcher model")
 	}
 	if h.inflight != inflightBefore || &h.inflight.keys[0] != inflightKeys {
 		t.Error("Reset reallocated the in-flight fill table")
@@ -121,9 +121,12 @@ func TestResetPreservesStorage(t *testing.T) {
 	if h.tlb.pending != pendingBefore {
 		t.Error("TLB Reset reallocated the pending-walk table")
 	}
-	if h.inflight.n != 0 || h.strideLive != 0 || h.tlb.l1.n != 0 {
+	if h.inflight.n != 0 || h.tlb.l1.n != 0 {
 		t.Error("Reset left live entries behind")
 	}
+	// The model's own storage-preservation contract is pinned by
+	// internal/hwpf's reset tests; here we only require the hierarchy
+	// to reset it in place rather than rebuild it.
 }
 
 // TestLRUMapMatchesReference cross-checks the open-addressed LRU array

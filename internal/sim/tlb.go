@@ -85,6 +85,28 @@ func (t *TLB) Translate(addr int64, now float64) float64 {
 	return done
 }
 
+// TranslateNoWalk resolves a translation only if it hits one of the
+// TLB levels: ok=false means a full walk would be needed, and no walk
+// is started. This is the hardware-prefetch path — real prefetch
+// engines drop speculative addresses that miss the TLB rather than
+// occupy a page-table walker — and its hit paths mirror Translate
+// exactly (stats and LRU movement included), so a prefetcher whose
+// candidates stay on the triggering access's page behaves identically
+// to the walking path.
+func (t *TLB) TranslateNoWalk(addr int64, now float64) (float64, bool) {
+	page := addr >> t.pageShift
+	if t.l1.lookup(page) {
+		t.Hits++
+		return now, true
+	}
+	if t.l2 != nil && t.l2.lookup(page) {
+		t.L2Hits++
+		t.l1.insert(page)
+		return now + float64(t.l2Latency), true
+	}
+	return 0, false
+}
+
 // Reset clears all entries and statistics in place, preserving the
 // configured capacities and their storage.
 func (t *TLB) Reset() {

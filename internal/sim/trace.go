@@ -12,10 +12,15 @@ type TraceEvent struct {
 	Addr     int64
 	Start    float64
 	Complete float64
-	// Level is the cache level that served the access (0 = L1), or -1
-	// for DRAM.
+	// Level is the cache level that served the access (0 = L1), -1
+	// for DRAM, or LevelDropped for a hardware prefetch discarded at
+	// translation (TLB miss; the access touched no cache or DRAM).
 	Level int
 }
+
+// LevelDropped marks a hardware-prefetch event that was dropped on a
+// TLB miss instead of being served by any level.
+const LevelDropped = -2
 
 // Latency returns the access's total latency in cycles.
 func (e TraceEvent) Latency() float64 { return e.Complete - e.Start }
@@ -25,6 +30,8 @@ func (e TraceEvent) String() string {
 	lvl := "DRAM"
 	if e.Level >= 0 {
 		lvl = fmt.Sprintf("L%d", e.Level+1)
+	} else if e.Level == LevelDropped {
+		lvl = "drop"
 	}
 	return fmt.Sprintf("%10.0f %-5s pc=%-5d addr=%#010x %-4s %6.0f cyc",
 		e.Start, kind, e.PC, e.Addr, lvl, e.Latency())

@@ -185,6 +185,7 @@ type resultData struct {
 	DRAMAccesses       uint64
 	SWPrefetches       uint64
 	HWPrefetches       uint64
+	HWPrefetchDropped  uint64
 	TLBWalks           uint64
 	LoadStallCycles    float64
 	PrefetchedUnusedL1 uint64
@@ -257,6 +258,7 @@ func (s *Store) Get(r sweep.Request) (*core.Result, bool) {
 		DRAMAccesses:       d.DRAMAccesses,
 		SWPrefetches:       d.SWPrefetches,
 		HWPrefetches:       d.HWPrefetches,
+		HWPrefetchDropped:  d.HWPrefetchDropped,
 		TLBWalks:           d.TLBWalks,
 		LoadStallCycles:    d.LoadStallCycles,
 		PrefetchedUnusedL1: d.PrefetchedUnusedL1,
@@ -286,6 +288,7 @@ func (s *Store) Put(r sweep.Request, res *core.Result) error {
 			DRAMAccesses:       res.DRAMAccesses,
 			SWPrefetches:       res.SWPrefetches,
 			HWPrefetches:       res.HWPrefetches,
+			HWPrefetchDropped:  res.HWPrefetchDropped,
 			TLBWalks:           res.TLBWalks,
 			LoadStallCycles:    res.LoadStallCycles,
 			PrefetchedUnusedL1: res.PrefetchedUnusedL1,

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// TestStatsVersionBumpInvalidatesWarmV1 is the invalidation rule
+// docs/service.md promises, exercised against the real v1→v2 bump (the
+// hwpf subsystem): an entry persisted under the v1 salt must miss
+// cleanly under the current default salt — no error, no stale result —
+// while the object itself survives for stores still opened at v1.
+func TestStatsVersionBumpInvalidatesWarmV1(t *testing.T) {
+	if sim.StatsVersion < 2 {
+		t.Fatalf("sim.StatsVersion = %d; the hwpf subsystem requires the v2 bump", sim.StatsVersion)
+	}
+	const v1Salt = "sim-stats-v1"
+	if DefaultSalt() == v1Salt {
+		t.Fatalf("DefaultSalt() = %q still the v1 salt", DefaultSalt())
+	}
+
+	dir := t.TempDir()
+	req := sweep.Request{
+		Workload: workloads.Tiny()[0],
+		System:   uarch.A53(),
+		Variant:  core.VariantPlain,
+	}
+	res, err := core.Run(req.Workload, req.System, req.Variant, req.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := OpenSalted(dir, v1Salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Put(req, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v1.Get(req); !ok {
+		t.Fatal("v1 store does not hit its own entry")
+	}
+
+	// The same directory at the current version: the warm v1 entry is
+	// invisible, so the cell recomputes instead of replaying stale
+	// statistics.
+	cur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Get(req); ok {
+		t.Fatalf("v1 entry still hits under %s after the StatsVersion bump", DefaultSalt())
+	}
+
+	// The old objects are not destroyed — keys moved, data stayed.
+	back, err := OpenSalted(dir, v1Salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Get(req); !ok {
+		t.Fatal("v1 entry lost after opening the store at the current version")
+	}
+}
+
+// TestKeySensitivityHWPrefetcher: the hardware-prefetcher axis is part
+// of the machine configuration, so it must be part of the key — both
+// as the explicit field and via the legacy StridePrefetch resolution.
+func TestKeySensitivityHWPrefetcher(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweep.Request{
+		Workload: workloads.Tiny()[0],
+		System:   uarch.Haswell(),
+		Variant:  core.VariantPlain,
+	}
+	seen := map[string]string{s.Key(base): "default"}
+	for _, name := range []string{"none", "stride", "nextline", "ghb", "imp"} {
+		req := base
+		req.System = uarch.WithHWPrefetcher(base.System, name)
+		key := s.Key(req)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("hwpf=%s collides with %s", name, prev)
+		}
+		seen[key] = name
+	}
+	if len(seen) != 6 {
+		t.Errorf("expected 6 distinct keys, got %d", len(seen))
+	}
+}

@@ -5,29 +5,73 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/hwpf"
 	"repro/internal/sim"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
 
+// HWPrefetcherDefault is the hardware-prefetcher axis value that keeps
+// each system's own default model (the per-machine uarch presets).
+const HWPrefetcherDefault = "default"
+
 // Grid is a declarative experiment grid: the cross product of
-// workloads, machine configurations and variants, all sharing one
-// option set. Expand enumerates it workload-major (workload, then
-// system, then variant), the paper's presentation order.
+// workloads, machine configurations, hardware-prefetcher models and
+// variants, all sharing one option set. Expand enumerates it
+// workload-major (workload, then system, then hardware prefetcher,
+// then variant), the paper's presentation order.
+//
+// An empty axis yields zero requests: a grid with no workloads, no
+// systems or no variants expands to nothing and Run returns an empty
+// result set without error (pinned by TestGridExpandEmptyAxis).
+// HWPrefetchers is the exception: it contributes no configurations of
+// its own (it only modulates Systems), so empty means {"default"} —
+// one pass with each system's own model, which is what every grid
+// written before the axis existed gets.
 type Grid struct {
-	Workloads []*workloads.Workload
-	Systems   []*sim.Config
-	Variants  []core.Variant
-	Options   core.Options
+	Workloads     []*workloads.Workload
+	Systems       []*sim.Config
+	HWPrefetchers []string
+	Variants      []core.Variant
+	Options       core.Options
 }
 
-// Expand enumerates the grid's cells as requests.
+// Expand enumerates the grid's cells as requests. The hardware axis
+// materialises as derived machine configurations (one shared copy per
+// system × model, so sweep workers still recycle one simulator per
+// configuration), which is also how the model reaches the
+// internal/store key: the full sim.Config is hashed, HWPrefetcher
+// field included.
 func (g Grid) Expand() []Request {
-	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(g.Variants))
+	hws := g.HWPrefetchers
+	if len(hws) == 0 {
+		hws = []string{HWPrefetcherDefault}
+	}
+	derived := make(map[*sim.Config]map[string]*sim.Config)
+	system := func(cfg *sim.Config, hw string) *sim.Config {
+		if hw == HWPrefetcherDefault {
+			return cfg
+		}
+		byHW := derived[cfg]
+		if byHW == nil {
+			byHW = make(map[string]*sim.Config)
+			derived[cfg] = byHW
+		}
+		if c, ok := byHW[hw]; ok {
+			return c
+		}
+		c := uarch.WithHWPrefetcher(cfg, hw)
+		byHW[hw] = c
+		return c
+	}
+	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(hws)*len(g.Variants))
 	for _, w := range g.Workloads {
 		for _, cfg := range g.Systems {
-			for _, v := range g.Variants {
-				reqs = append(reqs, Request{Workload: w, System: cfg, Variant: v, Options: g.Options})
+			for _, hw := range hws {
+				sys := system(cfg, hw)
+				for _, v := range g.Variants {
+					reqs = append(reqs, Request{Workload: w, System: sys, Variant: v, Options: g.Options})
+				}
 			}
 		}
 	}
@@ -77,6 +121,31 @@ func ParseVariants(s string) ([]core.Variant, error) {
 		if !found {
 			return nil, fmt.Errorf("sweep: unknown variant %q (have %v)", name, Variants())
 		}
+	}
+	return out, nil
+}
+
+// HWPrefetchers lists every value the hardware-prefetcher axis
+// accepts: "default" (keep each machine's own model) followed by the
+// hwpf registry in presentation order.
+func HWPrefetchers() []string {
+	return append([]string{HWPrefetcherDefault}, hwpf.Names()...)
+}
+
+// ParseHWPrefetchers parses a comma-separated hardware-prefetcher
+// axis ("" selects default — each system's own model).
+func ParseHWPrefetchers(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return []string{HWPrefetcherDefault}, nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name != HWPrefetcherDefault && !hwpf.Known(name) {
+			return nil, fmt.Errorf("sweep: unknown hardware prefetcher %q (have %s)",
+				name, strings.Join(HWPrefetchers(), ", "))
+		}
+		out = append(out, name)
 	}
 	return out, nil
 }

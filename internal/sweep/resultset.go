@@ -98,6 +98,10 @@ type Record struct {
 	Workload string
 	System   string
 	Variant  string
+	// HWPF is the effective hardware-prefetcher model of the cell's
+	// machine configuration (sim.Config.HWPrefetcherName) — the
+	// hardware axis is otherwise invisible in the System name.
+	HWPF string
 
 	C          int64
 	Depth      int
@@ -115,6 +119,7 @@ type Record struct {
 	L1Misses           uint64
 	DRAMAccesses       uint64
 	HWPrefetches       uint64
+	HWPrefetchDropped  uint64
 	TLBWalks           uint64
 	LoadStallCycles    float64
 	PrefetchedUnusedL1 uint64
@@ -131,6 +136,7 @@ func (s *ResultSet) Records() []Record {
 			Workload:   o.Workload.Name,
 			System:     o.System.Name,
 			Variant:    string(o.Variant),
+			HWPF:       o.System.HWPrefetcherName(),
 			C:          o.Options.C,
 			Depth:      o.Options.Depth,
 			Hoist:      o.Options.Hoist,
@@ -150,6 +156,7 @@ func (s *ResultSet) Records() []Record {
 			r.L1Misses = res.L1Misses
 			r.DRAMAccesses = res.DRAMAccesses
 			r.HWPrefetches = res.HWPrefetches
+			r.HWPrefetchDropped = res.HWPrefetchDropped
 			r.TLBWalks = res.TLBWalks
 			r.LoadStallCycles = res.LoadStallCycles
 			r.PrefetchedUnusedL1 = res.PrefetchedUnusedL1
@@ -168,9 +175,10 @@ func (s *ResultSet) WriteJSON(w io.Writer) error {
 
 // csvColumns is the fixed CSV header, matching Record field order.
 var csvColumns = []string{
-	"workload", "system", "variant", "c", "depth", "hoist", "flat_offset",
+	"workload", "system", "variant", "hwpf", "c", "depth", "hoist", "flat_offset",
 	"checksum", "cycles", "instructions", "loads", "stores", "sw_prefetches",
-	"l1_hits", "l1_misses", "dram_accesses", "hw_prefetches", "tlb_walks",
+	"l1_hits", "l1_misses", "dram_accesses", "hw_prefetches",
+	"hw_prefetch_dropped", "tlb_walks",
 	"load_stall_cycles", "prefetched_unused_l1", "err",
 }
 
@@ -184,11 +192,11 @@ func (s *ResultSet) WriteCSV(w io.Writer) error {
 		if strings.ContainsAny(err, ",\"\n") {
 			err = `"` + strings.ReplaceAll(err, `"`, `""`) + `"`
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%d,%s\n",
-			r.Workload, r.System, r.Variant, r.C, r.Depth, r.Hoist, r.FlatOffset,
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%d,%s\n",
+			r.Workload, r.System, r.Variant, r.HWPF, r.C, r.Depth, r.Hoist, r.FlatOffset,
 			r.Checksum, r.Cycles, r.Instructions, r.Loads, r.Stores, r.SWPrefetches,
-			r.L1Hits, r.L1Misses, r.DRAMAccesses, r.HWPrefetches, r.TLBWalks,
-			r.LoadStallCycles, r.PrefetchedUnusedL1, err)
+			r.L1Hits, r.L1Misses, r.DRAMAccesses, r.HWPrefetches, r.HWPrefetchDropped,
+			r.TLBWalks, r.LoadStallCycles, r.PrefetchedUnusedL1, err)
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err

@@ -36,6 +36,92 @@ func TestGridExpandOrder(t *testing.T) {
 	}
 }
 
+// TestGridExpandEmptyAxis pins the documented behaviour: an empty
+// workload/system/variant axis yields zero requests, and running the
+// empty grid succeeds with an empty result set — except the hardware
+// axis, where empty means "default" and expansion proceeds.
+func TestGridExpandEmptyAxis(t *testing.T) {
+	ws := workloads.Tiny()[:1]
+	full := Grid{
+		Workloads: ws,
+		Systems:   uarch.All()[:1],
+		Variants:  []core.Variant{core.VariantPlain},
+	}
+	for name, g := range map[string]Grid{
+		"no workloads": {Systems: full.Systems, Variants: full.Variants},
+		"no systems":   {Workloads: ws, Variants: full.Variants},
+		"no variants":  {Workloads: ws, Systems: full.Systems},
+	} {
+		if reqs := g.Expand(); len(reqs) != 0 {
+			t.Errorf("%s: expanded %d requests, want 0", name, len(reqs))
+		}
+		set, err := g.Run(2)
+		if err != nil {
+			t.Errorf("%s: empty grid failed: %v", name, err)
+		}
+		if set == nil || len(set.Outcomes) != 0 {
+			t.Errorf("%s: empty grid produced outcomes: %+v", name, set)
+		}
+	}
+	// Empty hardware axis = one pass with the systems' own models.
+	if reqs := full.Expand(); len(reqs) != 1 || reqs[0].System != full.Systems[0] {
+		t.Errorf("empty hardware axis should reuse the system config verbatim: %+v", reqs)
+	}
+}
+
+// TestGridExpandHWPrefetcherAxis: the hardware axis derives one shared
+// config per system × model (so worker contexts recycle simulators),
+// slots between system and variant in enumeration order, and surfaces
+// in the emitted records.
+func TestGridExpandHWPrefetcherAxis(t *testing.T) {
+	ws := workloads.Tiny()[:1]
+	g := Grid{
+		Workloads:     ws,
+		Systems:       uarch.All()[:1], // Haswell
+		HWPrefetchers: []string{HWPrefetcherDefault, "none", "imp"},
+		Variants:      []core.Variant{core.VariantPlain, core.VariantAuto},
+	}
+	reqs := g.Expand()
+	if len(reqs) != 6 {
+		t.Fatalf("expanded %d requests, want 6", len(reqs))
+	}
+	// default keeps the original pointer; named models derive copies.
+	if reqs[0].System != g.Systems[0] || reqs[1].System != g.Systems[0] {
+		t.Error("default axis value must not copy the config")
+	}
+	if reqs[2].System == g.Systems[0] || reqs[2].System.HWPrefetcher != "none" {
+		t.Errorf("hwpf=none config wrong: %+v", reqs[2].System.HWPrefetcher)
+	}
+	if reqs[2].System != reqs[3].System {
+		t.Error("variants of one system×model cell must share a derived config")
+	}
+	if reqs[4].System.HWPrefetcherName() != "imp" {
+		t.Errorf("hwpf axis out of order: got %q", reqs[4].System.HWPrefetcherName())
+	}
+	if reqs[2].System.Name != g.Systems[0].Name {
+		t.Error("derived configs must keep the machine name")
+	}
+
+	set, err := g.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := set.Records()
+	wantHW := []string{"stride", "stride", "none", "none", "imp", "imp"}
+	for i, r := range recs {
+		if r.HWPF != wantHW[i] {
+			t.Errorf("record %d hwpf = %q, want %q", i, r.HWPF, wantHW[i])
+		}
+	}
+	// hwpf=none must actually disable hardware prefetching.
+	if recs[2].HWPrefetches != 0 {
+		t.Errorf("hwpf=none issued %d hardware prefetches", recs[2].HWPrefetches)
+	}
+	if recs[0].HWPrefetches == 0 {
+		t.Error("default (stride) issued no hardware prefetches")
+	}
+}
+
 func TestJobsClamp(t *testing.T) {
 	if got := Jobs(0, 100); got < 1 {
 		t.Errorf("Jobs(0, 100) = %d, want >= 1", got)
@@ -62,6 +148,60 @@ func TestParseVariants(t *testing.T) {
 	}
 	if _, err := ParseVariants("bogus"); err == nil {
 		t.Error("unknown variant accepted")
+	}
+}
+
+// TestParseVariantsErrorPaths pins the failure mode for every
+// malformed selector: the error names the offending token and lists
+// the accepted variants, and no partial result leaks out.
+func TestParseVariantsErrorPaths(t *testing.T) {
+	for _, tc := range []struct {
+		in, wantTok string
+	}{
+		{"bogus", `"bogus"`},                 // unknown name
+		{"plain,bogus,auto", `"bogus"`},      // unknown amid valid names
+		{"plain,,auto", `""`},                // empty element
+		{"plain, ICC", `"ICC"`},              // case-sensitive
+		{"plain auto", `"plain auto"`},       // wrong separator
+		{"indirect-only,manuel", `"manuel"`}, // near-miss spelling
+	} {
+		vs, err := ParseVariants(tc.in)
+		if err == nil {
+			t.Errorf("ParseVariants(%q) accepted: %v", tc.in, vs)
+			continue
+		}
+		if vs != nil {
+			t.Errorf("ParseVariants(%q) returned partial result %v with error", tc.in, vs)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown variant") || !strings.Contains(msg, tc.wantTok) {
+			t.Errorf("ParseVariants(%q) error %q does not name token %s", tc.in, msg, tc.wantTok)
+		}
+		if !strings.Contains(msg, string(core.VariantIndirectOnly)) {
+			t.Errorf("ParseVariants(%q) error %q does not list the accepted variants", tc.in, msg)
+		}
+	}
+	// Whitespace-only input is the documented default, not an error.
+	if vs, err := ParseVariants("  \t "); err != nil || len(vs) != 2 {
+		t.Errorf("whitespace input = %v, %v, want the plain,auto default", vs, err)
+	}
+}
+
+func TestParseHWPrefetchers(t *testing.T) {
+	hws, err := ParseHWPrefetchers("")
+	if err != nil || len(hws) != 1 || hws[0] != HWPrefetcherDefault {
+		t.Errorf("default axis = %v, %v", hws, err)
+	}
+	hws, err = ParseHWPrefetchers("default, none,stride,imp")
+	if err != nil || len(hws) != 4 || hws[3] != "imp" {
+		t.Errorf("ParseHWPrefetchers = %v, %v", hws, err)
+	}
+	for _, bad := range []string{"bogus", "stride,,imp", "Stride"} {
+		if hws, err := ParseHWPrefetchers(bad); err == nil {
+			t.Errorf("ParseHWPrefetchers(%q) accepted: %v", bad, hws)
+		} else if !strings.Contains(err.Error(), "unknown hardware prefetcher") {
+			t.Errorf("ParseHWPrefetchers(%q) error lacks context: %v", bad, err)
+		}
 	}
 }
 

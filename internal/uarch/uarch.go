@@ -224,6 +224,20 @@ func HugePages(cfg *sim.Config) *sim.Config {
 	return &out
 }
 
+// WithHWPrefetcher returns a copy of the configuration running the
+// named hardware-prefetcher model (see internal/hwpf): "none",
+// "stride", "nextline", "ghb" or "imp". The machine name is kept, so
+// result labels stay comparable across the hardware axis; sweep
+// records carry the model in their own column. The Stride* tuning
+// knobs (degree, confidence, fill level, trackers) carry over to the
+// new model, preserving each machine's hardware-aggressiveness
+// defaults.
+func WithHWPrefetcher(cfg *sim.Config, name string) *sim.Config {
+	out := *cfg
+	out.HWPrefetcher = name
+	return &out
+}
+
 // WithCores returns a copy contending with n-1 identical cores for the
 // DRAM bus (figure 9). The contending copies are partially
 // latency-bound themselves, so each injects less than a full core's
