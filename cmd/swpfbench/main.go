@@ -20,6 +20,11 @@
 //	swpfbench -sweep -workloads IS,CG -systems Haswell,A53 -variants plain,auto
 //	swpfbench -sweep -hwpf none,stride,imp -variants plain,auto
 //	swpfbench -sweep -quick -variants plain,manual -c 16 -json
+//	swpfbench -sweep -gen 8 -workloads GEN -variants plain,auto
+//
+// -gen N adds N randomly generated kernels (internal/gen, seeded by
+// -gen-seed) to the selectable pool — the open-ended scenario family
+// the differential-fuzzing harness checks (see docs/testing.md).
 //
 // -store DIR (default $SWPF_STORE) persists per-run results in the
 // content-addressed cache of internal/store: re-running a figure or a
@@ -40,6 +45,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/uarch"
+	wkl "repro/internal/workloads"
 )
 
 // errParse marks a flag-parsing failure the FlagSet has already
@@ -77,6 +83,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		systems   = fs.String("systems", "", "sweep: comma-separated systems (default: all)")
 		variants  = fs.String("variants", "", "sweep: comma-separated variants among plain,auto,manual,icc,indirect-only (default: plain,auto)")
 		hwpfAxis  = fs.String("hwpf", "", "sweep: comma-separated hardware prefetchers among default,none,stride,nextline,ghb,imp (default: default)")
+		genN      = fs.Int("gen", 0, "sweep: add N generated kernels (internal/gen) to the selectable workload pool as GEN-00..")
+		genSeed   = fs.Uint64("gen-seed", wkl.SyntheticDefaultSeed, "sweep: generator seed for -gen kernels")
 		c         = fs.Int64("c", 0, "sweep: look-ahead constant (0 = the paper's 64)")
 		depth     = fs.Int("depth", 0, "sweep: stagger depth limit (0 = unlimited)")
 		hoist     = fs.Bool("hoist", false, "sweep: enable loop hoisting in the automatic pass")
@@ -109,7 +117,14 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	if *doSweep {
-		ws, err := sweep.SelectWorkloads(bench.WorkloadSet(q), *workloads)
+		pool := bench.WorkloadSet(q)
+		if *genN > 0 {
+			// Generated kernels join the pool as first-class scenarios:
+			// selectable by name or prefix ("GEN"), cached under their
+			// canonical parameter vector like any other workload.
+			pool = append(pool, wkl.Synthetic(*genSeed, *genN)...)
+		}
+		ws, err := sweep.SelectWorkloads(pool, *workloads)
 		if err != nil {
 			return err
 		}

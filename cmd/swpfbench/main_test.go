@@ -102,3 +102,24 @@ func TestQuickFig2CSV(t *testing.T) {
 		t.Errorf("CSV output malformed:\n%s", s)
 	}
 }
+
+// TestSweepGeneratedKernels: -gen adds generated kernels to the sweep
+// pool, selectable by prefix, and the run produces a row per cell.
+func TestSweepGeneratedKernels(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-sweep", "-quick", "-gen", "3", "-workloads", "GEN",
+		"-systems", "A53", "-variants", "plain,auto", "-c", "16"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("gen sweep: %v", err)
+	}
+	csv := out.String()
+	for _, want := range []string{"GEN-00,A53,plain,", "GEN-00,A53,auto,", "GEN-02,A53,auto,"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("gen sweep CSV missing %q:\n%s", want, csv)
+		}
+	}
+	// Without -gen the names are unknown.
+	if err := run([]string{"-sweep", "-quick", "-workloads", "GEN"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("GEN workloads selectable without -gen")
+	}
+}

@@ -13,7 +13,7 @@
 //	GET  /results?id=ID[&format=csv|json]
 //	                   a completed job's ResultSet (JSON records by
 //	                   default, CSV on request)
-//	GET  /meta[?quality=full|quick|tiny]
+//	GET  /meta[?quality=full|quick|tiny|gen]
 //	                   enumerate every grid axis — workloads (per
 //	                   quality), systems, variants, hardware
 //	                   prefetchers — so specs can be built without
@@ -94,8 +94,9 @@ func run(argv []string, stderr io.Writer) error {
 
 // SweepSpec is the POST /sweep request body: the same selectors
 // swpfbench's -sweep mode takes on the command line. Empty selector
-// strings mean "all"; Quality picks the workload input sizes — "full"
-// (default), "quick", or "tiny" (test sizes).
+// strings mean "all"; Quality picks the workload pool — "full"
+// (default), "quick", "tiny" (test sizes), or "gen" (randomly
+// generated kernels, see internal/gen).
 type SweepSpec struct {
 	Workloads string `json:"workloads"`
 	Systems   string `json:"systems"`
@@ -119,6 +120,10 @@ var (
 	fullPool  = sync.OnceValue(func() []*workloads.Workload { return bench.WorkloadSet(bench.Full) })
 	quickPool = sync.OnceValue(func() []*workloads.Workload { return bench.WorkloadSet(bench.Quick) })
 	tinyPool  = sync.OnceValue(workloads.Tiny)
+	// genPool is the generated-kernel family (internal/gen): synthetic
+	// scenarios that sweep and cache like the paper's benchmarks, keyed
+	// in the store by their canonical parameter vectors.
+	genPool = sync.OnceValue(workloads.SyntheticDefault)
 )
 
 // grid resolves the spec against the workload registry, failing on any
@@ -133,8 +138,10 @@ func (sp SweepSpec) grid() (sweep.Grid, error) {
 		pool = quickPool()
 	case "tiny":
 		pool = tinyPool()
+	case "gen":
+		pool = genPool()
 	default:
-		return sweep.Grid{}, fmt.Errorf("unknown quality %q (have full, quick, tiny)", sp.Quality)
+		return sweep.Grid{}, fmt.Errorf("unknown quality %q (have full, quick, tiny, gen)", sp.Quality)
 	}
 	ws, err := sweep.SelectWorkloads(pool, sp.Workloads)
 	if err != nil {
@@ -291,18 +298,18 @@ type Meta struct {
 // cost per quality per process).
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	pools := map[string]func() []*workloads.Workload{
-		"full": fullPool, "quick": quickPool, "tiny": tinyPool,
+		"full": fullPool, "quick": quickPool, "tiny": tinyPool, "gen": genPool,
 	}
-	qualities := []string{"full", "quick", "tiny"}
+	qualities := []string{"full", "quick", "tiny", "gen"}
 	if q := r.URL.Query().Get("quality"); q != "" {
 		if _, ok := pools[q]; !ok {
-			writeError(w, http.StatusBadRequest, "unknown quality %q (have full, quick, tiny)", q)
+			writeError(w, http.StatusBadRequest, "unknown quality %q (have full, quick, tiny, gen)", q)
 			return
 		}
 		qualities = []string{q}
 	}
 	m := Meta{
-		Qualities: []string{"full", "quick", "tiny"},
+		Qualities: []string{"full", "quick", "tiny", "gen"},
 		Workloads: make(map[string][]MetaWorkload),
 		Variants:  make([]string, 0, len(sweep.Variants())),
 	}

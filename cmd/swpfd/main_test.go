@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -211,7 +213,7 @@ func TestMeta(t *testing.T) {
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatal(err)
 	}
-	if len(m.Qualities) != 3 || len(m.Workloads["tiny"]) == 0 {
+	if len(m.Qualities) != 4 || len(m.Workloads["tiny"]) == 0 {
 		t.Errorf("meta workloads wrong: %+v", m)
 	}
 	if len(m.Workloads) != 1 {
@@ -280,5 +282,140 @@ func TestSweepHWPFAxis(t *testing.T) {
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestConcurrentSubmissions is the race-focused end-to-end test:
+// many goroutines submit the same generated-kernel grid concurrently
+// against one shared store. Every job must complete with consistent
+// progress counts, every result set must be byte-identical, and the
+// store must see each distinct cell written exactly once — concurrent
+// submissions never duplicate object writes because the executor
+// serializes jobs and later jobs are pure cache traffic.
+func TestConcurrentSubmissions(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(2, st))
+	defer ts.Close()
+
+	const spec = `{"workloads":"GEN-00,GEN-01","systems":"A53","variants":"plain,auto","c":8,"quality":"gen"}`
+	const submitters = 6
+
+	// Submissions run off the test goroutine, so they must not call
+	// t.Fatal; failures are collected and asserted after the join.
+	ids := make([]string, submitters)
+	cells := make([]int, submitters)
+	errs := make([]error, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(spec))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				errs[i] = fmt.Errorf("POST /sweep = %d", resp.StatusCode)
+				return
+			}
+			var out struct {
+				ID    string `json:"id"`
+				Cells int    `json:"cells"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i], cells[i] = out.ID, out.Cells
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submitter %d: %v", i, err)
+		}
+	}
+
+	seen := map[string]bool{}
+	var results [][]byte
+	for i := 0; i < submitters; i++ {
+		if seen[ids[i]] {
+			t.Fatalf("duplicate job id %s", ids[i])
+		}
+		seen[ids[i]] = true
+		final := poll(t, ts, ids[i])
+		if final.State != stateDone || final.Done != cells[i] || final.Done != final.Total {
+			t.Fatalf("job %s finished inconsistently: %+v", ids[i], final)
+		}
+		code, body := fetch(t, ts, "/results?id="+ids[i])
+		if code != http.StatusOK {
+			t.Fatalf("GET /results %s = %d", ids[i], code)
+		}
+		results = append(results, body)
+	}
+	for i := 1; i < len(results); i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Errorf("job %s results differ from job %s", ids[i], ids[0])
+		}
+	}
+
+	// Each distinct cell was written to the store exactly once.
+	if stats := st.Stats(); stats.Puts != int64(cells[0]) {
+		t.Errorf("store saw %d object writes for %d distinct cells", stats.Puts, cells[0])
+	}
+
+	// The listing shows every job, all terminal.
+	code, body := fetch(t, ts, "/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /jobs = %d", code)
+	}
+	var list []JobStatus
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != submitters {
+		t.Errorf("job listing has %d entries, want %d", len(list), submitters)
+	}
+	for _, js := range list {
+		if js.State != stateDone {
+			t.Errorf("job %s not done after polling: %+v", js.ID, js)
+		}
+	}
+}
+
+// TestGenQuality: the generated pool is a first-class quality — /meta
+// lists it with canonical parameter vectors and a sweep over it runs.
+func TestGenQuality(t *testing.T) {
+	ts := httptest.NewServer(newServer(1, nil))
+	defer ts.Close()
+
+	code, body := fetch(t, ts, "/meta?quality=gen")
+	if code != http.StatusOK {
+		t.Fatalf("GET /meta?quality=gen = %d: %s", code, body)
+	}
+	var m Meta
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workloads["gen"]) == 0 {
+		t.Fatal("gen pool empty in /meta")
+	}
+	for _, w := range m.Workloads["gen"] {
+		if !strings.HasPrefix(w.Name, "GEN-") || !strings.Contains(w.Params, "shape=") {
+			t.Errorf("gen workload %q has non-canonical params %q", w.Name, w.Params)
+		}
+	}
+
+	id, cells := submit(t, ts, `{"workloads":"GEN-02","systems":"A53","variants":"plain,auto","c":8,"quality":"gen"}`)
+	if cells != 2 {
+		t.Fatalf("gen sweep submitted %d cells, want 2", cells)
+	}
+	if final := poll(t, ts, id); final.State != stateDone {
+		t.Fatalf("gen sweep failed: %+v", final)
 	}
 }

@@ -1,0 +1,142 @@
+// Command swpffuzz runs differential-fuzzing campaigns over generated
+// kernels (internal/gen): each drawn kernel is checked by the full
+// oracle — verifier acceptance, interpreter bit-identity with and
+// without the auto-prefetch pass at every look-ahead/depth/hoist
+// variant, and simulator statistics invariants across machines x
+// hardware-prefetcher models x parallel re-runs. The first violation
+// stops the campaign; with -minimize the failing parameter vector is
+// shrunk to a near-minimal reproduction first.
+//
+//	swpffuzz -seeds 500 -budget 30s            # bounded campaign
+//	swpffuzz -seeds 40 -budget 60s             # CI smoke (deterministic)
+//	swpffuzz -seeds 200 -minimize -out repro/  # save minimized repros
+//
+// A campaign is deterministic for a fixed -seed/-seeds pair as long as
+// the budget does not expire: kernel i of seed s is always the same
+// kernel. -clamp-slack injects a deliberate off-by-one into the pass's
+// §4.2 fault-avoidance clamp (see prefetch.Options.TestClampSlack), a
+// self-test that the harness actually detects unsafe transforms.
+//
+// On failure the repro file written to -out (or stdout without -out)
+// holds the canonical parameter vector, the failure, and the kernel's
+// IR — ready to be promoted into the internal/gen seed corpus (see
+// docs/testing.md).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/prefetch"
+)
+
+// Exit codes: 0 = campaign clean, 1 = usage or I/O error, 2 = a
+// differential failure was found — distinct so callers (and CI's
+// planted-bug self-test) can tell "the oracle tripped" from "the tool
+// broke".
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // usage already printed; exit 0
+	case errors.Is(err, errFailure):
+		fmt.Fprintln(os.Stderr, "swpffuzz:", err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "swpffuzz:", err)
+		os.Exit(1)
+	}
+}
+
+// errFailure marks a differential failure (as opposed to a usage or
+// I/O error); the campaign found what it hunts for.
+var errFailure = errors.New("differential failure")
+
+// run is the testable body of the command.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swpffuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seeds      = fs.Int("seeds", 100, "number of kernels to draw and check")
+		seed       = fs.Uint64("seed", 1, "master seed; a fixed seed draws a fixed kernel sequence")
+		budget     = fs.Duration("budget", 30*time.Second, "wall-clock budget; the campaign stops early when it expires")
+		minimize   = fs.Bool("minimize", false, "shrink a failing kernel before reporting")
+		clampSlack = fs.Int64("clamp-slack", 0, "fault injection: widen the pass's §4.2 clamp by this many iterations (self-test)")
+		outDir     = fs.String("out", "", "directory for failure reproductions (default: repro to stdout only)")
+		verbose    = fs.Bool("v", false, "log every kernel checked")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	o := gen.DefaultOracle()
+	if *clampSlack != 0 {
+		o.PassTweak = func(opts *prefetch.Options) { opts.TestClampSlack = *clampSlack }
+	}
+
+	r := gen.NewRand(*seed)
+	deadline := time.Now().Add(*budget)
+	checked := 0
+	for i := 0; i < *seeds; i++ {
+		if !time.Now().Before(deadline) {
+			fmt.Fprintf(stdout, "swpffuzz: budget %v expired after %d kernels\n", *budget, checked)
+			break
+		}
+		p := gen.Random(r)
+		k := gen.Generate(p)
+		if *verbose {
+			fmt.Fprintf(stderr, "swpffuzz: #%d %s\n", i, p.Canonical())
+		}
+		fail := o.Check(k)
+		if fail == nil {
+			checked++
+			continue
+		}
+
+		fmt.Fprintf(stdout, "swpffuzz: FAILURE on kernel #%d after %d clean kernels\n", i, checked)
+		fmt.Fprintf(stdout, "  %v\n", fail)
+		if *minimize {
+			min, minFail := o.Minimize(p)
+			if minFail != nil {
+				p, fail = min, minFail
+				fmt.Fprintf(stdout, "swpffuzz: minimized to %s\n", p.Canonical())
+				fmt.Fprintf(stdout, "  %v\n", minFail)
+			}
+		}
+		report := reproReport(p, fail)
+		if *outDir != "" {
+			path, err := writeRepro(*outDir, p, report)
+			if err != nil {
+				return fmt.Errorf("writing repro: %w", err)
+			}
+			fmt.Fprintf(stdout, "swpffuzz: repro written to %s\n", path)
+		} else {
+			fmt.Fprint(stdout, report)
+		}
+		return fmt.Errorf("%w after %d clean kernels: %v", errFailure, checked, fail)
+	}
+	fmt.Fprintf(stdout, "swpffuzz: %d kernels checked, no failures (seed=%d)\n", checked, *seed)
+	return nil
+}
+
+// reproReport renders a self-contained reproduction: the canonical
+// parameter vector (feed it back through gen.Generate), the failure,
+// and the kernel IR.
+func reproReport(p gen.Params, fail *gen.Failure) string {
+	return fmt.Sprintf("# swpffuzz reproduction\n# params: %s\n# failure: %v\n\n%s",
+		p.Canonical(), fail, gen.Generate(p).Build().String())
+}
+
+// writeRepro stores the report under dir, named by the kernel id.
+func writeRepro(dir string, p gen.Params, report string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, gen.Generate(p).Name+".repro")
+	return path, os.WriteFile(path, []byte(report), 0o644)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ir"
+)
+
+// TestCleanCampaign: a healthy pass survives a seeded campaign and the
+// run reports the exact kernel count — the determinism CI's smoke job
+// relies on.
+func TestCleanCampaign(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-seeds", "25", "-seed", "1", "-budget", "5m"}, &out, &errBuf); err != nil {
+		t.Fatalf("clean campaign failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "25 kernels checked, no failures") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+// TestPlantedClampBugCaughtAndMinimized is the acceptance check for
+// the whole harness: injecting an off-by-one into the pass's §4.2
+// clamp must be caught by the campaign, minimized to a near-minimal
+// kernel, and written out as a parseable reproduction.
+func TestPlantedClampBugCaughtAndMinimized(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-seeds", "50", "-seed", "1", "-budget", "5m",
+		"-clamp-slack", "1", "-minimize", "-out", dir,
+	}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("planted bug not caught:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "FAILURE") || !strings.Contains(text, "minimized to") {
+		t.Fatalf("report lacks failure/minimization:\n%s", text)
+	}
+
+	// The minimized vector is near-minimal: the bug fires on any
+	// unit-stride kernel with one index load, so minimization must
+	// reach the floor of every shrinkable axis.
+	i := strings.Index(text, "minimized to ")
+	canon := strings.TrimSpace(strings.SplitN(text[i+len("minimized to "):], "\n", 2)[0])
+	for _, want := range []string{"shape=flat", "rows=4", "indir=1", "stride=1", "hash=false", "body=reduce", "seed=1"} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("minimized params %q missing %q", canon, want)
+		}
+	}
+
+	// The repro file exists and embeds IR that parses back.
+	matches, globErr := filepath.Glob(filepath.Join(dir, "*.repro"))
+	if globErr != nil || len(matches) != 1 {
+		t.Fatalf("expected one repro file, got %v (%v)", matches, globErr)
+	}
+	data, readErr := os.ReadFile(matches[0])
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	body := string(data)
+	if !strings.Contains(body, "# params: "+canon) {
+		t.Errorf("repro file does not carry the minimized params:\n%s", body)
+	}
+	irText := body[strings.Index(body, "module"):]
+	if _, parseErr := ir.Parse(irText); parseErr != nil {
+		t.Errorf("repro IR does not parse: %v", parseErr)
+	}
+}
+
+// TestBudgetExpiry: a zero budget stops before checking anything and
+// still exits cleanly.
+func TestBudgetExpiry(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-seeds", "10", "-budget", "0s"}, &out, &errBuf); err != nil {
+		t.Fatalf("expired budget should not be an error: %v", err)
+	}
+	if !strings.Contains(out.String(), "budget") || !strings.Contains(out.String(), "0 kernels") {
+		t.Errorf("missing budget-expiry report:\n%s", out.String())
+	}
+}
+
+// TestBadFlagRejected keeps the flag surface honest.
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// TestReproRoundTrip: the canonical params line in a report names the
+// same kernel (same module, same checksum) when fed back through
+// Generate — the promote-to-corpus workflow of docs/testing.md.
+func TestReproRoundTrip(t *testing.T) {
+	p := gen.Random(gen.NewRand(99))
+	k := gen.Generate(p)
+	k2 := gen.Generate(p.Normalize())
+	if k.Want != k2.Want || k.Build().String() != k2.Build().String() {
+		t.Error("params do not round-trip through Generate")
+	}
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/hwpf"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+// fuzzOracle is a slimmed-down oracle for the fuzzing loop: one
+// look-ahead, hoisting on and off, one machine, two hardware models —
+// cheap enough for thousands of executions per second while still
+// covering the transform/no-transform differential and the core sim
+// invariants. Campaign-grade coverage is cmd/swpffuzz's job.
+func fuzzOracle() *Oracle {
+	return &Oracle{
+		Cs:        []int64{64},
+		Depths:    []int{0},
+		Hoists:    []bool{false, true},
+		Systems:   []*sim.Config{uarch.A53()},
+		HWPFs:     []string{hwpf.NameStride, hwpf.NameIMP},
+		Jobs:      2,
+		MaxInstrs: 1 << 24,
+	}
+}
+
+// FuzzDifferential is the native fuzzing entry point: the fuzzer
+// mutates a (seed, raw parameter bytes) pair, ParamsFromRaw clamps it
+// into a valid kernel, and the differential oracle must hold. The
+// checked-in corpus under testdata/fuzz/FuzzDifferential seeds one
+// kernel per shape plus the hash/store/narrow-type corners; promote
+// minimized swpffuzz reproductions there (see docs/testing.md).
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 8, 4, 1, 1, 0, 0, 0, 3, 1})  // flat A[B[i]]
+	f.Add(uint64(2), []byte{1, 6, 6, 2, 1, 1, 2, 1, 0, 0})  // nested, hashed, store, i8
+	f.Add(uint64(3), []byte{2, 10, 4, 2, 1, 1, 0, 0, 3, 1}) // chase
+	o := fuzzOracle()
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		p := ParamsFromRaw(seed, raw)
+		if fail := o.Check(Generate(p)); fail != nil {
+			t.Fatalf("differential failure: %v", fail)
+		}
+	})
+}
+
+// FuzzMinimizeConverges: Minimize must terminate and return a passing
+// verdict for arbitrary healthy parameter vectors (it only shrinks
+// vectors that fail, and none of these do).
+func FuzzMinimizeConverges(f *testing.F) {
+	f.Add(uint64(4), []byte{0, 16, 8, 1, 1, 0, 0, 1, 2, 0})
+	o := fuzzOracle()
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		p := ParamsFromRaw(seed, raw)
+		min, fail := o.Minimize(p)
+		if fail != nil {
+			t.Fatalf("healthy kernel failed: %v", fail)
+		}
+		if min.Canonical() != p.Normalize().Canonical() {
+			t.Fatalf("Minimize mutated a passing vector: %s", min.Canonical())
+		}
+	})
+}

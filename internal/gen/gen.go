@@ -1,0 +1,807 @@
+// Package gen is a seeded, deterministic random-program generator for
+// the project's IR dialect, plus the differential oracle that proves
+// the whole pipeline correct on what it generates.
+//
+// The paper's claim rests on the prefetch pass (internal/prefetch)
+// being semantics-preserving across every kernel shape it targets —
+// strided, indirect A[B[i]], doubly indirect A[B[C[i]]], nested, and
+// hash-based — yet the hand-written workloads cover only five points
+// of that space. Generate manufactures an unbounded family of new
+// scenarios from a parameter vector (Params): each kernel comes with
+// deterministic input data and a pure-Go reference model, so any
+// execution path — interpreter, pass-transformed interpreter, or the
+// full simulator — can be checked against ground truth.
+//
+// The Oracle (oracle.go) runs each kernel with and without the
+// automatic pass at every look-ahead/depth/hoist variant and demands
+// bit-identical architectural results and final memory images, then
+// sweeps the simulator across machines × hardware-prefetcher models
+// checking statistics invariants and scheduling determinism. Minimize
+// (minimize.go) shrinks a failing parameter vector before reporting.
+//
+// Entry points: native fuzzing (go test -fuzz in this package), the
+// cmd/swpffuzz campaign binary, and workloads.Synthetic, which wraps
+// generated kernels as first-class sweep/store/figure scenarios.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Shape selects the control-flow skeleton of a generated kernel.
+type Shape int
+
+// Kernel shapes.
+const (
+	// ShapeFlat is a single counted loop over an indirection chain:
+	// acc += data[idx1[idx0[i]]] and friends.
+	ShapeFlat Shape = iota
+	// ShapeNested is a counted loop nest: the inner loop walks the
+	// indirection chain (indexed by the inner induction variable, so
+	// the pass can clamp it), the outer loop supplies the flat store
+	// index and carries the accumulator across rows.
+	ShapeNested
+	// ShapeChase is the hash-table walk of the paper's HJ workloads:
+	// an outer counted loop hashes a key, loads a bucket head, and an
+	// inner while-loop follows the chain — the §4.6 hoisting shape.
+	ShapeChase
+	numShapes
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeFlat:
+		return "flat"
+	case ShapeNested:
+		return "nested"
+	case ShapeChase:
+		return "chase"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// Body selects what the innermost loop does with the loaded value.
+type Body int
+
+// Loop bodies.
+const (
+	// BodyReduce folds the value into an accumulator returned by the
+	// kernel.
+	BodyReduce Body = iota
+	// BodyStore writes the value to an output array; the checksum is
+	// computed from the final memory image.
+	BodyStore
+	numBodies
+)
+
+func (b Body) String() string {
+	switch b {
+	case BodyReduce:
+		return "reduce"
+	case BodyStore:
+		return "store"
+	}
+	return fmt.Sprintf("body(%d)", int(b))
+}
+
+// Params is the complete, deterministic description of one generated
+// kernel: Generate(p) always returns the same module, inputs and
+// reference checksum for equal p.
+type Params struct {
+	// Seed drives the input-data and array-size generators.
+	Seed uint64
+	// Shape is the control-flow skeleton.
+	Shape Shape
+	// Rows is the outermost trip count (the only loop's trip for
+	// ShapeFlat, the key count for ShapeChase).
+	Rows int64
+	// Cols is the inner trip count (ShapeNested only).
+	Cols int64
+	// Indir is the number of index loads before the data access
+	// (0 = pure stride) for flat/nested shapes, and the maximum bucket
+	// chain length for ShapeChase.
+	Indir int
+	// Stride is the innermost loop step.
+	Stride int64
+	// Hash applies a multiplicative hash + power-of-two mask to each
+	// loaded index value, the pattern of the paper's HJ/RA kernels.
+	Hash bool
+	// Extra inserts 0-2 additional arithmetic instructions into each
+	// hash computation (only meaningful with Hash, where the final
+	// mask keeps any intermediate value in bounds).
+	Extra int
+	// Body is the loop body kind (ShapeChase always reduces).
+	Body Body
+	// Elem is the data-array element type (i8..i64).
+	Elem ir.Type
+	// Idx is the index-array element type (i32 or i64).
+	Idx ir.Type
+}
+
+// hashMul is the multiplicative hash constant generated kernels embed;
+// positive and odd, so it diffuses bits and parses back cleanly.
+const hashMul = 0x1B873593
+
+// Normalize clamps every field into its valid range, returning a
+// canonical parameter vector. Generate, Random and ParamsFromRaw all
+// normalize, so any raw vector (e.g. from the fuzzer) names a valid
+// kernel.
+func (p Params) Normalize() Params {
+	if p.Shape < 0 || p.Shape >= numShapes {
+		p.Shape = ShapeFlat
+	}
+	p.Rows = clamp64(p.Rows, 4, 512)
+	p.Stride = clamp64(p.Stride, 1, 4)
+	switch p.Shape {
+	case ShapeNested:
+		p.Cols = clamp64(p.Cols, 2, 64)
+	default:
+		p.Cols = 0
+	}
+	if p.Shape == ShapeChase {
+		p.Indir = int(clamp64(int64(p.Indir), 1, 4))
+		p.Stride = 1
+		p.Body = BodyReduce
+		p.Elem, p.Idx = ir.I64, ir.I64
+	} else {
+		p.Indir = int(clamp64(int64(p.Indir), 0, 3))
+	}
+	if p.Indir == 0 {
+		p.Hash = false
+	}
+	if !p.Hash {
+		p.Extra = 0
+	}
+	p.Extra = int(clamp64(int64(p.Extra), 0, 2))
+	if p.Body < 0 || p.Body >= numBodies {
+		p.Body = BodyReduce
+	}
+	switch p.Elem {
+	case ir.I8, ir.I16, ir.I32, ir.I64:
+	default:
+		p.Elem = ir.I64
+	}
+	switch p.Idx {
+	case ir.I32, ir.I64:
+	default:
+		p.Idx = ir.I64
+	}
+	return p
+}
+
+// Canonical renders the normalized parameter vector in the
+// internal/store Params style: two kernels with equal canonical
+// strings are the same scenario (module, inputs and checksum).
+func (p Params) Canonical() string {
+	p = p.Normalize()
+	return fmt.Sprintf(
+		"shape=%s,seed=%d,rows=%d,cols=%d,indir=%d,stride=%d,hash=%t,extra=%d,body=%s,elem=%s,idx=%s",
+		p.Shape, p.Seed, p.Rows, p.Cols, p.Indir, p.Stride, p.Hash, p.Extra, p.Body, p.Elem, p.Idx)
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Rand is a small deterministic generator (SplitMix64), used instead
+// of math/rand so parameter draws are stable across Go versions.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with the given value.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Next returns the next 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("gen: Intn of non-positive bound")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Random draws a normalized parameter vector from the generator. The
+// draw is biased toward the shapes the pass transforms (indirection
+// depth >= 1, unit stride) while still covering every reject path.
+func Random(r *Rand) Params {
+	p := Params{
+		Seed:  r.Next(),
+		Shape: Shape(r.Intn(int64(numShapes))),
+		Rows:  []int64{8, 12, 16, 24, 32, 48, 64, 96}[r.Intn(8)],
+		Cols:  []int64{4, 6, 8, 12, 16}[r.Intn(5)],
+		// Bias: indirection 1-2 dominates; 0 (stride-only) and 3 are
+		// rarer but present.
+		Indir: []int{0, 1, 1, 1, 2, 2, 3}[r.Intn(7)],
+		// Bias: unit stride dominates (the only clampable form when no
+		// allocation size is visible, §4.2 Strategy B).
+		Stride: []int64{1, 1, 1, 1, 2, 3}[r.Intn(6)],
+		Hash:   r.Intn(3) == 0,
+		Extra:  int(r.Intn(3)),
+		Body:   Body(r.Intn(int64(numBodies))),
+		Elem:   []ir.Type{ir.I8, ir.I16, ir.I32, ir.I64}[r.Intn(4)],
+		Idx:    []ir.Type{ir.I32, ir.I64}[r.Intn(2)],
+	}
+	return p.Normalize()
+}
+
+// ParamsFromRaw decodes a parameter vector from a seed and an opaque
+// byte string, the fuzzing entry format: missing bytes default to
+// zero and every field is normalized, so any input names a valid
+// kernel.
+func ParamsFromRaw(seed uint64, raw []byte) Params {
+	at := func(i int) int64 {
+		if i < len(raw) {
+			return int64(raw[i])
+		}
+		return 0
+	}
+	p := Params{
+		Seed:   seed,
+		Shape:  Shape(at(0) % int64(numShapes)),
+		Rows:   4 + at(1)*2,
+		Cols:   2 + at(2)%32,
+		Indir:  int(at(3) % 4),
+		Stride: 1 + at(4)%4,
+		Hash:   at(5)%2 == 1,
+		Extra:  int(at(6) % 3),
+		Body:   Body(at(7) % int64(numBodies)),
+		Elem:   []ir.Type{ir.I8, ir.I16, ir.I32, ir.I64}[at(8)%4],
+		Idx:    []ir.Type{ir.I32, ir.I64}[at(9)%2],
+	}
+	return p.Normalize()
+}
+
+// Kernel is one generated scenario: a rebuildable module, its
+// deterministic input data, and the reference checksum computed by a
+// pure-Go model of the same program.
+type Kernel struct {
+	// P is the normalized parameter vector.
+	P Params
+	// Name is a short stable identifier derived from the parameters.
+	Name string
+	// Want is the reference checksum.
+	Want int64
+
+	lay layout
+}
+
+// layout holds the concrete array contents drawn from the seed. Index
+// values are pre-bounded to the next level's length unless the kernel
+// hashes (where the power-of-two mask bounds any value).
+type layout struct {
+	idx  [][]int64 // idx[0] indexed by the induction variable
+	data []int64
+	outN int64 // output array length (BodyStore)
+	n    int64 // innermost trip count argument
+
+	// hash constants (embedded in the IR and mirrored by the
+	// reference model).
+	hashXor, hashAdd int64
+
+	// chase-only arrays.
+	keys, heads, next, vals []int64
+	nb                      int64 // bucket count (power of two)
+}
+
+// Generate builds the kernel named by p (normalized first). The same
+// parameters always produce the same module, inputs and checksum.
+func Generate(p Params) *Kernel {
+	p = p.Normalize()
+	k := &Kernel{P: p}
+	k.Name = fmt.Sprintf("gen-%08x", fnv32(p.Canonical()))
+	k.lay = buildLayout(p)
+	k.Want = k.reference()
+	return k
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// signExt truncates v to the width of t and sign-extends it back,
+// mirroring what a store+load round trip through interp.Memory does.
+func signExt(v int64, t ir.Type) int64 {
+	switch t {
+	case ir.I8:
+		return int64(int8(v))
+	case ir.I16:
+		return int64(int16(v))
+	case ir.I32:
+		return int64(int32(v))
+	}
+	return v
+}
+
+// pow2Sizes are the array lengths used when a power-of-two mask must
+// bound the index domain.
+var pow2Sizes = []int64{64, 128, 256, 512}
+
+func buildLayout(p Params) layout {
+	r := NewRand(p.Seed ^ 0xda7a)
+	var lay layout
+	lay.hashXor = r.Intn(1 << 30)
+	lay.hashAdd = r.Intn(1 << 30)
+
+	if p.Shape == ShapeChase {
+		buildChaseLayout(p, r, &lay)
+		return lay
+	}
+
+	// Iteration domain: the length of idx[0] (or of data when there is
+	// no indirection).
+	domain := p.Rows
+	if p.Shape == ShapeNested {
+		domain = p.Cols
+	}
+	lay.n = domain
+
+	// Draw the length of each indirection target: length[lvl] is the
+	// length of the array the values of idx[lvl] index (idx[lvl+1], or
+	// data for the last level). Hashing masks the index into the next
+	// level, so hashed targets must be powers of two; unhashed targets
+	// are arbitrary and the values stored in the previous level are
+	// pre-bounded instead.
+	dataLen := domain // Indir == 0: data is indexed by the IV directly
+	if p.Indir > 0 {
+		length := make([]int64, p.Indir)
+		for i := range length {
+			if p.Hash {
+				length[i] = pow2Sizes[r.Intn(int64(len(pow2Sizes)))]
+			} else {
+				length[i] = 48 + r.Intn(400)
+			}
+		}
+		lay.idx = make([][]int64, p.Indir)
+		prevLen := domain
+		for lvl := 0; lvl < p.Indir; lvl++ {
+			vals := make([]int64, prevLen)
+			for i := range vals {
+				if p.Hash {
+					vals[i] = r.Intn(1 << 20)
+				} else {
+					vals[i] = r.Intn(length[lvl])
+				}
+				vals[i] = signExt(vals[i], p.Idx)
+			}
+			lay.idx[lvl] = vals
+			prevLen = length[lvl]
+		}
+		dataLen = length[p.Indir-1]
+	}
+	lay.data = make([]int64, dataLen)
+	for i := range lay.data {
+		lay.data[i] = signExt(int64(r.Next()), p.Elem)
+	}
+
+	if p.Body == BodyStore {
+		lay.outN = domain
+		if p.Shape == ShapeNested {
+			lay.outN = p.Rows * p.Cols
+		}
+	}
+	return lay
+}
+
+func buildChaseLayout(p Params, r *Rand, lay *layout) {
+	lay.n = p.Rows
+	lay.nb = pow2Sizes[r.Intn(int64(len(pow2Sizes)))]
+
+	// Build acyclic bucket chains: node 0 is the null sentinel, nodes
+	// are handed out sequentially, and each chain links strictly
+	// forward to earlier-allocated nodes, so walks always terminate.
+	lay.heads = make([]int64, lay.nb)
+	lay.next = []int64{0}
+	lay.vals = []int64{0}
+	for b := int64(0); b < lay.nb; b++ {
+		chain := r.Intn(int64(p.Indir) + 1)
+		prev := int64(0)
+		for c := int64(0); c < chain; c++ {
+			id := int64(len(lay.next))
+			lay.next = append(lay.next, prev)
+			lay.vals = append(lay.vals, int64(r.Next()))
+			prev = id
+		}
+		lay.heads[b] = prev
+	}
+
+	lay.keys = make([]int64, p.Rows)
+	for i := range lay.keys {
+		if p.Hash {
+			lay.keys[i] = r.Intn(1 << 20)
+		} else {
+			lay.keys[i] = r.Intn(lay.nb)
+		}
+	}
+}
+
+// hashValue mirrors the hash instruction sequence the builder emits:
+// v*hashMul, optional xor/add decorations, then the power-of-two mask.
+func (k *Kernel) hashValue(v, modLen int64) int64 {
+	v = v * hashMul
+	if k.P.Extra >= 1 {
+		v ^= k.lay.hashXor
+	}
+	if k.P.Extra >= 2 {
+		v += k.lay.hashAdd
+	}
+	return v & (modLen - 1)
+}
+
+// Mix is the order-sensitive checksum accumulator shared by the
+// reference models, Kernel.Exec and the workload generators
+// (workloads.Checksum delegates here, so there is exactly one
+// definition of the project's checksum mix).
+func Mix(acc, v int64) int64 {
+	return acc*1099511628211 + v ^ (acc >> 32)
+}
+
+// reference executes the pure-Go model of the kernel and returns the
+// checksum Exec must reproduce.
+func (k *Kernel) reference() int64 {
+	p, lay := k.P, &k.lay
+	if p.Shape == ShapeChase {
+		acc := int64(0)
+		for i := int64(0); i < p.Rows; i++ {
+			h := lay.keys[i]
+			if p.Hash {
+				h = k.hashValue(h, lay.nb)
+			}
+			for n := lay.heads[h]; n != 0; n = lay.next[n] {
+				acc += lay.vals[n]
+			}
+		}
+		return Mix(0, acc)
+	}
+
+	var out []int64
+	if p.Body == BodyStore {
+		out = make([]int64, lay.outN)
+	}
+	acc := int64(0)
+	inner := func(iv, flat int64) {
+		cur := iv
+		for lvl := 0; lvl < p.Indir; lvl++ {
+			v := lay.idx[lvl][cur]
+			if p.Hash {
+				nextLen := int64(len(lay.data))
+				if lvl+1 < p.Indir {
+					nextLen = int64(len(lay.idx[lvl+1]))
+				}
+				v = k.hashValue(v, nextLen)
+			}
+			cur = v
+		}
+		dv := lay.data[cur]
+		if p.Body == BodyReduce {
+			acc += dv ^ iv
+		} else {
+			out[flat] = signExt(dv, p.Elem)
+		}
+	}
+	if p.Shape == ShapeFlat {
+		for i := int64(0); i < lay.n; i += p.Stride {
+			inner(i, i)
+		}
+	} else {
+		for i := int64(0); i < p.Rows; i++ {
+			for j := int64(0); j < p.Cols; j += p.Stride {
+				inner(j, i*p.Cols+j)
+			}
+		}
+	}
+	ret := acc
+	if p.Body == BodyStore {
+		ret = 0
+	}
+	c := Mix(0, ret)
+	for _, v := range out {
+		c = Mix(c, v)
+	}
+	return c
+}
+
+// Build constructs a fresh module for the kernel. Every call returns
+// an independent copy, so callers (the pass mutates modules in place)
+// can transform one build without affecting the next.
+func (k *Kernel) Build() *ir.Module {
+	if k.P.Shape == ShapeChase {
+		return ir.MustParse(k.chaseSource())
+	}
+	return k.buildLoopKernel()
+}
+
+// emitHash appends the hash instruction sequence for a loaded value.
+func (k *Kernel) emitHash(b *ir.Builder, v ir.Value, modLen int64) ir.Value {
+	h := ir.Value(b.Mul(v, ir.ConstInt(hashMul)))
+	if k.P.Extra >= 1 {
+		h = b.Xor(h, ir.ConstInt(k.lay.hashXor))
+	}
+	if k.P.Extra >= 2 {
+		h = b.Add(h, ir.ConstInt(k.lay.hashAdd))
+	}
+	return b.And(h, ir.ConstInt(modLen-1))
+}
+
+// emitChain emits the index-load chain for one iteration value and
+// returns the loaded data value.
+func (k *Kernel) emitChain(b *ir.Builder, f *ir.Function, iv ir.Value) ir.Value {
+	p, lay := k.P, &k.lay
+	cur := iv
+	for lvl := 0; lvl < p.Indir; lvl++ {
+		arr := f.Param(fmt.Sprintf("idx%d", lvl))
+		v := ir.Value(b.Load(p.Idx, b.GEP(arr, cur, p.Idx.Size())))
+		if p.Hash {
+			nextLen := int64(len(lay.data))
+			if lvl+1 < p.Indir {
+				nextLen = int64(len(lay.idx[lvl+1]))
+			}
+			v = k.emitHash(b, v, nextLen)
+		}
+		cur = v
+	}
+	return b.Load(p.Elem, b.GEP(f.Param("data"), cur, p.Elem.Size()))
+}
+
+// insertPhi places a new phi at the head of the loop header (the
+// builder API only appends, and the header already holds the
+// induction variable phi and its compare).
+func insertPhi(f *ir.Function, header *ir.Block, name string) *ir.Instr {
+	phi := &ir.Instr{Op: ir.OpPhi, Typ: ir.I64, Name: f.FreshName(name)}
+	header.InsertBefore(header.Instrs[0], phi)
+	return phi
+}
+
+// buildLoopKernel emits the flat and nested shapes with the builder.
+func (k *Kernel) buildLoopKernel() *ir.Module {
+	p, lay := k.P, &k.lay
+	m := ir.NewModule("gen")
+	var params []*ir.Param
+	for lvl := 0; lvl < p.Indir; lvl++ {
+		params = append(params, &ir.Param{Name: fmt.Sprintf("idx%d", lvl), Typ: ir.Ptr})
+	}
+	params = append(params, &ir.Param{Name: "data", Typ: ir.Ptr})
+	if p.Body == BodyStore {
+		params = append(params, &ir.Param{Name: "out", Typ: ir.Ptr})
+	}
+	params = append(params, &ir.Param{Name: "n", Typ: ir.I64})
+	f := m.NewFunc("kernel", ir.I64, params...)
+	b := ir.NewBuilder(f)
+	n := f.Param("n")
+
+	if p.Shape == ShapeFlat {
+		pre := b.Block()
+		loop := b.CountedLoop("L", ir.ConstInt(0), n, p.Stride)
+		var acc *ir.Instr
+		if p.Body == BodyReduce {
+			acc = insertPhi(f, loop.Header, "acc")
+			ir.AddIncoming(acc, pre, ir.ConstInt(0))
+		}
+		dv := k.emitChain(b, f, loop.IndVar)
+		if p.Body == BodyReduce {
+			t := b.Xor(dv, loop.IndVar)
+			next := b.Add(acc, t)
+			ir.AddIncoming(acc, loop.Latch, next)
+		} else {
+			b.Store(p.Elem, b.GEP(f.Param("out"), loop.IndVar, p.Elem.Size()), dv)
+		}
+		loop.Close()
+		if p.Body == BodyReduce {
+			b.Ret(acc)
+		} else {
+			b.Ret(ir.ConstInt(0))
+		}
+		f.Renumber()
+		return m
+	}
+
+	// Nested: outer rows x inner cols. The chain is indexed by the
+	// inner induction variable (clampable); the outer loop carries the
+	// accumulator and supplies the flat store index.
+	pre := b.Block()
+	outer := b.CountedLoop("R", ir.ConstInt(0), ir.ConstInt(p.Rows), 1)
+	var oacc *ir.Instr
+	if p.Body == BodyReduce {
+		oacc = insertPhi(f, outer.Header, "oacc")
+		ir.AddIncoming(oacc, pre, ir.ConstInt(0))
+	}
+	obody := b.Block()
+	inner := b.CountedLoop("C", ir.ConstInt(0), ir.ConstInt(lay.n), p.Stride)
+	var iacc *ir.Instr
+	if p.Body == BodyReduce {
+		iacc = insertPhi(f, inner.Header, "iacc")
+		ir.AddIncoming(iacc, obody, oacc)
+	}
+	dv := k.emitChain(b, f, inner.IndVar)
+	if p.Body == BodyReduce {
+		t := b.Xor(dv, inner.IndVar)
+		next := b.Add(iacc, t)
+		ir.AddIncoming(iacc, inner.Latch, next)
+	} else {
+		flat := b.Add(b.Mul(outer.IndVar, ir.ConstInt(p.Cols)), inner.IndVar)
+		b.Store(p.Elem, b.GEP(f.Param("out"), flat, p.Elem.Size()), dv)
+	}
+	inner.Close()
+	if p.Body == BodyReduce {
+		ir.AddIncoming(oacc, outer.Latch, iacc)
+	}
+	outer.Close()
+	if p.Body == BodyReduce {
+		b.Ret(oacc)
+	} else {
+		b.Ret(ir.ConstInt(0))
+	}
+	f.Renumber()
+	return m
+}
+
+// chaseSource renders the hash-bucket walk as IR text (exercising the
+// parser on every build) in the shape of the paper's hash join: outer
+// counted loop over keys, inner while-loop over the bucket chain.
+func (k *Kernel) chaseSource() string {
+	hash := "  %h = add %k, 0\n"
+	if k.P.Hash {
+		hash = fmt.Sprintf("  %%h1 = mul %%k, %d\n", int64(hashMul))
+		last := "%h1"
+		if k.P.Extra >= 1 {
+			hash += fmt.Sprintf("  %%h2 = xor %s, %d\n", last, k.lay.hashXor)
+			last = "%h2"
+		}
+		if k.P.Extra >= 2 {
+			hash += fmt.Sprintf("  %%h3 = add %s, %d\n", last, k.lay.hashAdd)
+			last = "%h3"
+		}
+		hash += fmt.Sprintf("  %%h = and %s, %d\n", last, k.lay.nb-1)
+	}
+	return fmt.Sprintf(`module gen
+
+func kernel(%%keys: ptr, %%heads: ptr, %%next: ptr, %%vals: ptr, %%n: i64) -> i64 {
+entry:
+  br oh
+oh:
+  %%i = phi i64 [entry: 0, olatch: %%i2]
+  %%acc = phi i64 [entry: 0, olatch: %%acc2]
+  %%oc = cmp lt %%i, %%n
+  cbr %%oc, obody, oexit
+obody:
+  %%ka = gep %%keys, %%i, 8
+  %%k = load i64, %%ka
+%s  %%ha = gep %%heads, %%h, 8
+  %%p0 = load i64, %%ha
+  br wh
+wh:
+  %%p = phi i64 [obody: %%p0, wbody: %%pn]
+  %%acc2 = phi i64 [obody: %%acc, wbody: %%acc4]
+  %%wc = cmp ne %%p, 0
+  cbr %%wc, wbody, olatch
+wbody:
+  %%va = gep %%vals, %%p, 8
+  %%v = load i64, %%va
+  %%acc4 = add %%acc2, %%v
+  %%na = gep %%next, %%p, 8
+  %%pn = load i64, %%na
+  br wh
+olatch:
+  %%i2 = add %%i, 1
+  br oh
+oexit:
+  ret %%acc
+}
+`, hash)
+}
+
+// Exec allocates and fills the kernel's arrays in the machine's
+// memory, runs the module's "kernel" function and returns the
+// checksum (Kernel.Want is the reference value). The machine must
+// have been built over a module from Build.
+func (k *Kernel) Exec(m *interp.Machine) (int64, error) {
+	p, lay := k.P, &k.lay
+
+	alloc := func(vals []int64, t ir.Type) (int64, error) {
+		base, err := m.Mem.Alloc(int64(len(vals)) * t.Size())
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Mem.WriteSlice(base, t, vals); err != nil {
+			return 0, err
+		}
+		return base, nil
+	}
+
+	if p.Shape == ShapeChase {
+		var bases [4]int64
+		for i, arr := range [][]int64{lay.keys, lay.heads, lay.next, lay.vals} {
+			b, err := alloc(arr, ir.I64)
+			if err != nil {
+				return 0, err
+			}
+			bases[i] = b
+		}
+		ret, err := m.Run("kernel", bases[0], bases[1], bases[2], bases[3], lay.n)
+		if err != nil {
+			return 0, err
+		}
+		return Mix(0, ret), nil
+	}
+
+	var args []int64
+	for lvl := 0; lvl < p.Indir; lvl++ {
+		b, err := alloc(lay.idx[lvl], p.Idx)
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, b)
+	}
+	dataBase, err := alloc(lay.data, p.Elem)
+	if err != nil {
+		return 0, err
+	}
+	args = append(args, dataBase)
+	var outBase int64
+	if p.Body == BodyStore {
+		outBase, err = m.Mem.Alloc(lay.outN * p.Elem.Size())
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, outBase)
+	}
+	args = append(args, lay.n)
+
+	ret, err := m.Run("kernel", args...)
+	if err != nil {
+		return 0, err
+	}
+	c := Mix(0, ret)
+	if p.Body == BodyStore {
+		out, err := m.Mem.ReadSlice(outBase, p.Elem, lay.outN)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range out {
+			c = Mix(c, v)
+		}
+	}
+	return c, nil
+}
+
+// Family draws up to maxDraws random parameter vectors from the seed
+// and returns the first n distinct kernels (distinct canonical
+// parameter strings). It panics if the space is too small for n,
+// which cannot happen for the sizes tests use.
+func Family(seed uint64, n int) []*Kernel {
+	r := NewRand(seed)
+	seen := make(map[string]bool, n)
+	out := make([]*Kernel, 0, n)
+	for draws := 0; len(out) < n; draws++ {
+		if draws > 50*n {
+			panic(fmt.Sprintf("gen: could not draw %d distinct kernels", n))
+		}
+		p := Random(r)
+		c := p.Canonical()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, Generate(p))
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package gen
+
+import "repro/internal/ir"
+
+// Minimize shrinks a failing parameter vector: starting from p, it
+// repeatedly applies the first single-step reduction (simpler shape,
+// one less indirection level, half the trip count, ...) under which
+// o.Check still reports a failure, until no step keeps failing. It
+// returns the minimized parameters and the failure observed on them,
+// or (p, nil) when p does not fail in the first place.
+//
+// The failure on the shrunk kernel need not be the same failure as on
+// the original — classic fuzz-minimization semantics: any surviving
+// violation is a smaller reproduction of a real bug.
+func (o *Oracle) Minimize(p Params) (Params, *Failure) {
+	p = p.Normalize()
+	fail := o.Check(Generate(p))
+	if fail == nil {
+		return p, nil
+	}
+	for {
+		shrunk := false
+		for _, cand := range shrinkSteps(p) {
+			if cand.Canonical() == p.Canonical() {
+				continue // the step was a no-op for this vector
+			}
+			if f := o.Check(Generate(cand)); f != nil {
+				p, fail = cand, f
+				shrunk = true
+				break // restart the step list from the smaller vector
+			}
+		}
+		if !shrunk {
+			return p, fail
+		}
+	}
+}
+
+// shrinkSteps returns candidate single-step reductions of p in
+// preference order: structural simplifications first (they delete the
+// most IR), then size halvings, then flag clearing. Every step is
+// monotone — it never grows any field — so Minimize terminates.
+func shrinkSteps(p Params) []Params {
+	step := func(mut func(*Params)) Params {
+		q := p
+		mut(&q)
+		return q.Normalize()
+	}
+	return []Params{
+		step(func(q *Params) { q.Shape = ShapeFlat }),
+		step(func(q *Params) { q.Indir-- }),
+		step(func(q *Params) { q.Rows /= 2 }),
+		step(func(q *Params) { q.Cols /= 2 }),
+		step(func(q *Params) { q.Stride = 1 }),
+		step(func(q *Params) { q.Extra-- }),
+		step(func(q *Params) { q.Hash = false }),
+		step(func(q *Params) { q.Body = BodyReduce }),
+		step(func(q *Params) { q.Elem = ir.I64 }),
+		step(func(q *Params) { q.Idx = ir.I64 }),
+		step(func(q *Params) { q.Seed = 1 }),
+	}
+}

@@ -4,6 +4,7 @@
 package interp
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -168,6 +169,27 @@ func (m *Memory) WriteSlice(base int64, t ir.Type, vals []int64) error {
 		}
 	}
 	return nil
+}
+
+// Snapshot returns a SHA-256 digest of the full address-space image:
+// every segment's base, length and contents, in allocation order. Two
+// runs that performed the same allocations and left behind the same
+// bytes produce equal snapshots, which is how the differential oracle
+// (internal/gen) asserts that the prefetch pass preserved the final
+// memory image — prefetches must never change architectural state.
+func (m *Memory) Snapshot() [sha256.Size]byte {
+	h := sha256.New()
+	var hdr [16]byte
+	for i := range m.segs {
+		s := &m.segs[i]
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(s.base))
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(len(s.data)))
+		h.Write(hdr[:])
+		h.Write(s.data)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // ReadSlice reads n values of the element type starting at base.

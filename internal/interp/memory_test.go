@@ -155,3 +155,45 @@ func TestMemoryManyAllocationsSearchable(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotDetectsChanges: the address-space digest is stable for
+// identical histories, changes when any byte changes, and
+// distinguishes allocation layouts — the properties the differential
+// oracle (internal/gen) relies on to compare final memory images.
+func TestSnapshotDetectsChanges(t *testing.T) {
+	build := func() *Memory {
+		m := NewMemory()
+		a, _ := m.Alloc(64)
+		b, _ := m.Alloc(128)
+		m.Store(a+8, 42, ir.I64)
+		m.Store(b, -7, ir.I32)
+		return m
+	}
+	m1, m2 := build(), build()
+	if m1.Snapshot() != m2.Snapshot() {
+		t.Error("identical histories produce different snapshots")
+	}
+	base := m1.Snapshot()
+
+	if err := m2.Store(m2.segs[0].base+16, 1, ir.I8); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Snapshot() == base {
+		t.Error("snapshot unchanged after a one-byte store")
+	}
+
+	// A different allocation layout with the same total bytes differs.
+	m3 := NewMemory()
+	m3.Alloc(128)
+	m3.Alloc(64)
+	if m3.Snapshot() == base {
+		t.Error("snapshot ignores allocation layout")
+	}
+
+	// Peek must not perturb the image.
+	before := m1.Snapshot()
+	m1.Peek(m1.segs[0].base, 8)
+	if m1.Snapshot() != before {
+		t.Error("Peek changed the snapshot")
+	}
+}

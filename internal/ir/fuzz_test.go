@@ -1,0 +1,28 @@
+package ir
+
+import "testing"
+
+// FuzzParse is the native-fuzzing companion of TestParserNeverPanics:
+// arbitrary input must parse to a module or an error, never panic, and
+// anything that parses must survive a print -> reparse -> print round
+// trip (the stability the generated-kernel corpus files rely on; see
+// docs/testing.md).
+func FuzzParse(f *testing.F) {
+	f.Add(sumSrc)
+	f.Add("module m\n\nfunc f(%x: i64) -> i64 {\nentry:\n  ret %x\n}\n")
+	f.Add("module broken\nfunc (")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := m.String()
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, printed)
+		}
+		if again := m2.String(); again != printed {
+			t.Fatalf("print -> reparse -> print unstable:\n%s\nvs\n%s", printed, again)
+		}
+	})
+}

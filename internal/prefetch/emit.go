@@ -367,9 +367,22 @@ func (st *passState) emitPosition(ch *chain, l int, offIters int64) ([]*ir.Instr
 	//   bound = <per clamp plan>
 	//   iv'   = min(adv, bound)   (max for downward loops)
 	adv := fresh(ir.OpAdd, ir.I64, ch.iv, ir.ConstInt(offIters*ch.loop.Step))
+	// Fault injection for the differential harness: widen the clamp in
+	// the unsafe direction (see Options.TestClampSlack).
+	slack := st.opts.TestClampSlack
+	if !ch.clamp.upward {
+		slack = -slack
+	}
 	bound := ch.clamp.bound
-	if bound == nil {
-		bound = fresh(ir.OpAdd, ir.I64, ch.clamp.boundBase, ir.ConstInt(ch.clamp.boundAdj))
+	switch {
+	case bound == nil:
+		bound = fresh(ir.OpAdd, ir.I64, ch.clamp.boundBase, ir.ConstInt(ch.clamp.boundAdj+slack))
+	case slack != 0:
+		if c, isConst := bound.(*ir.Const); isConst {
+			bound = ir.ConstInt(c.Val + slack)
+		} else {
+			bound = fresh(ir.OpAdd, ir.I64, bound, ir.ConstInt(slack))
+		}
 	}
 	var clamped *ir.Instr
 	if ch.clamp.upward {

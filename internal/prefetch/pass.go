@@ -70,6 +70,15 @@ type Options struct {
 	// so each dependent load's input was prefetched c/t iterations
 	// before it is needed.
 	FlatOffset bool
+	// TestClampSlack widens every emitted §4.2 clamp by this many
+	// iterations (upward loops clamp to bound+slack, downward loops to
+	// bound-slack). A nonzero value deliberately violates the
+	// fault-avoidance guarantee: duplicated intermediate loads read
+	// past their array. It exists as a fault-injection hook so the
+	// differential-fuzzing harness (internal/gen, cmd/swpffuzz) can
+	// prove it detects an unsafe transform; production entry points
+	// never set it.
+	TestClampSlack int64
 	// SplitLoops peels the final look-ahead iterations of simple
 	// prefetched loops into a clamp-free main loop plus an epilogue
 	// without prefetches — the bounds-check-hoisting trick §6.1 credits

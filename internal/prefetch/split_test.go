@@ -1,4 +1,4 @@
-package prefetch
+package prefetch_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -36,7 +37,7 @@ exit:
 
 func TestSplitLoopStructure(t *testing.T) {
 	m := ir.MustParse(splitKernel)
-	res := Run(m, Options{C: 64, SplitLoops: true})["f"]
+	res := prefetch.Run(m, prefetch.Options{C: 64, SplitLoops: true})["f"]
 	if err := m.Verify(); err != nil {
 		t.Fatalf("verify: %v\n%s", err, m.String())
 	}
@@ -85,9 +86,9 @@ func TestSplitLoopStructure(t *testing.T) {
 // point) and compares memory effects via the interpreter.
 func TestSplitSemantics(t *testing.T) {
 	for _, n := range []int64{0, 1, 5, 63, 64, 65, 100, 1000} {
-		run := func(opts Options) []int64 {
+		run := func(opts prefetch.Options) []int64 {
 			m := ir.MustParse(splitKernel)
-			Run(m, opts)
+			prefetch.Run(m, opts)
 			if err := m.Verify(); err != nil {
 				t.Fatalf("n=%d: verify: %v", n, err)
 			}
@@ -110,8 +111,8 @@ func TestSplitSemantics(t *testing.T) {
 			}
 			return out
 		}
-		plain := run(Options{C: 64})
-		split := run(Options{C: 64, SplitLoops: true})
+		plain := run(prefetch.Options{C: 64})
+		split := run(prefetch.Options{C: 64, SplitLoops: true})
 		for i := range plain {
 			if plain[i] != split[i] {
 				t.Fatalf("n=%d: bucket %d differs: %d vs %d", n, i, plain[i], split[i])
@@ -136,9 +137,9 @@ func TestSplitReducesInstructions(t *testing.T) {
 	}
 	w := workloads.IS(1<<14, 1<<17)
 	cfg := uarch.A53()
-	measure := func(opts Options) (float64, uint64) {
+	measure := func(opts prefetch.Options) (float64, uint64) {
 		inst := w.Plain()
-		Run(inst.Mod, opts)
+		prefetch.Run(inst.Mod, opts)
 		mach := interp.New(inst.Mod, cfg)
 		if err := inst.Run(mach); err != nil {
 			t.Fatal(err)
@@ -146,8 +147,8 @@ func TestSplitReducesInstructions(t *testing.T) {
 		st := mach.Stats()
 		return st.Cycles, st.Instructions
 	}
-	clampedCyc, clampedInstr := measure(Options{C: 64})
-	splitCyc, splitInstr := measure(Options{C: 64, SplitLoops: true})
+	clampedCyc, clampedInstr := measure(prefetch.Options{C: 64})
+	splitCyc, splitInstr := measure(prefetch.Options{C: 64, SplitLoops: true})
 	if splitInstr >= clampedInstr {
 		t.Errorf("split did not reduce instructions: %d vs %d", splitInstr, clampedInstr)
 	}
@@ -187,7 +188,7 @@ exit:
 }
 `
 	m := ir.MustParse(src)
-	Run(m, Options{C: 64, SplitLoops: true})
+	prefetch.Run(m, prefetch.Options{C: 64, SplitLoops: true})
 	if err := m.Verify(); err != nil {
 		t.Fatalf("verify: %v\n%s", err, m.String())
 	}
@@ -211,7 +212,7 @@ func TestSplitAllWorkloadsStayCorrect(t *testing.T) {
 	for _, w := range workloads.Tiny() {
 		t.Run(w.Name, func(t *testing.T) {
 			inst := w.Plain()
-			Run(inst.Mod, Options{C: 64, SplitLoops: true})
+			prefetch.Run(inst.Mod, prefetch.Options{C: 64, SplitLoops: true})
 			if err := inst.Mod.Verify(); err != nil {
 				t.Fatalf("verify: %v", err)
 			}

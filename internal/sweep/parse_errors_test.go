@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwpf"
+)
+
+// TestParseHWPrefetchersErrorPaths pins the failure mode for every
+// malformed hardware-prefetcher selector, matching the contract the
+// ParseVariants error-path tests establish: the error names the
+// offending token and lists every accepted model, and no partial
+// result leaks out.
+func TestParseHWPrefetchersErrorPaths(t *testing.T) {
+	for _, tc := range []struct {
+		in, wantTok string
+	}{
+		{"bogus", `"bogus"`},                 // unknown name
+		{"stride,bogus,imp", `"bogus"`},      // unknown amid valid names
+		{"stride,,imp", `""`},                // empty element
+		{"Stride", `"Stride"`},               // case-sensitive
+		{"stride imp", `"stride imp"`},       // wrong separator
+		{"default,next-line", `"next-line"`}, // near-miss spelling
+	} {
+		hws, err := ParseHWPrefetchers(tc.in)
+		if err == nil {
+			t.Errorf("ParseHWPrefetchers(%q) accepted: %v", tc.in, hws)
+			continue
+		}
+		if hws != nil {
+			t.Errorf("ParseHWPrefetchers(%q) returned partial result %v with error", tc.in, hws)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown hardware prefetcher") || !strings.Contains(msg, tc.wantTok) {
+			t.Errorf("ParseHWPrefetchers(%q) error %q does not name token %s", tc.in, msg, tc.wantTok)
+		}
+		for _, model := range HWPrefetchers() {
+			if !strings.Contains(msg, model) {
+				t.Errorf("ParseHWPrefetchers(%q) error %q does not list model %q", tc.in, msg, model)
+			}
+		}
+	}
+
+	// Whitespace-only input is the documented default, not an error.
+	if hws, err := ParseHWPrefetchers("  \t "); err != nil || len(hws) != 1 || hws[0] != HWPrefetcherDefault {
+		t.Errorf("whitespace input = %v, %v, want the default axis", hws, err)
+	}
+
+	// Every registered model (and "default") parses back, alone and in
+	// one combined list, preserving order and duplicates.
+	all := strings.Join(HWPrefetchers(), ",")
+	hws, err := ParseHWPrefetchers(all + "," + hwpf.NameStride)
+	if err != nil {
+		t.Fatalf("full axis list rejected: %v", err)
+	}
+	if len(hws) != len(HWPrefetchers())+1 || hws[len(hws)-1] != hwpf.NameStride {
+		t.Errorf("full axis list mangled: %v", hws)
+	}
+}

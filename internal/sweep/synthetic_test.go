@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// TestSyntheticWorkloadsSweep runs a grid of generated kernels
+// (workloads.Synthetic) through the engine across every variant and
+// requires byte-identical CSV output on 1 and 8 workers — generated
+// scenarios are first-class sweep citizens with the same determinism
+// contract as the paper's benchmarks.
+func TestSyntheticWorkloadsSweep(t *testing.T) {
+	grid := Grid{
+		Workloads: workloads.Synthetic(1, 4),
+		Systems:   []*sim.Config{uarch.A53()},
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto, core.VariantIndirectOnly},
+		Options:   core.Options{C: 16},
+	}
+	serial, err := grid.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := grid.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("synthetic sweep differs across jobs 1/8:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if n := len(serial.Outcomes); n != 4*3 {
+		t.Errorf("expected 12 cells, got %d", n)
+	}
+
+	// SelectWorkloads treats the generated pool like any other: prefix
+	// selection works, unknown names fail with the pool listed.
+	pool := workloads.Synthetic(1, 4)
+	sel, err := SelectWorkloads(pool, "GEN")
+	if err != nil || len(sel) != 4 {
+		t.Errorf("prefix selection over synthetic pool: %v, %v", sel, err)
+	}
+	if _, err := SelectWorkloads(pool, "GEN-99"); err == nil {
+		t.Error("unknown synthetic workload accepted")
+	}
+}

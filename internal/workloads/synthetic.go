@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Synthetic wraps n generated kernels (internal/gen, drawn from the
+// given seed) as first-class workloads: they sweep, cache and plot
+// exactly like the paper's benchmarks. Params carries the kernel's
+// full canonical parameter vector — seed included — so internal/store
+// cache keys distinguish every generated scenario, the same contract
+// the hand-written constructors follow.
+//
+// Generated kernels have no hand-tuned prefetch placement, so the
+// manual variant falls back to the plain kernel: speedup(manual) is
+// exactly 1 by construction. The interesting variants are plain vs
+// auto/icc/indirect-only, which is what the generator exists to
+// exercise.
+func Synthetic(seed uint64, n int) []*Workload {
+	kernels := gen.Family(seed, n)
+	out := make([]*Workload, len(kernels))
+	for i, k := range kernels {
+		out[i] = &Workload{
+			Name:   fmt.Sprintf("GEN-%02d", i),
+			Params: k.P.Canonical(),
+			build:  func(Variant, int64, int) *ir.Module { return k.Build() },
+			exec:   func(m *interp.Machine) (int64, error) { return k.Exec(m) },
+			want:   k.Want,
+		}
+	}
+	return out
+}
+
+// SyntheticDefaultSeed and SyntheticDefaultCount parameterize the
+// generated pool the CLI surfaces expose (swpfbench -gen, swpfd
+// quality=gen).
+const (
+	SyntheticDefaultSeed  = 1
+	SyntheticDefaultCount = 16
+)
+
+// SyntheticDefault returns the default generated workload pool.
+func SyntheticDefault() []*Workload {
+	return Synthetic(SyntheticDefaultSeed, SyntheticDefaultCount)
+}

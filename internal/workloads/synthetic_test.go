@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSyntheticDistinctAndStable: the generated pool is deterministic
+// and every workload carries a distinct store-key parameter string.
+func TestSyntheticDistinctAndStable(t *testing.T) {
+	a, b := Synthetic(1, 8), Synthetic(1, 8)
+	if len(a) != 8 {
+		t.Fatalf("Synthetic(1, 8) returned %d workloads", len(a))
+	}
+	params := map[string]bool{}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Params != b[i].Params || a[i].want != b[i].want {
+			t.Errorf("pool draw unstable at %d: %s vs %s", i, a[i].Params, b[i].Params)
+		}
+		if params[a[i].Params] {
+			t.Errorf("duplicate params (store-key collision): %s", a[i].Params)
+		}
+		params[a[i].Params] = true
+		if !strings.Contains(a[i].Params, "seed=") || !strings.Contains(a[i].Params, "shape=") {
+			t.Errorf("params %q missing the canonical fields", a[i].Params)
+		}
+	}
+}
+
+// TestSyntheticInstancesRun: plain and manual instances of every
+// generated workload execute and reproduce the reference checksum
+// (manual is documented to fall back to plain).
+func TestSyntheticInstancesRun(t *testing.T) {
+	for _, w := range Synthetic(1, 6) {
+		runInstance(t, w.Plain())
+		runInstance(t, w.Manual(64, 0))
+	}
+}

@@ -20,6 +20,7 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/gen"
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -109,32 +110,24 @@ func (w *Workload) Manual(c int64, depth int) *Instance {
 }
 
 // Checksum is the accumulation step shared by the workload references:
-// a simple order-independent mix.
+// a simple order-independent mix. It delegates to gen.Mix so the
+// project has exactly one definition of the checksum accumulator (the
+// generated-kernel reference models use the same one).
 func Checksum(acc, v int64) int64 {
-	return acc*1099511628211 + v ^ (acc >> 32)
+	return gen.Mix(acc, v)
 }
 
-// rng is a small deterministic generator (SplitMix64), used instead of
-// math/rand so that workload inputs are stable across Go versions.
-type rng struct{ state uint64 }
+// rng adapts gen.Rand (SplitMix64, stable across Go versions) to the
+// lowercase call sites the workload generators have always used; the
+// bit stream is owned by gen so the two packages cannot drift apart.
+type rng struct{ r *gen.Rand }
 
-func newRNG(seed uint64) *rng { return &rng{state: seed} }
+func newRNG(seed uint64) *rng { return &rng{r: gen.NewRand(seed)} }
 
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+func (r *rng) next() uint64 { return r.r.Next() }
 
 // intn returns a uniform value in [0, n).
-func (r *rng) intn(n int64) int64 {
-	if n <= 0 {
-		panic("workloads: intn of non-positive bound")
-	}
-	return int64(r.next() % uint64(n))
-}
+func (r *rng) intn(n int64) int64 { return r.r.Intn(n) }
 
 // hashMul is the multiplicative hash constant the kernels use; odd, so
 // it is invertible modulo any power of two, letting the generators
