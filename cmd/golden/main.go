@@ -23,6 +23,14 @@
 // content-addressed cache of internal/store, so repeated dumps cost
 // one disk read per cell; dumps are byte-identical either way. Use
 // -no-store to force fresh simulation.
+//
+// -exec replay dumps through the record/replay split (internal/trace):
+// each (workload, variant) is interpreted once and the trace retimed
+// on every machine x hwpf cell. The dump is byte-identical to the
+// default -exec direct — the record format deliberately carries no
+// mode field — so diffing a replay dump against a direct one is the
+// whole-pipeline equivalence check for the trace subsystem (CI's
+// nightly job does exactly that, at jobs 1 and 8).
 package main
 
 import (
@@ -91,6 +99,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		jobs = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 		tiny = fs.Bool("tiny", false, "tiny workload sizes (fast smoke dump)")
 		hwpf = fs.String("hwpf", "", "hardware-prefetcher axis: comma-separated models among default,none,stride,nextline,ghb,imp (default: default)")
+		exec = fs.String("exec", "", "execution mode: direct (interpret every cell) or replay (record each workload/variant once, retime everywhere); dumps are byte-identical either way")
 	)
 	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
@@ -105,12 +114,17 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mode, err := core.ParseExecMode(*exec)
+	if err != nil {
+		return err
+	}
 	grid := sweep.Grid{
 		Workloads:     matrix(*tiny),
 		Systems:       systems,
 		HWPrefetchers: hws,
 		Variants:      sweep.Variants(),
 		Options:       core.Options{Hoist: true},
+		Execs:         []core.ExecMode{mode},
 	}
 	runner := sweep.Runner{Jobs: *jobs}
 	if st, err := resolveStore(); err != nil {

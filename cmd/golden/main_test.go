@@ -97,4 +97,66 @@ func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag accepted")
 	}
+	if err := run([]string{"-exec", "jit"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown exec mode accepted")
+	}
+}
+
+// TestReplayDumpBitIdentical is the tentpole acceptance check at the
+// command level: a full tiny-matrix replay dump must be byte-for-byte
+// identical to the direct dump, serial and parallel alike. The record
+// format carries no mode field, so any statistics divergence — however
+// small — shows up as a diff.
+func TestReplayDumpBitIdentical(t *testing.T) {
+	var direct, replay1, replay8 bytes.Buffer
+	if err := run([]string{"-tiny", "-jobs", "4"}, &direct, &bytes.Buffer{}); err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if err := run([]string{"-tiny", "-exec", "replay", "-jobs", "1"}, &replay1, &bytes.Buffer{}); err != nil {
+		t.Fatalf("replay -jobs 1: %v", err)
+	}
+	if err := run([]string{"-tiny", "-exec", "replay", "-jobs", "8"}, &replay8, &bytes.Buffer{}); err != nil {
+		t.Fatalf("replay -jobs 8: %v", err)
+	}
+	if !bytes.Equal(direct.Bytes(), replay1.Bytes()) {
+		t.Error("replay dump (-jobs 1) differs from direct dump")
+	}
+	if !bytes.Equal(direct.Bytes(), replay8.Bytes()) {
+		t.Error("replay dump (-jobs 8) differs from direct dump")
+	}
+}
+
+// TestReplayDumpStoreModes: the replay path composed with the store —
+// cold (records and persists traces), warm-from-direct (result keys
+// ignore the mode, so a direct-warmed store answers every replay cell),
+// and warm-traces-cold-results — all byte-identical to the uncached
+// direct dump.
+func TestReplayDumpStoreModes(t *testing.T) {
+	dir := t.TempDir()
+	var plain, cold, warm bytes.Buffer
+	if err := run([]string{"-tiny", "-no-store"}, &plain, &bytes.Buffer{}); err != nil {
+		t.Fatalf("no store: %v", err)
+	}
+	if err := run([]string{"-tiny", "-exec", "replay", "-store", dir}, &cold, &bytes.Buffer{}); err != nil {
+		t.Fatalf("cold store: %v", err)
+	}
+	if err := run([]string{"-tiny", "-exec", "replay", "-store", dir}, &warm, &bytes.Buffer{}); err != nil {
+		t.Fatalf("warm store: %v", err)
+	}
+	if !bytes.Equal(plain.Bytes(), cold.Bytes()) {
+		t.Error("cold-store replay dump differs from uncached direct dump")
+	}
+	if !bytes.Equal(plain.Bytes(), warm.Bytes()) {
+		t.Error("warm-store replay dump differs from uncached direct dump")
+	}
+
+	// A direct dump over the replay-warmed store: served entirely from
+	// the shared result key space, still identical.
+	var direct bytes.Buffer
+	if err := run([]string{"-tiny", "-store", dir}, &direct, &bytes.Buffer{}); err != nil {
+		t.Fatalf("direct over warm store: %v", err)
+	}
+	if !bytes.Equal(plain.Bytes(), direct.Bytes()) {
+		t.Error("direct dump over a replay-warmed store differs")
+	}
 }

@@ -21,6 +21,16 @@
 //	swpfbench -sweep -hwpf none,stride,imp -variants plain,auto
 //	swpfbench -sweep -quick -variants plain,manual -c 16 -json
 //	swpfbench -sweep -gen 8 -workloads GEN -variants plain,auto
+//	swpfbench -sweep -exec replay -systems Haswell,A53  # record once, retime per machine
+//
+// -exec replay routes the grid through the record/replay split
+// (internal/trace): each (workload, variant) is interpreted once and
+// the trace retimed on every machine x hwpf cell, with statistics
+// byte-identical to direct execution (the exec CSV column records the
+// mode). -trace FILE skips simulation of the repo's own kernels
+// entirely and retimes an externally captured address trace (one
+// "pc addr size kind" line per access; docs/trace.md has the grammar)
+// across the selected -systems and -hwpf axes.
 //
 // -gen N adds N randomly generated kernels (internal/gen, seeded by
 // -gen-seed) to the selectable pool — the open-ended scenario family
@@ -33,17 +43,22 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hwpf"
+	"repro/internal/interp"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/uarch"
 	wkl "repro/internal/workloads"
 )
@@ -85,6 +100,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		hwpfAxis  = fs.String("hwpf", "", "sweep: comma-separated hardware prefetchers among default,none,stride,nextline,ghb,imp (default: default)")
 		genN      = fs.Int("gen", 0, "sweep: add N generated kernels (internal/gen) to the selectable workload pool as GEN-00..")
 		genSeed   = fs.Uint64("gen-seed", wkl.SyntheticDefaultSeed, "sweep: generator seed for -gen kernels")
+		execAxis  = fs.String("exec", "", "sweep: comma-separated execution modes among direct,replay (default: direct); replay interprets each workload/variant once and retimes it on every machine")
+		traceFile = fs.String("trace", "", "replay an imported text trace (one \"pc addr size kind\" access per line; see docs/trace.md) across -systems x -hwpf, then exit")
 		c         = fs.Int64("c", 0, "sweep: look-ahead constant (0 = the paper's 64)")
 		depth     = fs.Int("depth", 0, "sweep: stagger depth limit (0 = unlimited)")
 		hoist     = fs.Bool("hoist", false, "sweep: enable loop hoisting in the automatic pass")
@@ -105,6 +122,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 
 	if *list {
 		return writeAxes(stdout, q)
+	}
+
+	if *traceFile != "" {
+		return replayImported(*traceFile, *systems, *hwpfAxis, *jsonOut, stdout)
 	}
 
 	var cache sweep.Cache
@@ -140,12 +161,17 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		es, err := sweep.ParseExecModes(*execAxis)
+		if err != nil {
+			return err
+		}
 		grid := sweep.Grid{
 			Workloads:     ws,
 			Systems:       cfgs,
 			HWPrefetchers: hws,
 			Variants:      vs,
 			Options:       core.Options{C: *c, Depth: *depth, Hoist: *hoist},
+			Execs:         es,
 		}
 		set, err := grid.RunWith(sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError})
 		if err != nil {
@@ -238,6 +264,98 @@ func writeAxes(w io.Writer, q bench.Quality) error {
 	fmt.Fprintf(w, "  %-12s keep each system's own model\n", sweep.HWPrefetcherDefault+":")
 	for _, name := range hwpf.Names() {
 		fmt.Fprintf(w, "  %-12s %s\n", name+":", hwpf.Describe(name))
+	}
+	fmt.Fprintln(w, "execution modes (-exec):")
+	fmt.Fprintf(w, "  %-12s interpret every cell\n", string(core.ExecDirect)+":")
+	fmt.Fprintf(w, "  %-12s record each workload/variant once, retime everywhere (identical statistics)\n", string(core.ExecReplay)+":")
+	return nil
+}
+
+// replayImported parses an external text trace (trace.ParseText) and
+// retimes it on every selected system x hardware-prefetcher cell,
+// emitting one record per cell. The trace decodes to one shared image,
+// so the import is paid once regardless of the cell count.
+func replayImported(path, systems, hwpfAxis string, jsonOut bool, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	t, err := trace.ParseText(f, name)
+	if err != nil {
+		return err
+	}
+	im, err := interp.NewImage(t)
+	if err != nil {
+		return err
+	}
+	cfgs, err := sweep.ParseSystems(systems)
+	if err != nil {
+		return err
+	}
+	hws, err := sweep.ParseHWPrefetchers(hwpfAxis)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		Workload        string
+		System          string
+		HWPF            string
+		Cycles          float64
+		Instructions    uint64
+		Loads           uint64
+		Stores          uint64
+		SWPrefetches    uint64
+		L1Hits          uint64
+		L1Misses        uint64
+		DRAMAccesses    uint64
+		HWPrefetches    uint64
+		TLBWalks        uint64
+		LoadStallCycles float64
+	}
+	var rows []row
+	cx := core.NewContext()
+	for _, cfg := range cfgs {
+		for _, hw := range hws {
+			sys := cfg
+			if hw != sweep.HWPrefetcherDefault {
+				sys = uarch.WithHWPrefetcher(cfg, hw)
+			}
+			res, err := cx.ReplayImage(im, sys)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{
+				Workload:        res.Workload,
+				System:          res.System,
+				HWPF:            sys.HWPrefetcherName(),
+				Cycles:          res.Cycles,
+				Instructions:    res.Stats.Instructions,
+				Loads:           res.Stats.Loads,
+				Stores:          res.Stats.Stores,
+				SWPrefetches:    res.Stats.Prefetches,
+				L1Hits:          res.L1Hits,
+				L1Misses:        res.L1Misses,
+				DRAMAccesses:    res.DRAMAccesses,
+				HWPrefetches:    res.HWPrefetches,
+				TLBWalks:        res.TLBWalks,
+				LoadStallCycles: res.LoadStallCycles,
+			})
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(rows)
+	}
+	fmt.Fprintln(stdout, "workload,system,hwpf,cycles,instructions,loads,stores,sw_prefetches,l1_hits,l1_misses,dram_accesses,hw_prefetches,tlb_walks,load_stall_cycles")
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%s,%s,%s,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v\n",
+			r.Workload, r.System, r.HWPF, r.Cycles, r.Instructions, r.Loads, r.Stores,
+			r.SWPrefetches, r.L1Hits, r.L1Misses, r.DRAMAccesses, r.HWPrefetches,
+			r.TLBWalks, r.LoadStallCycles)
 	}
 	return nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -22,7 +25,7 @@ func TestSweepModeCSVAndJSON(t *testing.T) {
 	if !strings.HasPrefix(csv, "workload,system,variant") {
 		t.Errorf("sweep CSV header missing:\n%s", csv)
 	}
-	if !strings.Contains(csv, "IS,A53,manual,stride,16") {
+	if !strings.Contains(csv, "IS,A53,manual,stride,direct,16") {
 		t.Errorf("sweep CSV row missing:\n%s", csv)
 	}
 
@@ -82,6 +85,7 @@ func TestListEnumeratesAxes(t *testing.T) {
 		"plain", "auto", "manual", "icc", "indirect-only",
 		"default", "none", "stride", "nextline", "ghb", "imp",
 		"nkeys=", // workload params are listed, not just names
+		"execution modes", "direct:", "replay:",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("-list output missing %q:\n%s", want, s)
@@ -121,5 +125,96 @@ func TestSweepGeneratedKernels(t *testing.T) {
 	// Without -gen the names are unknown.
 	if err := run([]string{"-sweep", "-quick", "-workloads", "GEN"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("GEN workloads selectable without -gen")
+	}
+}
+
+// TestSweepExecReplay: a -exec replay sweep emits the same statistics
+// as the direct sweep — the rows differ only in the exec column — and
+// unknown modes are rejected.
+func TestSweepExecReplay(t *testing.T) {
+	args := []string{"-sweep", "-quick", "-workloads", "IS", "-systems", "Haswell,A53",
+		"-variants", "plain,auto", "-c", "16"}
+	var direct, replay bytes.Buffer
+	if err := run(args, &direct, &bytes.Buffer{}); err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if err := run(append(args, "-exec", "replay"), &replay, &bytes.Buffer{}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	normalized := strings.ReplaceAll(replay.String(), ",replay,", ",direct,")
+	if normalized != direct.String() {
+		t.Errorf("replay sweep differs from direct beyond the exec column:\n%s\nvs\n%s",
+			replay.String(), direct.String())
+	}
+	if !strings.Contains(replay.String(), ",replay,") {
+		t.Error("replay sweep rows not labelled replay")
+	}
+
+	if err := run(append(args, "-exec", "jit"), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown exec mode accepted")
+	}
+}
+
+// TestTraceImportReplay: -trace retimes an external text trace across
+// the selected axes; the import grammar is pc addr size kind.
+func TestTraceImportReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "capture.trace")
+	var sb strings.Builder
+	sb.WriteString("# synthetic capture: strided loads with a store and a prefetch\n")
+	for i := 0; i < 256; i++ {
+		fmt.Fprintf(&sb, "1 %d 8 L\n", 4096+64*i)
+		if i%16 == 0 {
+			fmt.Fprintf(&sb, "2 0x%x 8 S\n", 1<<20+8*i)
+			fmt.Fprintf(&sb, "3 %d 8 P\n", 4096+64*(i+16))
+		}
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-systems", "Haswell,A53", "-hwpf", "default,none"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-trace: %v", err)
+	}
+	csv := out.String()
+	if !strings.HasPrefix(csv, "workload,system,hwpf,cycles") {
+		t.Errorf("trace replay header missing:\n%s", csv)
+	}
+	for _, want := range []string{"capture,Haswell,stride,", "capture,Haswell,none,", "capture,A53,none,"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("trace replay missing row %q:\n%s", want, csv)
+		}
+	}
+	if strings.Count(csv, "\n") != 5 { // header + 2 systems x 2 models
+		t.Errorf("expected 4 rows:\n%s", csv)
+	}
+
+	// JSON emission and determinism.
+	var j1, j2 bytes.Buffer
+	if err := run([]string{"-trace", path, "-systems", "A53", "-json"}, &j1, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-trace -json: %v", err)
+	}
+	if err := run([]string{"-trace", path, "-systems", "A53", "-json"}, &j2, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-trace -json rerun: %v", err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Error("trace replay is not deterministic")
+	}
+	if !strings.Contains(j1.String(), "\"Workload\": \"capture\"") {
+		t.Errorf("trace replay JSON malformed:\n%s", j1.String())
+	}
+
+	// Failure modes: missing file, bad grammar.
+	if err := run([]string{"-trace", filepath.Join(dir, "absent")}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("1 2 3 X\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", bad}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "bad kind") {
+		t.Errorf("bad trace grammar error = %v", err)
 	}
 }

@@ -16,8 +16,8 @@
 //	GET  /meta[?quality=full|quick|tiny|gen]
 //	                   enumerate every grid axis — workloads (per
 //	                   quality), systems, variants, hardware
-//	                   prefetchers — so specs can be built without
-//	                   reading source
+//	                   prefetchers, execution modes — so specs can be
+//	                   built without reading source
 //
 // Jobs run FIFO on a single executor (states queued → running →
 // done/failed): one sweep already saturates the machine with its
@@ -104,7 +104,13 @@ type SweepSpec struct {
 	// HWPF is the hardware-prefetcher axis: comma-separated models
 	// among default,none,stride,nextline,ghb,imp ("" = default, each
 	// system's own model).
-	HWPF    string `json:"hwpf"`
+	HWPF string `json:"hwpf"`
+	// Exec is the execution-mode axis: comma-separated among
+	// direct,replay ("" = direct). Replay records each (workload,
+	// variant) once and retimes it per machine x hwpf cell; with a
+	// store attached, recorded traces persist and later jobs replay
+	// without re-interpreting. Statistics are identical either way.
+	Exec    string `json:"exec"`
 	C       int64  `json:"c"`
 	Depth   int    `json:"depth"`
 	Hoist   bool   `json:"hoist"`
@@ -159,12 +165,17 @@ func (sp SweepSpec) grid() (sweep.Grid, error) {
 	if err != nil {
 		return sweep.Grid{}, err
 	}
+	es, err := sweep.ParseExecModes(sp.Exec)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
 	return sweep.Grid{
 		Workloads:     ws,
 		Systems:       cfgs,
 		HWPrefetchers: hws,
 		Variants:      vs,
 		Options:       core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
+		Execs:         es,
 	}, nil
 }
 
@@ -290,6 +301,7 @@ type Meta struct {
 	Systems       []MetaSystem              `json:"systems"`
 	Variants      []string                  `json:"variants"`
 	HWPrefetchers []MetaModel               `json:"hwprefetchers"`
+	Execs         []string                  `json:"execs"`
 }
 
 // handleMeta enumerates the grid axes. ?quality restricts the workload
@@ -332,6 +344,9 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, name := range hwpf.Names() {
 		m.HWPrefetchers = append(m.HWPrefetchers, MetaModel{Name: name, Description: hwpf.Describe(name)})
+	}
+	for _, e := range sweep.ExecModes() {
+		m.Execs = append(m.Execs, string(e))
 	}
 	writeJSON(w, http.StatusOK, m)
 }

@@ -237,6 +237,9 @@ func TestMeta(t *testing.T) {
 			t.Errorf("model %s lacks a description", hw.Name)
 		}
 	}
+	if len(m.Execs) != 2 || m.Execs[0] != "direct" || m.Execs[1] != "replay" {
+		t.Errorf("meta execs wrong: %v", m.Execs)
+	}
 	if code, _ := fetch(t, ts, "/meta?quality=huge"); code != http.StatusBadRequest {
 		t.Errorf("bad quality = %d, want 400", code)
 	}
@@ -282,6 +285,79 @@ func TestSweepHWPFAxis(t *testing.T) {
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestSweepExecAxis: a replay job produces the same statistics as a
+// direct job (only the exec column differs), replay traces persist in
+// the shared store, and an unknown mode is a 400 at submission time.
+func TestSweepExecAxis(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(2, st))
+	defer ts.Close()
+
+	const base = `{"workloads":"IS","systems":"A53,Haswell","variants":"plain,auto","c":16,"quality":"tiny"`
+	directID, directCells := submit(t, ts, base+`}`)
+	if st := poll(t, ts, directID); st.State != stateDone {
+		t.Fatalf("direct job failed: %+v", st)
+	}
+	_, directCSV := fetch(t, ts, "/results?id="+directID+"&format=csv")
+
+	replayID, replayCells := submit(t, ts, base+`,"exec":"replay"}`)
+	if directCells != replayCells {
+		t.Fatalf("cell counts differ: %d direct vs %d replay", directCells, replayCells)
+	}
+	if st := poll(t, ts, replayID); st.State != stateDone {
+		t.Fatalf("replay job failed: %+v", st)
+	}
+	_, replayCSV := fetch(t, ts, "/results?id="+replayID+"&format=csv")
+
+	// Replay cells were served from the direct job's result entries
+	// (result keys ignore the mode) — the statistics are identical, and
+	// the exec column carries the requested mode of each cell.
+	warmNorm := strings.ReplaceAll(string(replayCSV), ",replay,", ",direct,")
+	if warmNorm != string(directCSV) {
+		t.Errorf("replay job served warm differs from direct job:\n%s\nvs\n%s", replayCSV, directCSV)
+	}
+	if !strings.Contains(string(replayCSV), ",replay,") {
+		t.Errorf("warm replay rows not labelled with the requested mode:\n%s", replayCSV)
+	}
+
+	// A replay job against a cold result space records traces; re-run
+	// with a fresh store to see the replay path itself.
+	st2, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(newServer(2, st2))
+	defer ts2.Close()
+	coldID, _ := submit(t, ts2, base+`,"exec":"replay"}`)
+	if st := poll(t, ts2, coldID); st.State != stateDone {
+		t.Fatalf("cold replay job failed: %+v", st)
+	}
+	_, coldCSV := fetch(t, ts2, "/results?id="+coldID+"&format=csv")
+	if stats := st2.Stats(); stats.TracePuts == 0 {
+		t.Error("cold replay job persisted no traces")
+	}
+	if !strings.Contains(string(coldCSV), ",replay,") {
+		t.Errorf("cold replay rows not labelled replay:\n%s", coldCSV)
+	}
+	normalized := strings.ReplaceAll(string(coldCSV), ",replay,", ",direct,")
+	if normalized != string(directCSV) {
+		t.Errorf("replay statistics differ from direct beyond the exec column:\n%s\nvs\n%s", coldCSV, directCSV)
+	}
+
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"exec":"jit","quality":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad exec spec = %d, want 400", resp.StatusCode)
 	}
 }
 

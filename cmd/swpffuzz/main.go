@@ -2,10 +2,14 @@
 // kernels (internal/gen): each drawn kernel is checked by the full
 // oracle — verifier acceptance, interpreter bit-identity with and
 // without the auto-prefetch pass at every look-ahead/depth/hoist
-// variant, and simulator statistics invariants across machines x
-// hardware-prefetcher models x parallel re-runs. The first violation
-// stops the campaign; with -minimize the failing parameter vector is
-// shrunk to a near-minimal reproduction first.
+// variant, simulator statistics invariants across machines x
+// hardware-prefetcher models x parallel re-runs, and record/replay
+// equivalence (each kernel is recorded once and the trace retimed on
+// every sim cell, which must reproduce the direct statistics
+// bit-for-bit). The first violation stops the campaign; with -minimize
+// the failing parameter vector is shrunk to a near-minimal
+// reproduction first. The campaign summary reports the per-phase check
+// breakdown (verify/interp/sim/replay).
 //
 //	swpffuzz -seeds 500 -budget 30s            # bounded campaign
 //	swpffuzz -seeds 40 -budget 60s             # CI smoke (deterministic)
@@ -118,9 +122,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		} else {
 			fmt.Fprint(stdout, report)
 		}
+		fmt.Fprintf(stdout, "swpffuzz: checks before failure: %s\n", o.Counts)
 		return fmt.Errorf("%w after %d clean kernels: %v", errFailure, checked, fail)
 	}
 	fmt.Fprintf(stdout, "swpffuzz: %d kernels checked, no failures (seed=%d)\n", checked, *seed)
+	fmt.Fprintf(stdout, "swpffuzz: %d checks: %s\n", o.Counts.Total(), o.Counts)
 	return nil
 }
 

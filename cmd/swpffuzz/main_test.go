@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,26 @@ func TestCleanCampaign(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "25 kernels checked, no failures") {
 		t.Errorf("missing summary line:\n%s", out.String())
+	}
+
+	// The per-phase breakdown: every phase did work, and the replay
+	// phase covered exactly as many cells as the direct sim phase ran
+	// serially (half the sim tally, which counts serial + parallel).
+	text := out.String()
+	i := strings.Index(text, "checks: ")
+	if i < 0 {
+		t.Fatalf("missing check breakdown:\n%s", text)
+	}
+	var c gen.Counts
+	if _, err := fmt.Sscanf(text[i:], "checks: verify=%d interp=%d sim=%d replay=%d",
+		&c.Verify, &c.Interp, &c.Sim, &c.Replay); err != nil {
+		t.Fatalf("unparseable breakdown %q: %v", strings.TrimSpace(text[i:]), err)
+	}
+	if c.Verify == 0 || c.Interp == 0 || c.Sim == 0 || c.Replay == 0 {
+		t.Errorf("a phase did no work: %s", c)
+	}
+	if c.Sim != 2*c.Replay {
+		t.Errorf("sim=%d is not twice replay=%d (serial+parallel vs one replay sweep)", c.Sim, c.Replay)
 	}
 }
 

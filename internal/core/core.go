@@ -156,9 +156,10 @@ func Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Options) (*Result,
 	return NewContext().Run(w, cfg, v, o)
 }
 
-// Run is the context-reusing counterpart of the package-level Run: the
-// simulator core for cfg is reset in place rather than rebuilt.
-func (cx *Context) Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Options) (*Result, error) {
+// instance builds the requested variant of the workload: the kernel
+// module (transformed for the pass variants) plus its execution driver.
+// Shared by the direct path (Run) and the recording path (Record).
+func instance(w *workloads.Workload, v Variant, o Options) (*workloads.Instance, *prefetch.Result, error) {
 	var inst *workloads.Instance
 	var passRes *prefetch.Result
 	switch v {
@@ -176,29 +177,22 @@ func (cx *Context) Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Opti
 			}
 		}
 		if err := inst.Mod.Verify(); err != nil {
-			return nil, fmt.Errorf("core: pass broke %s: %w", w.Name, err)
+			return nil, nil, fmt.Errorf("core: pass broke %s: %w", w.Name, err)
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown variant %q", v)
+		return nil, nil, fmt.Errorf("core: unknown variant %q", v)
 	}
+	return inst, passRes, nil
+}
 
-	mach := interp.NewOnCore(inst.Mod, cx.core(cfg))
-	mach.MaxInstrs = o.MaxInstrs
-	sum, err := inst.Exec(mach)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s/%s on %s: %w", w.Name, v, cfg.Name, err)
-	}
-	if sum != inst.Want {
-		return nil, fmt.Errorf("core: %s/%s on %s: checksum %d, want %d",
-			w.Name, v, cfg.Name, sum, inst.Want)
-	}
-
-	st := mach.Stats()
-	hier := mach.Core.Hierarchy()
+// assemble snapshots the post-run simulator state into a Result — the
+// one place the statistics a Result carries are defined, so the direct
+// and replay paths cannot drift apart.
+func assemble(workload, system string, v Variant, sum int64, st interp.Stats, hier *sim.Hierarchy, passRes *prefetch.Result) *Result {
 	l1 := hier.Caches()[0]
 	return &Result{
-		Workload: w.Name,
-		System:   cfg.Name,
+		Workload: workload,
+		System:   system,
 		Variant:  v,
 		Checksum: sum,
 		Cycles:   st.Cycles,
@@ -214,7 +208,28 @@ func (cx *Context) Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Opti
 		TLBWalks:           hier.TLBStats().Walks,
 		LoadStallCycles:    hier.LoadStallCycles,
 		PrefetchedUnusedL1: l1.PrefetchedUnused,
-	}, nil
+	}
+}
+
+// Run is the context-reusing counterpart of the package-level Run: the
+// simulator core for cfg is reset in place rather than rebuilt.
+func (cx *Context) Run(w *workloads.Workload, cfg *sim.Config, v Variant, o Options) (*Result, error) {
+	inst, passRes, err := instance(w, v, o)
+	if err != nil {
+		return nil, err
+	}
+
+	mach := interp.NewOnCore(inst.Mod, cx.core(cfg))
+	mach.MaxInstrs = o.MaxInstrs
+	sum, err := inst.Exec(mach)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s on %s: %w", w.Name, v, cfg.Name, err)
+	}
+	if sum != inst.Want {
+		return nil, fmt.Errorf("core: %s/%s on %s: checksum %d, want %d",
+			w.Name, v, cfg.Name, sum, inst.Want)
+	}
+	return assemble(w.Name, cfg.Name, v, sum, mach.Stats(), mach.Core.Hierarchy(), passRes), nil
 }
 
 // Transform applies the automatic pass to an arbitrary IR module — the

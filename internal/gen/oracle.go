@@ -10,6 +10,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uarch"
 )
 
@@ -20,7 +21,7 @@ type Failure struct {
 	// Params identifies the failing kernel.
 	Params Params
 	// Stage is the oracle phase: "verify", "reference", "pass-verify",
-	// "interp-diff" or "sim-invariant".
+	// "interp-diff", "sim-invariant", "record" or "replay-diff".
 	Stage string
 	// Cell names the failing grid cell within the stage, e.g.
 	// "c=8,depth=1,hoist=true" or "Haswell/imp".
@@ -51,7 +52,12 @@ func (f *Failure) Error() string {
 //     unused <= prefetches issued, no hardware prefetches from the
 //     "none" model, no TLB drops from same-page models), and is
 //     bit-identical when the same grid is re-run on Jobs parallel
-//     workers.
+//     workers;
+//  4. replay-diff: the auto-prefetched kernel is recorded once
+//     (internal/trace) and the trace replayed on every sim cell — each
+//     replayed record must be bit-identical to the cell's direct run,
+//     which pins the record/replay split against generated kernels,
+//     not just the curated workloads.
 type Oracle struct {
 	// Cs are the look-ahead constants of the interp-diff grid.
 	Cs []int64
@@ -73,6 +79,31 @@ type Oracle struct {
 	// prefetch.Options.TestClampSlack) that lets tests prove the
 	// oracle catches an unsafe pass.
 	PassTweak func(*prefetch.Options)
+
+	// Counts accumulates the per-phase check tallies across every
+	// Check call, so a campaign can report how much work each oracle
+	// phase actually did. Check mutates it without locking: campaigns
+	// check kernels sequentially (the parallelism lives inside a
+	// single kernel's sim phase).
+	Counts Counts
+}
+
+// Counts tallies individual checks by oracle phase: verifier
+// acceptances, interpreter differential runs, direct simulator cells,
+// and trace-replay cells.
+type Counts struct {
+	Verify int
+	Interp int
+	Sim    int
+	Replay int
+}
+
+// Total returns the number of individual checks across all phases.
+func (c Counts) Total() int { return c.Verify + c.Interp + c.Sim + c.Replay }
+
+// String renders the breakdown, e.g. "verify=12 interp=88 sim=120 replay=120".
+func (c Counts) String() string {
+	return fmt.Sprintf("verify=%d interp=%d sim=%d replay=%d", c.Verify, c.Interp, c.Sim, c.Replay)
 }
 
 // DefaultOracle returns the configuration the test suite and
@@ -148,6 +179,7 @@ func (o *Oracle) Check(k *Kernel) *Failure {
 	if err := plain.Verify(); err != nil {
 		return o.fail(k, "verify", "plain", "%v", err)
 	}
+	o.Counts.Verify++
 
 	// Baseline: the untransformed kernel against the pure-Go model.
 	cfg := interpConfig()
@@ -155,6 +187,7 @@ func (o *Oracle) Check(k *Kernel) *Failure {
 	if err != nil {
 		return o.fail(k, "reference", "plain", "plain run failed: %v", err)
 	}
+	o.Counts.Interp++
 	if plainSum != k.Want {
 		return o.fail(k, "reference", "plain", "plain checksum %d, reference model %d", plainSum, k.Want)
 	}
@@ -170,10 +203,12 @@ func (o *Oracle) Check(k *Kernel) *Failure {
 		if err := mod.Verify(); err != nil {
 			return o.fail(k, "pass-verify", v.name, "pass produced invalid IR: %v", err)
 		}
+		o.Counts.Verify++
 		sum, snap, err := o.runInterp(k, mod, cfg)
 		if err != nil {
 			return o.fail(k, "interp-diff", v.name, "transformed run failed: %v", err)
 		}
+		o.Counts.Interp++
 		if sum != plainSum {
 			return o.fail(k, "interp-diff", v.name, "checksum %d, plain %d", sum, plainSum)
 		}
@@ -190,6 +225,7 @@ func (o *Oracle) Check(k *Kernel) *Failure {
 	for i, c := range cells {
 		serial[i] = o.runSim(k, c)
 	}
+	o.Counts.Sim += len(cells)
 	for i, c := range cells {
 		if f := o.checkSimInvariants(k, c, serial[i]); f != nil {
 			return f
@@ -217,13 +253,96 @@ func (o *Oracle) Check(k *Kernel) *Failure {
 	for w := 0; w < workers; w++ {
 		<-done
 	}
+	o.Counts.Sim += len(cells)
 	for i, c := range cells {
 		if serial[i] != parallel[i] {
 			return o.fail(k, "sim-invariant", c.name,
 				"jobs=1 vs jobs=%d diverge: %+v vs %+v", workers, serial[i], parallel[i])
 		}
 	}
+
+	// Phase 4: replay equivalence. Record the auto-prefetched kernel
+	// once, then retime the trace on every cell — each replayed record
+	// must be bit-identical to the cell's direct serial run.
+	im, rf := o.recordImage(k)
+	if rf != nil {
+		return rf
+	}
+	o.Counts.Interp++ // the recording run
+	for i, c := range cells {
+		if rec := o.replaySim(im, c); rec != serial[i] {
+			return o.fail(k, "replay-diff", c.name,
+				"replay diverges from direct run: %+v vs %+v", rec, serial[i])
+		}
+	}
+	o.Counts.Replay += len(cells)
 	return nil
+}
+
+// recordImage executes the auto-prefetched kernel once with the trace
+// recorder attached (the recording configuration is irrelevant —
+// traces are machine-independent) and predecodes the trace for
+// replay.
+func (o *Oracle) recordImage(k *Kernel) (*interp.Image, *Failure) {
+	opts := prefetch.Options{C: 64}
+	if o.PassTweak != nil {
+		o.PassTweak(&opts)
+	}
+	mod := k.Build()
+	prefetch.Run(mod, opts)
+	if err := mod.Verify(); err != nil {
+		return nil, o.fail(k, "record", "auto", "pass broke module: %v", err)
+	}
+	mach := interp.New(mod, interpConfig())
+	mach.MaxInstrs = o.MaxInstrs
+	tw := trace.NewWriter()
+	mach.RecordTo(tw)
+	sum, err := k.Exec(mach)
+	if err != nil {
+		return nil, o.fail(k, "record", "auto", "recording run failed: %v", err)
+	}
+	st := mach.Stats()
+	oc := make([]uint64, len(st.OpCounts))
+	copy(oc, st.OpCounts[:])
+	t := tw.Close(
+		trace.Meta{Workload: k.Name, Variant: "auto"},
+		trace.Summary{
+			Executed: st.Executed, OpCounts: oc,
+			Loads: st.Loads, Stores: st.Stores, Prefetches: st.Prefetches,
+			Checksum: sum,
+		},
+	)
+	im, err := interp.NewImage(t)
+	if err != nil {
+		return nil, o.fail(k, "record", "auto", "trace does not decode: %v", err)
+	}
+	return im, nil
+}
+
+// replaySim retimes the recorded image on the cell's machine and
+// snapshots the same statistics runSim does, so the two records are
+// directly comparable.
+func (o *Oracle) replaySim(im *interp.Image, c simCell) simRecord {
+	machCore := sim.NewCore(c.cfg)
+	st, err := im.Replay(machCore)
+	if err != nil {
+		return simRecord{Err: err.Error()}
+	}
+	hier := machCore.Hierarchy()
+	l1 := hier.Caches()[0]
+	return simRecord{
+		Sum:          im.Trace().Summary.Checksum,
+		Cycles:       st.Cycles,
+		Instructions: st.Instructions,
+		L1Hits:       l1.Hits,
+		L1Misses:     l1.Misses,
+		SWPrefetches: hier.SWPrefetches,
+		HWPrefetches: hier.HWPrefetches,
+		HWDropped:    hier.HWPrefetchDropped,
+		UnusedL1:     l1.PrefetchedUnused,
+		TLBWalks:     hier.TLBStats().Walks,
+		OpPrefetches: st.Prefetches,
+	}
 }
 
 // simCell is one machine x hardware-model configuration.

@@ -2,9 +2,11 @@ package interp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ir"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Stats aggregates the dynamic behaviour of one run.
@@ -39,7 +41,26 @@ type Machine struct {
 	decoded map[*ir.Function]*dfunc
 	phiV    []int64
 	phiR    []float64
+
+	// Recording mode (RecordTo). rec receives one event per core call;
+	// phiS/depBuf are scratch for readiness-source propagation and
+	// dependency-set gathering; retSrc threads the returned value's
+	// source through OpCall like the (value, readiness) pair is
+	// threaded through call's return values.
+	rec    *trace.Writer
+	phiS   []int64
+	depBuf []int64
+	retSrc int64
 }
+
+// runs counts Machine.Run invocations process-wide — the
+// interp-invocation counter replay amortization tests assert against:
+// a full-grid sweep in replay mode must interpret each (workload,
+// variant) exactly once, however many machine × hwpf cells it retimes.
+var runs atomic.Uint64
+
+// Runs returns the process-wide count of Machine.Run invocations.
+func Runs() uint64 { return runs.Load() }
 
 // New builds a machine for the module on the given core configuration.
 func New(mod *ir.Module, cfg *sim.Config) *Machine {
@@ -72,6 +93,20 @@ func NewOnCore(mod *ir.Module, core *sim.Core) *Machine {
 	return m
 }
 
+// RecordTo attaches a trace writer: every subsequent core-visible
+// event (ops, loads, stores, prefetches, branches, finish) and every
+// simulated-memory mutation is mirrored into w, producing a trace that
+// interp.Replay can retime on any machine configuration. Recording
+// changes nothing about the run itself — the same core calls happen
+// with the same arguments — it only tracks, per SSA slot, which trace
+// event produced the slot's readiness time, so events can carry
+// machine-independent dependency sets instead of timestamps. Pass nil
+// to detach.
+func (m *Machine) RecordTo(w *trace.Writer) {
+	m.rec = w
+	m.Mem.rec = w
+}
+
 // Stats returns the accumulated statistics.
 func (m *Machine) Stats() Stats {
 	m.stats.Cycles = m.Core.Cycles()
@@ -95,12 +130,23 @@ func (m *Machine) Run(name string, args ...int64) (int64, error) {
 	if m.MaxInstrs == 0 {
 		m.MaxInstrs = 1 << 40
 	}
+	runs.Add(1)
 	ready := make([]float64, len(args))
-	v, _, err := m.call(m.decode(f), args, ready, 0)
+	var src []int64
+	if m.rec != nil {
+		src = make([]int64, len(args))
+		for i := range src {
+			src[i] = -1 // arguments are ready at time zero
+		}
+	}
+	v, _, err := m.call(m.decode(f), args, ready, src, 0)
 	if err != nil {
 		return 0, err
 	}
 	m.Core.Finish()
+	if m.rec != nil {
+		m.rec.Finish()
+	}
 	return v, nil
 }
 
@@ -113,6 +159,12 @@ type frame struct {
 	ready     []float64
 	args      []int64
 	argsReady []float64
+
+	// src/argsSrc mirror ready/argsReady with the trace value-index
+	// that produced each readiness time (-1 = ready at time zero).
+	// Allocated only while recording.
+	src     []int64
+	argsSrc []int64
 }
 
 // get returns the runtime value and readiness time of an operand.
@@ -137,9 +189,55 @@ func (fr *frame) readyOf(o operand) float64 {
 	return fr.ready[o.idx]
 }
 
+// srcOf returns the trace value-index that produced the operand's
+// readiness (-1 = ready at time zero). Recording mode only.
+func (fr *frame) srcOf(o operand) int64 {
+	switch o.kind {
+	case opdConst:
+		return -1
+	case opdParam:
+		return fr.argsSrc[o.idx]
+	}
+	return fr.src[o.idx]
+}
+
+// recDeps gathers the dependency set of a uop: the sources of its
+// operands, in operand order, skipping time-zero ones — exactly the
+// inputs of the opsReady max the timing calls receive. The returned
+// slice is machine-owned scratch, consumed synchronously by the
+// writer.
+func (m *Machine) recDeps(fr *frame, u *uop) []int64 {
+	deps := m.depBuf[:0]
+	if u.xargs != nil {
+		for _, o := range u.xargs {
+			if s := fr.srcOf(o); s >= 0 {
+				deps = append(deps, s)
+			}
+		}
+	} else {
+		if u.nargs > 0 {
+			if s := fr.srcOf(u.a0); s >= 0 {
+				deps = append(deps, s)
+			}
+		}
+		if u.nargs > 1 {
+			if s := fr.srcOf(u.a1); s >= 0 {
+				deps = append(deps, s)
+			}
+		}
+		if u.nargs > 2 {
+			if s := fr.srcOf(u.a2); s >= 0 {
+				deps = append(deps, s)
+			}
+		}
+	}
+	m.depBuf = deps
+	return deps
+}
+
 // call executes one decoded function activation: the flat uop loop that
 // replaces per-instruction IR traversal.
-func (m *Machine) call(df *dfunc, args []int64, argsReady []float64, depth int) (int64, float64, error) {
+func (m *Machine) call(df *dfunc, args []int64, argsReady []float64, argsSrc []int64, depth int) (int64, float64, error) {
 	if depth > maxCallDepth {
 		return 0, 0, fmt.Errorf("interp: call depth exceeded in %s", df.name)
 	}
@@ -148,6 +246,12 @@ func (m *Machine) call(df *dfunc, args []int64, argsReady []float64, depth int) 
 		ready:     make([]float64, df.numVals),
 		args:      args,
 		argsReady: argsReady,
+		argsSrc:   argsSrc,
+	}
+	if m.rec != nil {
+		// Slots default to source 0, but SSA def-before-use (ir.Verify)
+		// guarantees no slot is read before it is written, same as vals.
+		fr.src = make([]int64, df.numVals)
 	}
 
 	bi, prev := int32(0), int32(-1)
@@ -164,6 +268,7 @@ blocks:
 			if cap(m.phiV) < n {
 				m.phiV = make([]int64, n)
 				m.phiR = make([]float64, n)
+				m.phiS = make([]int64, n)
 			}
 			tmpV, tmpR := m.phiV[:n], m.phiR[:n]
 			for i := 0; i < n; i++ {
@@ -175,6 +280,17 @@ blocks:
 					return 0, 0, fmt.Errorf("interp: phi %%%s has no edge from %s", b.phiNames[i], prevName)
 				}
 				tmpV[i], tmpR[i] = fr.get(row[i])
+			}
+			if m.rec != nil {
+				// Phis are parallel copies with no core call: propagate
+				// the readiness source alongside the readiness time.
+				tmpS := m.phiS[:n]
+				for i := 0; i < n; i++ {
+					tmpS[i] = fr.srcOf(row[i])
+				}
+				for i := 0; i < n; i++ {
+					fr.src[b.phiIDs[i]] = tmpS[i]
+				}
 			}
 			for i := 0; i < n; i++ {
 				fr.vals[b.phiIDs[i]] = tmpV[i]
@@ -226,6 +342,9 @@ blocks:
 				}
 				fr.vals[u.id] = base
 				fr.ready[u.id] = m.Core.Op(opsReady, 1)
+				if m.rec != nil {
+					fr.src[u.id] = m.rec.Op(trace.Lat1, m.recDeps(&fr, u))
+				}
 
 			case ir.OpLoad:
 				addr, _ := fr.get(u.a0)
@@ -236,6 +355,9 @@ blocks:
 				m.stats.Loads++
 				fr.vals[u.id] = v
 				fr.ready[u.id] = m.Core.Load(int(u.id), addr, opsReady)
+				if m.rec != nil {
+					fr.src[u.id] = m.rec.Load(int(u.id), addr, m.recDeps(&fr, u))
+				}
 
 			case ir.OpStore:
 				addr, _ := fr.get(u.a0)
@@ -245,11 +367,18 @@ blocks:
 				}
 				m.stats.Stores++
 				m.Core.Store(int(u.id), addr, opsReady)
+				if m.rec != nil {
+					m.rec.Store(int(u.id), addr, m.recDeps(&fr, u))
+				}
 
 			case ir.OpPrefetch:
 				addr, _ := fr.get(u.a0)
 				m.stats.Prefetches++
-				m.Core.Prefetch(int(u.id), addr, opsReady, m.Mem.Valid(addr, 1))
+				valid := m.Mem.Valid(addr, 1)
+				m.Core.Prefetch(int(u.id), addr, opsReady, valid)
+				if m.rec != nil {
+					m.rec.Prefetch(int(u.id), addr, valid, m.recDeps(&fr, u))
+				}
 
 			case ir.OpGEP:
 				base, _ := fr.get(u.a0)
@@ -257,6 +386,9 @@ blocks:
 				scale, _ := fr.get(u.a2)
 				fr.vals[u.id] = base + idx*scale
 				fr.ready[u.id] = m.Core.Op(opsReady, 1)
+				if m.rec != nil {
+					fr.src[u.id] = m.rec.Op(trace.Lat1, m.recDeps(&fr, u))
+				}
 
 			case ir.OpCmp:
 				a, _ := fr.get(u.a0)
@@ -267,6 +399,9 @@ blocks:
 					fr.vals[u.id] = 0
 				}
 				fr.ready[u.id] = m.Core.Op(opsReady, 1)
+				if m.rec != nil {
+					fr.src[u.id] = m.rec.Op(trace.Lat1, m.recDeps(&fr, u))
+				}
 
 			case ir.OpSelect:
 				c, _ := fr.get(u.a0)
@@ -278,6 +413,9 @@ blocks:
 					fr.vals[u.id] = bv
 				}
 				fr.ready[u.id] = m.Core.Op(opsReady, 1)
+				if m.rec != nil {
+					fr.src[u.id] = m.rec.Op(trace.Lat1, m.recDeps(&fr, u))
+				}
 
 			case ir.OpCall:
 				callee := u.calleeFn
@@ -290,25 +428,42 @@ blocks:
 				cdf := m.decode(callee)
 				cargs := make([]int64, len(u.xargs))
 				cready := make([]float64, len(u.xargs))
+				var csrc []int64
 				for i, o := range u.xargs {
 					cargs[i], cready[i] = fr.get(o)
 				}
 				m.Core.Op(opsReady, 1) // call overhead
-				v, r, cerr := m.call(cdf, cargs, cready, depth+1)
+				if m.rec != nil {
+					m.rec.Op(trace.Lat1, m.recDeps(&fr, u))
+					csrc = make([]int64, len(u.xargs))
+					for i, o := range u.xargs {
+						csrc[i] = fr.srcOf(o)
+					}
+				}
+				v, r, cerr := m.call(cdf, cargs, cready, csrc, depth+1)
 				if cerr != nil {
 					return 0, 0, cerr
 				}
 				fr.vals[u.id] = v
 				fr.ready[u.id] = r
+				if m.rec != nil {
+					fr.src[u.id] = m.retSrc
+				}
 
 			case ir.OpBr:
 				m.Core.Branch(opsReady, false)
+				if m.rec != nil {
+					m.rec.Branch(false, m.recDeps(&fr, u))
+				}
 				prev, bi = bi, u.tgt0
 				continue blocks
 
 			case ir.OpCBr:
 				c, _ := fr.get(u.a0)
 				m.Core.Branch(opsReady, true)
+				if m.rec != nil {
+					m.rec.Branch(true, m.recDeps(&fr, u))
+				}
 				if c != 0 {
 					prev, bi = bi, u.tgt0
 				} else {
@@ -318,6 +473,13 @@ blocks:
 
 			case ir.OpRet:
 				m.Core.Op(opsReady, 1)
+				if m.rec != nil {
+					m.rec.Op(trace.Lat1, m.recDeps(&fr, u))
+					m.retSrc = -1
+					if u.nargs == 1 {
+						m.retSrc = fr.srcOf(u.a0)
+					}
+				}
 				if u.nargs == 1 {
 					v, r := fr.get(u.a0)
 					return v, r, nil
@@ -371,6 +533,19 @@ blocks:
 				}
 				fr.vals[u.id] = v
 				fr.ready[u.id] = m.Core.Op(opsReady, u.lat)
+				if m.rec != nil {
+					// Record the latency class, not u.lat: multiply and
+					// divide latencies are machine configuration, which
+					// must not leak into the (machine-independent) trace.
+					class := trace.Lat1
+					switch u.op {
+					case ir.OpMul:
+						class = trace.LatMul
+					case ir.OpDiv, ir.OpRem:
+						class = trace.LatDiv
+					}
+					fr.src[u.id] = m.rec.Op(class, m.recDeps(&fr, u))
+				}
 			}
 		}
 		return 0, 0, fmt.Errorf("interp: block %s fell through without terminator", b.name)

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Fault is a memory access violation: a load, store or division that
@@ -41,6 +42,13 @@ type Memory struct {
 
 	// BytesAllocated is the total live allocation size.
 	BytesAllocated int64
+
+	// rec, when non-nil, receives an Alloc/Poke trace event for every
+	// mutation. The hook lives on Memory rather than Machine because
+	// workload executors also mutate memory directly from host Go code
+	// (setup writes, inter-run stores) — those must reach the trace for
+	// replay to rebuild an identical memory image.
+	rec *trace.Writer
 }
 
 const (
@@ -65,6 +73,9 @@ func (m *Memory) Alloc(size int64) (int64, error) {
 	// Round up to the next page for realism.
 	m.next = (m.next + 4095) &^ 4095
 	m.BytesAllocated += size
+	if m.rec != nil {
+		m.rec.Alloc(size)
+	}
 	return base, nil
 }
 
@@ -155,6 +166,9 @@ func (m *Memory) Store(addr int64, val int64, t ir.Type) error {
 		binary.LittleEndian.PutUint32(s.data[off:], uint32(val))
 	case 8:
 		binary.LittleEndian.PutUint64(s.data[off:], uint64(val))
+	}
+	if m.rec != nil {
+		m.rec.Poke(addr, int(w), val)
 	}
 	return nil
 }

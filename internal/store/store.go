@@ -62,15 +62,21 @@ func DefaultSalt() string { return fmt.Sprintf("sim-stats-v%d", sim.StatsVersion
 type Store struct {
 	dir string
 
-	// salt is the simulator-version component of every key; tests
-	// override it via OpenSalted to prove invalidation.
+	// salt is the simulator-version component of every result key;
+	// tests override it via OpenSalted to prove invalidation.
 	salt string
+
+	// traceSalt is the trace-format component of every trace key —
+	// independent of salt, so trace and result invalidation decouple
+	// (see trace.go); tests override it via OpenTraceSalted.
+	traceSalt string
 
 	// mu serialises appends to index.jsonl (and Index loads against
 	// them).
 	mu sync.Mutex
 
-	hits, misses, puts atomic.Int64
+	hits, misses, puts                atomic.Int64
+	traceHits, traceMisses, tracePuts atomic.Int64
 }
 
 // Open opens (creating if needed) the store rooted at dir, with the
@@ -126,10 +132,17 @@ func PutWarner(w io.Writer) func(sweep.Request, error) {
 // written under one salt are invisible under any other, which is how
 // simulator-behaviour changes invalidate: results persist, keys move.
 func OpenSalted(dir, salt string) (*Store, error) {
+	return OpenTraceSalted(dir, salt, DefaultTraceSalt())
+}
+
+// OpenTraceSalted additionally pins the trace-version salt; tests use
+// it to prove that a trace.FormatVersion bump invalidates trace
+// objects without moving result keys.
+func OpenTraceSalted(dir, salt, traceSalt string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, salt: salt}, nil
+	return &Store{dir: dir, salt: salt, traceSalt: traceSalt}, nil
 }
 
 // Dir returns the store's root directory.
@@ -142,6 +155,13 @@ func (s *Store) Salt() string { return s.salt }
 // fixed by the struct, values are plain data, and encoding/json is
 // deterministic for both — so equal requests hash equally across
 // processes and platforms.
+//
+// The request's execution mode (sweep.Request.Exec) is deliberately
+// NOT a field: direct and replay produce byte-identical results, so a
+// result computed under either mode must answer requests in both —
+// splitting the keys would halve every warm cache for no information.
+// Trace objects, where the distinction does matter, live in their own
+// key space (see trace.go).
 type keyDoc struct {
 	Format   int
 	Salt     string
@@ -383,14 +403,20 @@ func atomicWrite(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// Stats is a snapshot of cache traffic since Open.
+// Stats is a snapshot of cache traffic since Open. The Trace counters
+// track the trace-object namespace (replay sweeps); result traffic and
+// trace traffic never share keys, so the two triples are independent.
 type Stats struct {
-	Hits, Misses, Puts int64
+	Hits, Misses, Puts                int64
+	TraceHits, TraceMisses, TracePuts int64
 }
 
 // Stats reports cache traffic since the store was opened.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+	return Stats{
+		Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load(),
+		TraceHits: s.traceHits.Load(), TraceMisses: s.traceMisses.Load(), TracePuts: s.tracePuts.Load(),
+	}
 }
 
 // Interface conformance.

@@ -34,6 +34,11 @@ type Grid struct {
 	HWPrefetchers []string
 	Variants      []core.Variant
 	Options       core.Options
+
+	// Execs is the execution-mode axis (innermost). Like HWPrefetchers
+	// it only modulates how cells run, so empty means {direct} — the
+	// behaviour of every grid written before the axis existed.
+	Execs []core.ExecMode
 }
 
 // Expand enumerates the grid's cells as requests. The hardware axis
@@ -64,13 +69,19 @@ func (g Grid) Expand() []Request {
 		byHW[hw] = c
 		return c
 	}
-	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(hws)*len(g.Variants))
+	execs := g.Execs
+	if len(execs) == 0 {
+		execs = []core.ExecMode{core.ExecDirect}
+	}
+	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(hws)*len(g.Variants)*len(execs))
 	for _, w := range g.Workloads {
 		for _, cfg := range g.Systems {
 			for _, hw := range hws {
 				sys := system(cfg, hw)
 				for _, v := range g.Variants {
-					reqs = append(reqs, Request{Workload: w, System: sys, Variant: v, Options: g.Options})
+					for _, e := range execs {
+						reqs = append(reqs, Request{Workload: w, System: sys, Variant: v, Options: g.Options, Exec: e})
+					}
 				}
 			}
 		}
@@ -146,6 +157,27 @@ func ParseHWPrefetchers(s string) ([]string, error) {
 				name, strings.Join(HWPrefetchers(), ", "))
 		}
 		out = append(out, name)
+	}
+	return out, nil
+}
+
+// ExecModes lists every value the execution-mode axis accepts, in
+// presentation order.
+func ExecModes() []core.ExecMode { return core.ExecModes() }
+
+// ParseExecModes parses a comma-separated execution-mode axis (""
+// selects direct).
+func ParseExecModes(s string) ([]core.ExecMode, error) {
+	if strings.TrimSpace(s) == "" {
+		return []core.ExecMode{core.ExecDirect}, nil
+	}
+	var out []core.ExecMode
+	for _, name := range strings.Split(s, ",") {
+		e, err := core.ParseExecMode(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, e)
 	}
 	return out, nil
 }

@@ -1,0 +1,287 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// replayGrid is a small but fully crossed matrix: multi-run drivers
+// (G500 via Tiny), pass variants, both hardware-prefetcher flavours.
+func replayGrid(execs ...core.ExecMode) Grid {
+	ws := workloads.Tiny()
+	return Grid{
+		Workloads:     []*workloads.Workload{ws[0], ws[5]}, // IS, G500
+		Systems:       uarch.All()[:2],                     // Haswell, XeonPhi
+		HWPrefetchers: []string{"default", "none"},
+		Variants:      []core.Variant{core.VariantPlain, core.VariantAuto},
+		Options:       core.Options{Hoist: true},
+		Execs:         execs,
+	}
+}
+
+// TestReplaySweepMatchesDirect: cell for cell, a replay sweep produces
+// exactly the Results of a direct sweep.
+func TestReplaySweepMatchesDirect(t *testing.T) {
+	direct, err := replayGrid(core.ExecDirect).Run(4)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	replay, err := replayGrid(core.ExecReplay).Run(4)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(direct.Outcomes) != len(replay.Outcomes) {
+		t.Fatalf("cell counts differ: %d vs %d", len(direct.Outcomes), len(replay.Outcomes))
+	}
+	for i := range direct.Outcomes {
+		d, r := direct.Outcomes[i].Result, replay.Outcomes[i].Result
+		d.Pass = nil // replay results carry no pass report
+		if *d != *r {
+			t.Errorf("cell %d (%s/%s/%s):\ndirect %+v\nreplay %+v",
+				i, d.Workload, d.System, d.Variant, d, r)
+		}
+	}
+}
+
+// TestReplaySweepDeterministicAcrossJobs: the satellite determinism
+// requirement — jobs 1, 2 and 8 emit byte-identical result sets.
+func TestReplaySweepDeterministicAcrossJobs(t *testing.T) {
+	var dumps [][]byte
+	for _, jobs := range []int{1, 2, 8} {
+		set, err := replayGrid(core.ExecReplay).Run(jobs)
+		if err != nil {
+			t.Fatalf("jobs %d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, buf.Bytes())
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) || !bytes.Equal(dumps[0], dumps[2]) {
+		t.Fatal("replay sweep differs across jobs 1/2/8")
+	}
+	if !strings.Contains(string(dumps[0]), ",replay,") {
+		t.Error("CSV dump missing the exec column value")
+	}
+}
+
+// TestReplaySweepInterpretsOncePerGroup pins the amortization contract:
+// a full-grid replay sweep performs exactly one interpretation per
+// (workload, variant) group, regardless of how many machine × hwpf
+// cells each group fans into. IS drives one Machine.Run per execution,
+// so interp.Runs counts interpretations directly.
+func TestReplaySweepInterpretsOncePerGroup(t *testing.T) {
+	g := Grid{
+		Workloads:     []*workloads.Workload{workloads.IS(1<<8, 1<<8)},
+		Systems:       uarch.All(), // 4 machines
+		HWPrefetchers: []string{"default", "none"},
+		Variants:      []core.Variant{core.VariantPlain, core.VariantAuto},
+		Execs:         []core.ExecMode{core.ExecReplay},
+	}
+	reqs := g.Expand()
+	if len(reqs) != 16 {
+		t.Fatalf("grid has %d cells, want 16", len(reqs))
+	}
+	for _, jobs := range []int{1, 8} {
+		before := interp.Runs()
+		set, err := Execute(reqs, jobs)
+		if err != nil {
+			t.Fatalf("jobs %d: %v", jobs, err)
+		}
+		if got := interp.Runs() - before; got != 2 { // one per variant group
+			t.Errorf("jobs %d: %d interpretations for 16 cells, want 2", jobs, got)
+		}
+		for i := range set.Outcomes {
+			if set.Outcomes[i].Result == nil {
+				t.Fatalf("jobs %d: cell %d missing result", jobs, i)
+			}
+		}
+	}
+}
+
+// memTraceCache is an in-memory Cache + TraceCache for exercising the
+// runner's trace fetch/persist paths without disk.
+type memTraceCache struct {
+	mu                       sync.Mutex
+	results                  map[string]*core.Result
+	traces                   map[string]*trace.Trace
+	gets, puts, tgets, tputs int
+	serveResults             bool
+}
+
+func newMemTraceCache() *memTraceCache {
+	return &memTraceCache{results: map[string]*core.Result{}, traces: map[string]*trace.Trace{}}
+}
+
+func (c *memTraceCache) rkey(r Request) string {
+	return r.Workload.Name + "|" + r.Workload.Params + "|" + r.System.Name + "|" + r.System.HWPrefetcherName() + "|" + string(r.Variant)
+}
+
+func (c *memTraceCache) tkey(r Request) string {
+	return r.Workload.Name + "|" + r.Workload.Params + "|" + string(r.Variant)
+}
+
+func (c *memTraceCache) Get(r Request) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	if !c.serveResults {
+		return nil, false
+	}
+	res, ok := c.results[c.rkey(r)]
+	return res, ok
+}
+
+func (c *memTraceCache) Put(r Request, res *core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.results[c.rkey(r)] = res
+	return nil
+}
+
+func (c *memTraceCache) GetTrace(r Request) (*trace.Trace, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tgets++
+	t, ok := c.traces[c.tkey(r)]
+	return t, ok
+}
+
+func (c *memTraceCache) PutTrace(r Request, t *trace.Trace) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tputs++
+	c.traces[c.tkey(r)] = t
+	return nil
+}
+
+// TestReplaySweepTraceCache: a cold replay sweep records once per group
+// and persists the trace; a second sweep with the result cache
+// disabled (simulating a fresh store after a StatsVersion bump) fetches
+// the traces instead of re-interpreting, and still reproduces the
+// direct results.
+func TestReplaySweepTraceCache(t *testing.T) {
+	cache := newMemTraceCache()
+	g := Grid{
+		Workloads: []*workloads.Workload{workloads.IS(1<<8, 1<<8)},
+		Systems:   uarch.All()[:2],
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto},
+		Execs:     []core.ExecMode{core.ExecReplay},
+	}
+	cold, err := g.RunWith(Runner{Jobs: 2, Cache: cache})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if cache.tputs != 2 {
+		t.Errorf("cold sweep persisted %d traces, want 2 (one per variant group)", cache.tputs)
+	}
+
+	// Warm traces, cold results: replays serve every cell with zero
+	// interpretation.
+	before := interp.Runs()
+	warm, err := g.RunWith(Runner{Jobs: 2, Cache: cache})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if got := interp.Runs() - before; got != 0 {
+		t.Errorf("trace-warm sweep interpreted %d times, want 0", got)
+	}
+	for i := range cold.Outcomes {
+		c, w := cold.Outcomes[i].Result, warm.Outcomes[i].Result
+		if *c != *w {
+			t.Errorf("cell %d differs between cold and trace-warm sweeps", i)
+		}
+	}
+
+	// Warm results short-circuit everything, replay mode included.
+	cache.serveResults = true
+	before = interp.Runs()
+	if _, err := g.RunWith(Runner{Jobs: 2, Cache: cache}); err != nil {
+		t.Fatalf("result-warm: %v", err)
+	}
+	if got := interp.Runs() - before; got != 0 {
+		t.Errorf("result-warm sweep interpreted %d times, want 0", got)
+	}
+}
+
+// TestReplaySweepGroupErrorFansToCells: a group whose recording fails
+// (unknown variant) fails every cell of the group, deterministically,
+// while other groups still complete.
+func TestReplaySweepGroupErrorFansToCells(t *testing.T) {
+	w := workloads.Tiny()[0]
+	reqs := []Request{
+		{Workload: w, System: uarch.Haswell(), Variant: core.VariantPlain, Exec: core.ExecReplay},
+		{Workload: w, System: uarch.Haswell(), Variant: core.Variant("bogus"), Exec: core.ExecReplay},
+		{Workload: w, System: uarch.A53(), Variant: core.Variant("bogus"), Exec: core.ExecReplay},
+		{Workload: w, System: uarch.A53(), Variant: core.VariantPlain, Exec: core.ExecReplay},
+	}
+	set, err := Execute(reqs, 4)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v, want the bogus-variant failure", err)
+	}
+	for i, wantErr := range []bool{false, true, true, false} {
+		o := set.Outcomes[i]
+		if (o.Err != nil) != wantErr {
+			t.Errorf("cell %d: err = %v, want error=%t", i, o.Err, wantErr)
+		}
+		if !wantErr && o.Result == nil {
+			t.Errorf("cell %d: missing result", i)
+		}
+	}
+}
+
+// TestGridExpandExecAxis: Execs is the innermost axis and empty means
+// direct.
+func TestGridExpandExecAxis(t *testing.T) {
+	g := Grid{
+		Workloads: workloads.Tiny()[:1],
+		Systems:   uarch.All()[:1],
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto},
+		Execs:     []core.ExecMode{core.ExecDirect, core.ExecReplay},
+	}
+	reqs := g.Expand()
+	if len(reqs) != 4 {
+		t.Fatalf("%d requests, want 4", len(reqs))
+	}
+	want := []core.ExecMode{core.ExecDirect, core.ExecReplay, core.ExecDirect, core.ExecReplay}
+	for i, r := range reqs {
+		if r.Exec != want[i] {
+			t.Errorf("request %d: exec %q, want %q", i, r.Exec, want[i])
+		}
+	}
+	if reqs[0].Variant != reqs[1].Variant || reqs[0].Variant == reqs[2].Variant {
+		t.Error("exec is not the innermost axis")
+	}
+
+	g.Execs = nil
+	for _, r := range g.Expand() {
+		if r.ExecMode() != core.ExecDirect {
+			t.Errorf("empty Execs axis produced %q", r.ExecMode())
+		}
+	}
+}
+
+// TestParseExecModes covers the axis parser.
+func TestParseExecModes(t *testing.T) {
+	got, err := ParseExecModes("")
+	if err != nil || len(got) != 1 || got[0] != core.ExecDirect {
+		t.Errorf("ParseExecModes(\"\") = %v, %v", got, err)
+	}
+	got, err = ParseExecModes("direct, replay")
+	if err != nil || len(got) != 2 || got[0] != core.ExecDirect || got[1] != core.ExecReplay {
+		t.Errorf("ParseExecModes(\"direct, replay\") = %v, %v", got, err)
+	}
+	if _, err := ParseExecModes("jit"); err == nil {
+		t.Error("ParseExecModes accepted jit")
+	}
+}

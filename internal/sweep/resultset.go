@@ -102,6 +102,12 @@ type Record struct {
 	// machine configuration (sim.Config.HWPrefetcherName) — the
 	// hardware axis is otherwise invisible in the System name.
 	HWPF string
+	// Exec is the cell's requested execution mode ("direct" or
+	// "replay"; the request's zero value is normalized to "direct").
+	// The statistics are identical either way, so the column records
+	// what was asked for — a cache-served cell keeps its requested
+	// label even when the stored result came from the other mode.
+	Exec string
 
 	C          int64
 	Depth      int
@@ -137,6 +143,7 @@ func (s *ResultSet) Records() []Record {
 			System:     o.System.Name,
 			Variant:    string(o.Variant),
 			HWPF:       o.System.HWPrefetcherName(),
+			Exec:       string(o.ExecMode()),
 			C:          o.Options.C,
 			Depth:      o.Options.Depth,
 			Hoist:      o.Options.Hoist,
@@ -175,7 +182,7 @@ func (s *ResultSet) WriteJSON(w io.Writer) error {
 
 // csvColumns is the fixed CSV header, matching Record field order.
 var csvColumns = []string{
-	"workload", "system", "variant", "hwpf", "c", "depth", "hoist", "flat_offset",
+	"workload", "system", "variant", "hwpf", "exec", "c", "depth", "hoist", "flat_offset",
 	"checksum", "cycles", "instructions", "loads", "stores", "sw_prefetches",
 	"l1_hits", "l1_misses", "dram_accesses", "hw_prefetches",
 	"hw_prefetch_dropped", "tlb_walks",
@@ -192,8 +199,8 @@ func (s *ResultSet) WriteCSV(w io.Writer) error {
 		if strings.ContainsAny(err, ",\"\n") {
 			err = `"` + strings.ReplaceAll(err, `"`, `""`) + `"`
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%d,%s\n",
-			r.Workload, r.System, r.Variant, r.HWPF, r.C, r.Depth, r.Hoist, r.FlatOffset,
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%d,%s\n",
+			r.Workload, r.System, r.Variant, r.HWPF, r.Exec, r.C, r.Depth, r.Hoist, r.FlatOffset,
 			r.Checksum, r.Cycles, r.Instructions, r.Loads, r.Stores, r.SWPrefetches,
 			r.L1Hits, r.L1Misses, r.DRAMAccesses, r.HWPrefetches, r.HWPrefetchDropped,
 			r.TLBWalks, r.LoadStallCycles, r.PrefetchedUnusedL1, err)

@@ -11,6 +11,15 @@
 // so workers recycle their cache/TLB/MSHR table storage across runs
 // instead of reallocating it.
 //
+// Cells requested with Exec = core.ExecReplay run through the
+// record/replay split (internal/trace): the engine factors them by
+// (workload, variant, options) — the functional coordinates — records
+// (or fetches from a TraceCache) one trace per group, and retimes every
+// machine × hwpf cell of the group by replaying that trace. Replayed
+// statistics are byte-for-byte identical to direct runs, so the two
+// modes are interchangeable cell by cell; replay just amortizes the
+// interpreter across the timing axes.
+//
 // The figure harness (internal/bench), the golden stat dumper
 // (cmd/golden) and swpfbench's -sweep mode are all built on this
 // package.
@@ -22,16 +31,30 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
-// Request describes one cell of an experiment grid.
+// Request describes one cell of an experiment grid. Exec selects the
+// execution mode; the zero value ("") means core.ExecDirect, so request
+// lists written before the axis existed behave unchanged.
 type Request struct {
 	Workload *workloads.Workload
 	System   *sim.Config
 	Variant  core.Variant
 	Options  core.Options
+	Exec     core.ExecMode
+}
+
+// ExecMode returns the request's execution mode with the zero value
+// normalized to direct.
+func (r Request) ExecMode() core.ExecMode {
+	if r.Exec == "" {
+		return core.ExecDirect
+	}
+	return r.Exec
 }
 
 // Outcome pairs a request with what happened when it ran.
@@ -63,9 +86,23 @@ func Jobs(jobs, requests int) int {
 // cell — internal/store provides the content-addressed on-disk
 // implementation. Implementations must be safe for concurrent use:
 // worker goroutines Put results as they complete.
+//
+// Result keys ignore the execution mode — direct and replay results
+// are byte-identical, so either mode's entries serve both.
 type Cache interface {
 	Get(Request) (*core.Result, bool)
 	Put(Request, *core.Result) error
+}
+
+// TraceCache is the optional trace-object extension of Cache: a cache
+// that also persists recorded traces lets a replay sweep skip the
+// recording interpretation entirely when any earlier sweep (or
+// process) has recorded the same (workload, variant, options) group.
+// internal/store implements it; a Runner probes for it with a type
+// assertion, so plain result caches keep working untouched.
+type TraceCache interface {
+	GetTrace(Request) (*trace.Trace, bool)
+	PutTrace(Request, *trace.Trace) error
 }
 
 // Runner executes request lists. The zero value runs serially enough:
@@ -76,19 +113,38 @@ type Runner struct {
 	Jobs int
 	// Cache, when non-nil, answers cells without simulating and
 	// persists computed results as each cell completes — an
-	// interrupted grid resumes from the cells already stored.
+	// interrupted grid resumes from the cells already stored. If it
+	// also implements TraceCache, replay-mode groups fetch and persist
+	// their traces through it.
 	Cache Cache
 	// OnProgress, when non-nil, is invoked after every completed cell
 	// (cache hit or simulated) with the running completion count and
 	// the request total. It is called concurrently from worker
 	// goroutines and must be safe for that.
 	OnProgress func(done, total int)
-	// OnPutError, when non-nil, receives cache-persistence failures.
-	// Persistence is best-effort: a failed Put never fails the sweep
-	// (the cell just recomputes next time), so with a nil callback
-	// failures are silently ignored. Called concurrently from worker
-	// goroutines.
+	// OnPutError, when non-nil, receives cache-persistence failures
+	// (results and traces alike). Persistence is best-effort: a failed
+	// Put never fails the sweep (the cell just recomputes next time),
+	// so with a nil callback failures are silently ignored. Called
+	// concurrently from worker goroutines.
 	OnPutError func(Request, error)
+}
+
+// groupKey identifies a replay group: the functional coordinates of a
+// recording. Machine and hwpf are absent — that is the amortization.
+type groupKey struct {
+	name, params string
+	variant      core.Variant
+	options      core.Options
+}
+
+// group is one replay group: the request indices (in request order)
+// sharing a functional key.
+type group struct {
+	idxs     []int
+	image    *interp.Image
+	err      error
+	recorded bool // idxs[0] was served by the recording run itself
 }
 
 // Execute runs every request and returns the outcomes in request
@@ -97,6 +153,13 @@ type Runner struct {
 // race — and the result set still holds every other outcome. Cache
 // hits are served before the worker pool starts, so only misses cost
 // simulation time; failed cells are never cached.
+//
+// Replay-mode misses run in two pooled phases after the direct pool:
+// one trace per group (recorded, or fetched from a TraceCache), then
+// every remaining cell of every group as a replay. A group whose
+// trace cannot be obtained fails all its cells with the recording
+// error. The result set is bit-identical for any worker count in both
+// modes — and across modes, which cmd/golden enforces byte-for-byte.
 func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 	out := make([]Outcome, len(reqs))
 	var done atomic.Int64
@@ -107,8 +170,12 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 		}
 	}
 
-	// Serve cache hits up front; only the misses go to the pool.
-	var misses []int
+	// Serve cache hits up front; only the misses go to the pools.
+	// Result keys ignore Exec, so a warm direct store answers replay
+	// cells (and vice versa) — the modes produce identical results.
+	var direct []int
+	var groups []*group
+	byKey := make(map[groupKey]*group)
 	for i, req := range reqs {
 		if r.Cache != nil {
 			if res, ok := r.Cache.Get(req); ok {
@@ -117,40 +184,134 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 				continue
 			}
 		}
-		misses = append(misses, i)
+		if req.ExecMode() != core.ExecReplay {
+			direct = append(direct, i)
+			continue
+		}
+		k := groupKey{req.Workload.Name, req.Workload.Params, req.Variant, req.Options}
+		g := byKey[k]
+		if g == nil {
+			g = &group{}
+			byKey[k] = g
+			groups = append(groups, g)
+		}
+		g.idxs = append(g.idxs, i)
 	}
 
+	// Direct misses: one cell per work item, as always.
+	r.pool(len(direct), func(cx *core.Context, n int) {
+		i := direct[n]
+		req := reqs[i]
+		res, err := cx.Run(req.Workload, req.System, req.Variant, req.Options)
+		out[i] = Outcome{Request: req, Result: res, Err: err}
+		r.put(req, res, err)
+		progress()
+	})
+
+	// Replay phase 1: one trace per group. Recording is itself a full
+	// direct run, so its Result serves the group's first cell for free
+	// (with Pass nil, like every replay- or store-served result).
+	tc, _ := r.Cache.(TraceCache)
+	r.pool(len(groups), func(cx *core.Context, n int) {
+		g := groups[n]
+		req := reqs[g.idxs[0]]
+		if tc != nil {
+			if t, ok := tc.GetTrace(req); ok {
+				if im, err := interp.NewImage(t); err == nil {
+					g.image = im
+					return
+				}
+				// Undecodable under this build (e.g. recorded by a
+				// different IR revision): fall through and re-record.
+			}
+		}
+		t, res, err := cx.Record(req.Workload, req.System, req.Variant, req.Options)
+		if err == nil {
+			g.image, err = interp.NewImage(t)
+		}
+		if err != nil {
+			g.err = err
+			return
+		}
+		res.Pass = nil
+		out[g.idxs[0]] = Outcome{Request: req, Result: res}
+		g.recorded = true
+		r.put(req, res, nil)
+		if tc != nil {
+			if perr := tc.PutTrace(req, t); perr != nil && r.OnPutError != nil {
+				r.OnPutError(req, perr)
+			}
+		}
+		progress()
+	})
+
+	// Replay phase 2: every remaining cell, retimed from its group's
+	// predecoded image (shared read-only across workers).
+	var cells, cellGroup []int
+	for gi, g := range groups {
+		if g.err != nil {
+			for _, i := range g.idxs {
+				out[i] = Outcome{Request: reqs[i], Err: g.err}
+				progress()
+			}
+			continue
+		}
+		idxs := g.idxs
+		if g.recorded {
+			idxs = idxs[1:]
+		}
+		for _, i := range idxs {
+			cells = append(cells, i)
+			cellGroup = append(cellGroup, gi)
+		}
+	}
+	r.pool(len(cells), func(cx *core.Context, n int) {
+		i := cells[n]
+		req := reqs[i]
+		res, err := cx.ReplayImage(groups[cellGroup[n]].image, req.System)
+		out[i] = Outcome{Request: req, Result: res, Err: err}
+		r.put(req, res, err)
+		progress()
+	})
+
+	set := &ResultSet{Outcomes: out}
+	return set, set.Err()
+}
+
+// pool runs n work items on a worker pool. Each worker owns one
+// core.Context, so simulator tables are recycled across that worker's
+// items and never shared between goroutines.
+func (r Runner) pool(n int, f func(cx *core.Context, n int)) {
+	if n == 0 {
+		return
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for k := Jobs(r.Jobs, len(misses)); k > 0 && len(misses) > 0; k-- {
+	for k := Jobs(r.Jobs, n); k > 0; k-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One context per worker: simulator tables are recycled
-			// across this worker's runs and never shared between
-			// goroutines.
 			cx := core.NewContext()
 			for {
-				n := int(next.Add(1)) - 1
-				if n >= len(misses) {
+				j := int(next.Add(1)) - 1
+				if j >= n {
 					return
 				}
-				i := misses[n]
-				req := reqs[i]
-				res, err := cx.Run(req.Workload, req.System, req.Variant, req.Options)
-				out[i] = Outcome{Request: req, Result: res, Err: err}
-				if err == nil && r.Cache != nil {
-					if perr := r.Cache.Put(req, res); perr != nil && r.OnPutError != nil {
-						r.OnPutError(req, perr)
-					}
-				}
-				progress()
+				f(cx, j)
 			}
 		}()
 	}
 	wg.Wait()
-	set := &ResultSet{Outcomes: out}
-	return set, set.Err()
+}
+
+// put persists a successful result, reporting failures to OnPutError.
+func (r Runner) put(req Request, res *core.Result, err error) {
+	if err != nil || r.Cache == nil {
+		return
+	}
+	if perr := r.Cache.Put(req, res); perr != nil && r.OnPutError != nil {
+		r.OnPutError(req, perr)
+	}
 }
 
 // Execute runs every request on a pool of jobs worker goroutines
