@@ -1,29 +1,43 @@
-// Command swpfd is a long-running HTTP service that executes
-// experiment grids asynchronously: the sweep engine's worker pool and
-// the content-addressed result store (internal/store), behind a small
-// job API. Submitting the same grid twice — or two grids that overlap
-// — costs one simulation per distinct cell ever seen; everything else
-// is served from the store.
+// Command swpfd is the sweep fabric's daemon: an HTTP service that
+// executes experiment grids asynchronously on a shared cell queue
+// (internal/fleet), backed by the content-addressed result store
+// (internal/store). Submitting the same grid twice — or two grids that
+// overlap, from any number of concurrent clients — costs one
+// simulation per distinct cell fleet-wide; everything else is served
+// from the store or attached to the already-live cell.
 //
-// API:
+// Job API:
 //
-//	POST /sweep        submit a grid spec; returns {"id", "cells"}
+//	POST /sweep        submit a grid spec — or a JSON array of specs —
+//	                   returns {"id", "cells"} (a list, for a list);
+//	                   429 + Retry-After when the queue is full
 //	GET  /jobs         list all jobs with status
 //	GET  /jobs/{id}    one job's status and progress counts
+//	GET  /jobs/{id}/events
+//	                   live progress as Server-Sent Events; the stream
+//	                   ends after the terminal event
 //	GET  /results?id=ID[&format=csv|json]
 //	                   a completed job's ResultSet (JSON records by
 //	                   default, CSV on request)
 //	GET  /meta[?quality=full|quick|tiny|gen]
-//	                   enumerate every grid axis — workloads (per
-//	                   quality), systems, variants, hardware
-//	                   prefetchers, execution modes — so specs can be
-//	                   built without reading source
+//	                   enumerate every grid axis so specs can be built
+//	                   without reading source
 //
-// Jobs run FIFO on a single executor (states queued → running →
-// done/failed): one sweep already saturates the machine with its
-// worker pool, so sequencing jobs bounds resource use at no
-// throughput cost. The queue and the retained-job table are capped
-// (oldest finished jobs are evicted first).
+// Fleet API (worker processes; see worker.go and docs/fleet.md):
+//
+//	POST /fleet/lease      pull a batch of cells under an expiring lease
+//	POST /fleet/complete   report a lease's results
+//	POST /fleet/heartbeat  extend a lease
+//	GET  /fleet            queue + store statistics
+//	GET|PUT /objects/{key} the store-peer protocol (internal/store),
+//	                       mounted when a store is attached
+//
+// Cells run on -local-workers in-process worker loops (default 1) plus
+// any number of remote `swpfd -worker URL` processes pulling from
+// /fleet. The queue dedupes cells by content address, bounds live
+// cells (-max-pending, 429 on overflow), orders by submission priority,
+// and requeues the cells of leases that stop heartbeating — a killed
+// worker loses work, never results.
 //
 // The grid spec mirrors swpfbench's -sweep flags:
 //
@@ -32,9 +46,12 @@
 //	curl -s 'localhost:8077/results?id=job-1&format=csv'
 //
 // Flags: -addr (default 127.0.0.1:8077 — the API is unauthenticated,
-// so non-loopback binds are an explicit choice), -jobs (worker pool
-// size per sweep), -store/-no-store (result cache; default
-// $SWPF_STORE). See docs/service.md for the full protocol.
+// so non-loopback binds are an explicit choice; :0 picks an ephemeral
+// port and prints it), -jobs (worker pool size per sweep),
+// -store/-no-store (result cache; default $SWPF_STORE), -peer (store
+// peer URL; default $SWPF_PEER), -local-workers, -lease-ttl,
+// -lease-batch, -max-pending, and -worker URL (run as a fleet worker
+// instead of a daemon). See docs/service.md and docs/fleet.md.
 package main
 
 import (
@@ -43,17 +60,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/hwpf"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -74,22 +94,70 @@ func run(argv []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("swpfd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr = fs.String("addr", "127.0.0.1:8077", "listen address (loopback by default; the API is unauthenticated)")
-		jobs = fs.Int("jobs", 0, "worker goroutines per sweep (0 = all CPUs)")
+		addr    = fs.String("addr", "127.0.0.1:8077", "listen address (loopback by default; the API is unauthenticated)")
+		jobs    = fs.Int("jobs", 0, "worker goroutines per sweep (0 = all CPUs)")
+		worker  = fs.String("worker", "", "run as a fleet worker pulling cells from this coordinator URL instead of serving")
+		name    = fs.String("name", "", "worker name reported to the coordinator (default swpfd-<pid>)")
+		peer    = fs.String("peer", "", "store-peer URL for read-through/write-behind replication (default $"+store.PeerEnvVar+")")
+		locals  = fs.Int("local-workers", 1, "in-process worker loops (0 = coordinate only, serve cells to remote workers)")
+		ttl     = fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet lease time-to-live between worker heartbeats")
+		batch   = fs.Int("lease-batch", 8, "max cells per worker lease")
+		pending = fs.Int("max-pending", fleet.DefaultMaxPending, "max live (pending+leased) cells before submissions get 429")
 	)
 	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
-	var cache sweep.Cache
-	if st, err := resolveStore(); err != nil {
+	if *worker != "" {
+		return runWorker(*worker, *name, *jobs, *batch, stderr)
+	}
+	st, err := resolveStore()
+	if err != nil {
 		return err
-	} else if st != nil {
+	}
+	var cache sweep.Cache
+	if st != nil {
+		if p := *peer; p == "" {
+			p = os.Getenv(store.PeerEnvVar)
+			if p != "" {
+				*peer = p
+			}
+		}
+		if *peer != "" {
+			if err := st.SetPeer(*peer, store.PeerOptions{}); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "swpfd: store peer %s\n", *peer)
+		}
 		cache = st
 		fmt.Fprintf(stderr, "swpfd: result store at %s\n", st.Dir())
+	} else if *peer != "" {
+		return fmt.Errorf("-peer requires a result store (-store or $%s)", store.EnvVar)
 	}
-	fmt.Fprintf(stderr, "swpfd: listening on %s\n", *addr)
-	return http.ListenAndServe(*addr, newServer(*jobs, cache))
+	// On the flag, 0 means coordinate-only; in config that is the -1
+	// sentinel (config 0 selects the 1-worker default).
+	lw := *locals
+	if lw == 0 {
+		lw = -1
+	}
+	h := newServerCfg(config{
+		jobs:         *jobs,
+		cache:        cache,
+		objects:      st,
+		localWorkers: lw,
+		leaseBatch:   *batch,
+		maxPending:   *pending,
+		leaseTTL:     *ttl,
+		stderr:       stderr,
+	})
+	// Listen before announcing, so "-addr :0" prints the real port —
+	// the e2e harness (and scripts) parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "swpfd: listening on %s\n", ln.Addr())
+	return http.Serve(ln, h)
 }
 
 // SweepSpec is the POST /sweep request body: the same selectors
@@ -115,6 +183,10 @@ type SweepSpec struct {
 	Depth   int    `json:"depth"`
 	Hoist   bool   `json:"hoist"`
 	Quality string `json:"quality"`
+	// Priority orders the queue: higher leases first, FIFO within a
+	// priority; a cell shared with other submissions keeps the highest
+	// priority it has been asked for at.
+	Priority int `json:"priority"`
 }
 
 // Workload pools are memoized per quality: constructing one runs the
@@ -132,22 +204,31 @@ var (
 	genPool = sync.OnceValue(workloads.SyntheticDefault)
 )
 
+// poolFor resolves a quality to its memoized workload pool; "" means
+// full. Shared by spec validation and the worker's cell resolver, so
+// coordinator and workers agree on what every (quality, name) denotes.
+func poolFor(quality string) ([]*workloads.Workload, error) {
+	switch quality {
+	case "", "full":
+		return fullPool(), nil
+	case "quick":
+		return quickPool(), nil
+	case "tiny":
+		return tinyPool(), nil
+	case "gen":
+		return genPool(), nil
+	default:
+		return nil, fmt.Errorf("unknown quality %q (have full, quick, tiny, gen)", quality)
+	}
+}
+
 // grid resolves the spec against the workload registry, failing on any
 // unknown name — submission-time validation, so a bad spec is a 400,
 // never a failed job.
 func (sp SweepSpec) grid() (sweep.Grid, error) {
-	var pool []*workloads.Workload
-	switch sp.Quality {
-	case "", "full":
-		pool = fullPool()
-	case "quick":
-		pool = quickPool()
-	case "tiny":
-		pool = tinyPool()
-	case "gen":
-		pool = genPool()
-	default:
-		return sweep.Grid{}, fmt.Errorf("unknown quality %q (have full, quick, tiny, gen)", sp.Quality)
+	pool, err := poolFor(sp.Quality)
+	if err != nil {
+		return sweep.Grid{}, err
 	}
 	ws, err := sweep.SelectWorkloads(pool, sp.Workloads)
 	if err != nil {
@@ -179,43 +260,36 @@ func (sp SweepSpec) grid() (sweep.Grid, error) {
 	}, nil
 }
 
-// Job states.
+// quality returns the spec's workload pool name with the default made
+// explicit — the form that travels in cell specs.
+func (sp SweepSpec) quality() string {
+	if sp.Quality == "" {
+		return "full"
+	}
+	return sp.Quality
+}
+
+// Job states. Submissions are admitted straight into the cell queue
+// (or rejected with 429), so there is no queued state: a job is
+// running until its last cell completes.
 const (
-	stateQueued  = "queued"
 	stateRunning = "running"
 	stateDone    = "done"
 	stateFailed  = "failed"
 )
 
-// Capacity bounds. Jobs run FIFO on a single executor so concurrent
-// submissions cannot multiply worker pools; the queue and the retained
-// job table are both capped so a chatty client cannot grow the daemon
-// without bound.
-const (
-	// maxQueue bounds submissions waiting to run; beyond it POST
-	// /sweep answers 503.
-	maxQueue = 1024
-	// maxJobs bounds retained jobs: once exceeded, the oldest
-	// *terminal* jobs (and their result sets) are evicted, after which
-	// their ids answer 404. Queued/running jobs are never evicted.
-	maxJobs = 256
-)
+// maxJobs bounds retained jobs: once exceeded, the oldest *terminal*
+// jobs (and their result sets) are evicted, after which their ids
+// answer 404. Running jobs are never evicted. (Live cells are bounded
+// separately by the queue's max-pending admission control.)
+const maxJobs = 256
 
-// job is one submitted sweep. done counts completed cells (cache hits
-// included) and is read while workers are still appending, hence
-// atomic; set and err are written exactly once, before state flips to
-// a terminal value under mu.
+// job is one submitted sweep, backed by a fleet ticket. All dynamic
+// state — progress, outcomes, completion — lives in the ticket.
 type job struct {
-	id    string
-	spec  SweepSpec
-	reqs  []sweep.Request
-	cells int
-	done  atomic.Int64
-
-	mu    sync.Mutex
-	state string
-	set   *sweep.ResultSet
-	err   error
+	id     string
+	spec   SweepSpec
+	ticket *fleet.Ticket
 }
 
 // JobStatus is the wire form of a job, served by GET /jobs{,/{id}}.
@@ -229,27 +303,43 @@ type JobStatus struct {
 }
 
 func (j *job) status() JobStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	done, total := j.ticket.Progress()
 	st := JobStatus{
 		ID:    j.id,
 		Spec:  j.spec,
-		State: j.state,
-		Total: j.cells,
-		Done:  int(j.done.Load()),
+		State: stateRunning,
+		Total: total,
+		Done:  done,
 	}
-	if j.err != nil {
-		st.Error = j.err.Error()
+	if set, ok := j.ticket.ResultSet(); ok {
+		if err := set.Err(); err != nil {
+			st.State = stateFailed
+			st.Error = err.Error()
+		} else {
+			st.State = stateDone
+		}
 	}
 	return st
 }
 
-// server holds the job table and the sweep configuration shared by
-// every submission.
+// config wires a server; the zero value of every field selects a sane
+// default.
+type config struct {
+	jobs         int          // sweep worker-pool size per local worker
+	cache        sweep.Cache  // result cache; nil = none
+	objects      *store.Store // when non-nil, /objects/ serves the store-peer protocol
+	localWorkers int          // in-process worker loops; -1 = none, 0 = 1
+	leaseBatch   int
+	maxPending   int
+	leaseTTL     time.Duration
+	stderr       io.Writer
+}
+
+// server holds the cell queue, the job table and the sweep
+// configuration shared by every submission.
 type server struct {
-	jobs  int
-	cache sweep.Cache
-	queue chan *job
+	cfg   config
+	queue *fleet.Queue
 
 	mu   sync.Mutex
 	seq  int
@@ -257,22 +347,54 @@ type server struct {
 	ids  []string // insertion order, for stable GET /jobs listings
 }
 
-// newServer builds the daemon's HTTP handler and starts its executor;
-// cache may be nil.
+// newServer builds a daemon handler with default fleet settings and
+// one in-process worker — the single-node shape, and the shape most
+// tests drive; cache may be nil.
 func newServer(jobs int, cache sweep.Cache) http.Handler {
-	s := &server{
-		jobs:  jobs,
-		cache: cache,
-		queue: make(chan *job, maxQueue),
-		byID:  make(map[string]*job),
+	return newServerCfg(config{jobs: jobs, cache: cache})
+}
+
+// newServerCfg builds the daemon's HTTP handler and starts its local
+// worker loops.
+func newServerCfg(cfg config) http.Handler {
+	if cfg.localWorkers == 0 {
+		cfg.localWorkers = 1
+	} else if cfg.localWorkers < 0 {
+		cfg.localWorkers = 0
 	}
-	go s.executor()
+	if cfg.leaseBatch <= 0 {
+		cfg.leaseBatch = 8
+	}
+	if cfg.stderr == nil {
+		cfg.stderr = os.Stderr
+	}
+	s := &server{
+		cfg:  cfg,
+		byID: make(map[string]*job),
+		queue: fleet.New(fleet.Options{
+			Cache:      cfg.cache,
+			MaxPending: cfg.maxPending,
+			LeaseTTL:   cfg.leaseTTL,
+			OnPutError: store.PutWarner(cfg.stderr),
+		}),
+	}
+	for i := 0; i < cfg.localWorkers; i++ {
+		go s.localWorker(fmt.Sprintf("local-%d", i))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /meta", s.handleMeta)
+	mux.HandleFunc("POST /fleet/lease", s.handleLease)
+	mux.HandleFunc("POST /fleet/complete", s.handleComplete)
+	mux.HandleFunc("POST /fleet/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
+	if cfg.objects != nil {
+		mux.Handle("/objects/", store.NewHandler(cfg.objects))
+	}
 	return mux
 }
 
@@ -309,13 +431,10 @@ type Meta struct {
 // memoizes that pool, which generates workload input data — a one-off
 // cost per quality per process).
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	pools := map[string]func() []*workloads.Workload{
-		"full": fullPool, "quick": quickPool, "tiny": tinyPool, "gen": genPool,
-	}
 	qualities := []string{"full", "quick", "tiny", "gen"}
 	if q := r.URL.Query().Get("quality"); q != "" {
-		if _, ok := pools[q]; !ok {
-			writeError(w, http.StatusBadRequest, "unknown quality %q (have full, quick, tiny, gen)", q)
+		if _, err := poolFor(q); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		qualities = []string{q}
@@ -326,8 +445,9 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		Variants:  make([]string, 0, len(sweep.Variants())),
 	}
 	for _, q := range qualities {
+		pool, _ := poolFor(q)
 		var ws []MetaWorkload
-		for _, wl := range pools[q]() {
+		for _, wl := range pool {
 			ws = append(ws, MetaWorkload{Name: wl.Name, Params: wl.Params})
 		}
 		m.Workloads[q] = ws
@@ -351,33 +471,6 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-// executor drains the queue one job at a time: a single sweep already
-// saturates the machine with its own worker pool, so running jobs
-// sequentially bounds resource use without slowing anything down.
-func (s *server) executor() {
-	for j := range s.queue {
-		j.mu.Lock()
-		j.state = stateRunning
-		j.mu.Unlock()
-		runner := sweep.Runner{
-			Jobs:       s.jobs,
-			Cache:      s.cache,
-			OnProgress: func(_, _ int) { j.done.Add(1) },
-			OnPutError: store.PutWarner(os.Stderr),
-		}
-		set, err := runner.Execute(j.reqs)
-		j.mu.Lock()
-		j.set, j.err = set, err
-		if err != nil {
-			j.state = stateFailed
-		} else {
-			j.state = stateDone
-		}
-		j.reqs = nil // the request list is dead weight once executed
-		j.mu.Unlock()
-	}
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -390,38 +483,112 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleSweep validates the spec, registers a job and enqueues it for
-// the executor; the response returns immediately with the job id and
-// cell count.
+// SubmitReply is one accepted submission in the POST /sweep response.
+type SubmitReply struct {
+	ID    string `json:"id"`
+	Cells int    `json:"cells"`
+}
+
+// handleSweep validates and submits a grid spec — or a JSON array of
+// specs, admitted in order. Each spec becomes one job; the response
+// returns immediately with id and cell count per job (a bare object
+// for a bare spec, a list for a list). Overfull queue: 429 with a
+// Retry-After header; specs already admitted from a list are reported
+// in the error body's "submitted" field and keep running.
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var spec SweepSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	specs, batch, err := decodeSpecs(body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
 		return
 	}
-	grid, err := spec.grid()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	reqs := grid.Expand()
 
-	s.mu.Lock()
-	s.seq++
-	j := &job{id: "job-" + strconv.Itoa(s.seq), spec: spec, reqs: reqs, cells: len(reqs), state: stateQueued}
-	select {
-	case s.queue <- j:
-	default:
+	// Validate every spec before admitting any: a bad spec in a batch
+	// is a 400, not a half-submitted batch.
+	type prepared struct {
+		spec SweepSpec
+		reqs []sweep.Request
+		wire []fleet.CellSpec
+	}
+	preps := make([]prepared, 0, len(specs))
+	for _, spec := range specs {
+		grid, err := spec.grid()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		reqs := grid.Expand()
+		wire := make([]fleet.CellSpec, len(reqs))
+		for i, req := range reqs {
+			if wire[i], err = fleet.SpecFor(spec.quality(), req); err != nil {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
+		preps = append(preps, prepared{spec, reqs, wire})
+	}
+
+	replies := make([]SubmitReply, 0, len(preps))
+	for _, p := range preps {
+		ticket, err := s.queue.Submit(p.reqs, p.wire, p.spec.Priority)
+		var full fleet.ErrQueueFull
+		if errors.As(err, &full) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds()+0.5)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":     full.Error(),
+				"submitted": replies,
+			})
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		s.seq++
+		j := &job{id: "job-" + strconv.Itoa(s.seq), spec: p.spec, ticket: ticket}
+		s.byID[j.id] = j
+		s.ids = append(s.ids, j.id)
+		s.evictLocked()
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "queue full (%d jobs waiting)", maxQueue)
+		replies = append(replies, SubmitReply{ID: j.id, Cells: len(p.reqs)})
+	}
+	if batch {
+		writeJSON(w, http.StatusAccepted, replies)
 		return
 	}
-	s.byID[j.id] = j
-	s.ids = append(s.ids, j.id)
-	s.evictLocked()
-	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, replies[0])
+}
 
-	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "cells": len(reqs)})
+// decodeSpecs parses a POST /sweep body: one spec object, or an array
+// of them; batch reports which form arrived, so the response can
+// mirror it.
+func decodeSpecs(body []byte) (specs []SweepSpec, batch bool, err error) {
+	for _, c := range body {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '[':
+			batch = true
+		}
+		break
+	}
+	if batch {
+		err = json.Unmarshal(body, &specs)
+		if err == nil && len(specs) == 0 {
+			err = fmt.Errorf("empty spec list")
+		}
+		return specs, true, err
+	}
+	var spec SweepSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return nil, false, err
+	}
+	return []SweepSpec{spec}, false, nil
 }
 
 // evictLocked drops the oldest terminal jobs (result sets included)
@@ -429,10 +596,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *server) evictLocked() {
 	for i := 0; len(s.byID) > maxJobs && i < len(s.ids); {
 		j := s.byID[s.ids[i]]
-		j.mu.Lock()
-		terminal := j.state == stateDone || j.state == stateFailed
-		j.mu.Unlock()
-		if !terminal {
+		if _, terminal := j.ticket.ResultSet(); !terminal {
 			i++
 			continue
 		}
@@ -470,6 +634,65 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// Event is one GET /jobs/{id}/events payload: a progress snapshot;
+// the terminal event carries the job's final state and closes the
+// stream.
+type Event struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	State string `json:"state"`
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: one
+// `data:` line per notification (counts are monotonic, intermediate
+// events may be coalesced), ending with the terminal done/failed
+// event. A subscriber joining a finished job gets exactly the terminal
+// event.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := j.ticket.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p := <-ch:
+			ev := Event{Done: p.Done, Total: p.Total, State: stateRunning}
+			if p.Finished {
+				// The ticket is finished, so status() is terminal.
+				ev.State = j.status().State
+			}
+			if _, err := io.WriteString(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil { // Encode appends the \n
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			if p.Finished {
+				return
+			}
+		}
+	}
+}
+
 // handleResults streams a completed job's result set through the
 // ResultSet emitters: JSON records by default, CSV with format=csv.
 func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -479,15 +702,14 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	j.mu.Lock()
-	state, set, jerr := j.state, j.set, j.err
-	j.mu.Unlock()
-	switch state {
-	case stateQueued, stateRunning:
-		writeError(w, http.StatusConflict, "job %s not finished (state %s)", id, state)
+	set, finished := j.ticket.ResultSet()
+	if !finished {
+		done, total := j.ticket.Progress()
+		writeError(w, http.StatusConflict, "job %s not finished (%d/%d cells)", id, done, total)
 		return
-	case stateFailed:
-		writeError(w, http.StatusInternalServerError, "job %s failed: %v", id, jerr)
+	}
+	if err := set.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "job %s failed: %v", id, err)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -500,4 +722,170 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "unknown format %q (have json, csv)", format)
 	}
+}
+
+// LeaseRequest is the POST /fleet/lease body.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// handleLease hands the worker a batch of cells, or 204 when nothing
+// is pending (the worker polls again).
+func (s *server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "lease request missing worker name")
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = s.cfg.leaseBatch
+	}
+	l := s.queue.Lease(req.Worker, req.Max)
+	if l == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+// CompleteRequest is the POST /fleet/complete body.
+type CompleteRequest struct {
+	Lease   string             `json:"lease"`
+	Worker  string             `json:"worker"`
+	Results []fleet.CellResult `json:"results"`
+}
+
+func (s *server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding completion: %v", err)
+		return
+	}
+	accepted, dropped := s.queue.Complete(req.Lease, req.Worker, req.Results)
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "dropped": dropped})
+}
+
+// HeartbeatRequest is the POST /fleet/heartbeat body.
+type HeartbeatRequest struct {
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+}
+
+func (s *server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": s.queue.Heartbeat(req.Lease, req.Worker)})
+}
+
+// FleetStatus is the GET /fleet response.
+type FleetStatus struct {
+	Queue fleet.Stats      `json:"queue"`
+	Store *store.Stats     `json:"store,omitempty"`
+	Peer  *store.PeerStats `json:"peer,omitempty"`
+}
+
+func (s *server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	out := FleetStatus{Queue: s.queue.Stats()}
+	if s.cfg.objects != nil {
+		st := s.cfg.objects.Stats()
+		out.Store = &st
+		if ps, ok := s.cfg.objects.PeerStats(); ok {
+			out.Peer = &ps
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// traceOnlyCache is the local workers' view of the daemon cache:
+// result Gets and Puts are no-ops — the queue already probed at
+// submission, and the coordinator persists each distinct cell exactly
+// once at completion — while trace traffic passes through, so replay
+// groups still record once per store lifetime.
+type traceOnlyCache struct{ tc sweep.TraceCache }
+
+func (c traceOnlyCache) Get(sweep.Request) (*core.Result, bool) { return nil, false }
+func (c traceOnlyCache) Put(sweep.Request, *core.Result) error  { return nil }
+func (c traceOnlyCache) GetTrace(r sweep.Request) (*trace.Trace, bool) {
+	return c.tc.GetTrace(r)
+}
+func (c traceOnlyCache) PutTrace(r sweep.Request, t *trace.Trace) error {
+	return c.tc.PutTrace(r, t)
+}
+
+// workerCache builds the cache a local worker runs under.
+func (s *server) workerCache() sweep.Cache {
+	if tc, ok := s.cfg.cache.(sweep.TraceCache); ok {
+		return traceOnlyCache{tc}
+	}
+	return nil
+}
+
+// localWorker is an in-process fleet worker: lease, execute, complete,
+// forever. It heartbeats like a remote worker so long batches survive
+// short lease TTLs, and it reports through the same Complete path — the
+// coordinator cannot tell local and remote workers apart.
+func (s *server) localWorker(name string) {
+	cache := s.workerCache()
+	for {
+		l := s.queue.Lease(name, s.cfg.leaseBatch)
+		if l == nil {
+			s.queue.WaitWork(time.Second)
+			continue
+		}
+		stop := make(chan struct{})
+		go func() {
+			t := time.NewTicker(heartbeatEvery(l.TTL()))
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					s.queue.Heartbeat(l.ID, name)
+				}
+			}
+		}()
+		runner := sweep.Runner{
+			Jobs:       s.cfg.jobs,
+			Cache:      cache,
+			OnPutError: store.PutWarner(s.cfg.stderr),
+		}
+		set, _ := runner.Execute(l.Requests())
+		close(stop)
+		s.queue.Complete(l.ID, name, cellResults(l, set))
+	}
+}
+
+// heartbeatEvery picks a heartbeat interval safely inside a lease TTL.
+func heartbeatEvery(ttl time.Duration) time.Duration {
+	every := ttl / 3
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	return every
+}
+
+// cellResults converts an executed lease into a completion report;
+// Execute returns outcomes in request order, which matches the lease's
+// cell order.
+func cellResults(l *fleet.Lease, set *sweep.ResultSet) []fleet.CellResult {
+	out := make([]fleet.CellResult, len(set.Outcomes))
+	for i, o := range set.Outcomes {
+		out[i] = fleet.CellResult{Key: l.Cells[i].Key}
+		if o.Err != nil {
+			out[i].Err = o.Err.Error()
+		} else {
+			d := fleet.ResultDataOf(o.Result)
+			out[i].Result = &d
+		}
+	}
+	return out
 }

@@ -1,0 +1,209 @@
+// Fleet worker mode: `swpfd -worker http://coordinator:8077` turns the
+// process into a cell executor. The loop is lease → reconstruct →
+// execute → complete, with heartbeats keeping the lease alive while a
+// batch runs; the coordinator owns all bookkeeping (dedupe,
+// persistence, result fan-out), so a worker holds no state worth
+// preserving — kill it any time and its leased cells return to the
+// queue when the lease expires.
+//
+// Workers reconstruct cells from wire specs (internal/fleet.CellSpec):
+// the machine configuration travels in full, the workload is resolved
+// by (quality, name) out of the worker's own memoized pools and
+// cross-checked against the coordinator's parameter string, so a
+// version-skewed worker fails the cell loudly instead of silently
+// computing the wrong one.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/sweep"
+)
+
+// workerPoll is how often an idle worker asks for work; workerBackoffMax
+// caps the reconnect backoff after coordinator errors.
+const (
+	workerPoll       = 200 * time.Millisecond
+	workerBackoffMax = 5 * time.Second
+)
+
+// resolveWorkload is the fleet.WorkloadResolver backed by the daemon's
+// memoized pools — the same pools submission validation uses, so
+// coordinator and worker agree on every name.
+func resolveWorkload(quality, name string) (*sweep.Request, error) {
+	pool, err := poolFor(quality)
+	if err != nil {
+		return nil, err
+	}
+	for _, wl := range pool {
+		if wl.Name == name {
+			return &sweep.Request{Workload: wl}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q in the %s pool", name, quality)
+}
+
+// runWorker is the worker-mode main loop: poll the coordinator for
+// leases until killed. Coordinator outages are retried with capped
+// exponential backoff — a worker outlives coordinator restarts.
+func runWorker(coordinator, name string, jobs, batch int, stderr io.Writer) error {
+	coordinator = strings.TrimRight(coordinator, "/")
+	if !strings.Contains(coordinator, "://") {
+		return fmt.Errorf("-worker %q is not an absolute coordinator URL", coordinator)
+	}
+	if name == "" {
+		name = fmt.Sprintf("swpfd-%d", os.Getpid())
+	}
+	w := &fleetWorker{
+		coordinator: coordinator,
+		name:        name,
+		jobs:        jobs,
+		batch:       batch,
+		client:      &http.Client{Timeout: 30 * time.Second},
+		stderr:      stderr,
+	}
+	fmt.Fprintf(stderr, "swpfd: worker %s pulling from %s\n", name, coordinator)
+	backoff := 100 * time.Millisecond
+	for {
+		l, err := w.lease()
+		if err != nil {
+			fmt.Fprintf(stderr, "swpfd: worker: %v (retrying in %s)\n", err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > workerBackoffMax {
+				backoff = workerBackoffMax
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		if l == nil {
+			time.Sleep(workerPoll)
+			continue
+		}
+		if err := w.execute(l); err != nil {
+			fmt.Fprintf(stderr, "swpfd: worker: %v\n", err)
+		}
+	}
+}
+
+type fleetWorker struct {
+	coordinator string
+	name        string
+	jobs        int
+	batch       int
+	client      *http.Client
+	stderr      io.Writer
+}
+
+// post sends one JSON request and decodes the JSON reply into out
+// (skipped when out is nil or the reply is 204).
+func (w *fleetWorker) post(path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Post(w.coordinator+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent || out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return resp.StatusCode, fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// lease asks for a batch; nil means nothing pending.
+func (w *fleetWorker) lease() (*fleet.Lease, error) {
+	var l fleet.Lease
+	code, err := w.post("/fleet/lease", LeaseRequest{Worker: w.name, Max: w.batch}, &l)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNoContent {
+		return nil, nil
+	}
+	return &l, nil
+}
+
+// execute reconstructs a lease's cells, runs them, and reports every
+// cell — results for the runnable ones, errors for the rest — while a
+// background heartbeat keeps the lease alive.
+func (w *fleetWorker) execute(l *fleet.Lease) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(heartbeatEvery(l.TTL()))
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				var hb struct {
+					OK bool `json:"ok"`
+				}
+				if _, err := w.post("/fleet/heartbeat", HeartbeatRequest{Lease: l.ID, Worker: w.name}, &hb); err == nil && !hb.OK {
+					// Lease gone (expired and re-leased elsewhere): keep
+					// computing — the completion is reported anyway and
+					// the coordinator drops whatever the re-lease already
+					// answered.
+					return
+				}
+			}
+		}
+	}()
+
+	results := make([]fleet.CellResult, len(l.Cells))
+	var reqs []sweep.Request
+	var reqIdx []int
+	for i, c := range l.Cells {
+		results[i] = fleet.CellResult{Key: c.Key}
+		req, err := c.Spec.Request(resolveWorkload)
+		if err != nil {
+			results[i].Err = err.Error()
+			continue
+		}
+		reqs = append(reqs, req)
+		reqIdx = append(reqIdx, i)
+	}
+	if len(reqs) > 0 {
+		// No cache: the coordinator probed its store at submission and
+		// persists completions; replay groups lease whole, so trace
+		// amortization happens in-memory within this Execute call.
+		set, _ := sweep.Runner{Jobs: w.jobs}.Execute(reqs)
+		for n, o := range set.Outcomes {
+			i := reqIdx[n]
+			if o.Err != nil {
+				results[i].Err = o.Err.Error()
+			} else {
+				d := fleet.ResultDataOf(o.Result)
+				results[i].Result = &d
+			}
+		}
+	}
+
+	var rep struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	if _, err := w.post("/fleet/complete", CompleteRequest{Lease: l.ID, Worker: w.name, Results: results}, &rep); err != nil {
+		return fmt.Errorf("reporting lease %s: %w", l.ID, err)
+	}
+	if rep.Dropped > 0 {
+		fmt.Fprintf(w.stderr, "swpfd: worker %s: %d duplicate cells dropped by coordinator\n", w.name, rep.Dropped)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndRun keeps the examples honest: each one must
+// compile and run to completion, and print something. Examples are the
+// first code a new user executes, so a refactor that breaks one is a
+// release blocker even though nothing in cmd/ or internal/ imports
+// them.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example builds skipped in -short mode")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 4 {
+		t.Fatalf("expected at least four examples, found %v", dirs)
+	}
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("building example %s: %v\n%s", name, err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("running example %s: %v\n%s", name, err, out)
+			}
+			if len(bytes.TrimSpace(out)) == 0 {
+				t.Errorf("example %s printed nothing", name)
+			}
+		})
+	}
+}

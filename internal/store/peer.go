@@ -1,0 +1,303 @@
+// Store-peer protocol, client side. A store can front another store
+// reachable over HTTP (see server.go for the handler): local misses
+// read through to the peer (GET /objects/{key}) and local Puts
+// replicate to it asynchronously (PUT /objects/{key}, write-behind).
+//
+// The peer is strictly an accelerator — correctness never depends on
+// it:
+//
+//   - Every fetched object is validated against the key it was asked
+//     for before it is used or materialized, so a corrupt, truncated
+//     or mislabelled response is simply a miss. Content addressing
+//     makes this cheap: the object carries its own key.
+//   - A peer that times out or errors repeatedly is marked down and
+//     the store degrades to local-only; after a cooldown a single
+//     probe request decides whether it is back (a half-open circuit
+//     breaker). Cells computed while the peer is down stay local.
+//   - Write-behind replication retries each object a bounded number of
+//     times with backoff, then drops it (counted, never fatal) — a
+//     full disk or dead peer cannot fail a sweep, exactly like local
+//     Put failures.
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PeerEnvVar names the environment variable holding a default
+// store-peer URL, consulted by the commands' -peer flag handling.
+const PeerEnvVar = "SWPF_PEER"
+
+// PeerOptions tunes the peer client; zero values select the defaults.
+type PeerOptions struct {
+	// Timeout bounds each HTTP request (default 2s).
+	Timeout time.Duration
+	// Retries is the write-behind attempt count per object (default 3).
+	Retries int
+	// Backoff is the base delay between write-behind attempts; attempt
+	// n waits n×Backoff (default 100ms).
+	Backoff time.Duration
+	// FailThreshold is the consecutive-failure count that marks the
+	// peer down (default 3).
+	FailThreshold int
+	// Cooldown is how long a down peer is left alone before one probe
+	// request is allowed through (default 5s).
+	Cooldown time.Duration
+	// QueueLen bounds the write-behind queue; when full, objects are
+	// dropped and counted (default 256).
+	QueueLen int
+}
+
+func (o PeerOptions) withDefaults() PeerOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	return o
+}
+
+// PeerStats snapshots peer traffic and health.
+type PeerStats struct {
+	Base    string `json:"base"`
+	Up      bool   `json:"up"`
+	Hits    int64  `json:"hits"`    // read-through fetches served by the peer
+	Misses  int64  `json:"misses"`  // peer answered 404
+	Errors  int64  `json:"errors"`  // transport/HTTP failures (both directions)
+	Puts    int64  `json:"puts"`    // objects replicated
+	Dropped int64  `json:"dropped"` // write-behind objects given up on
+}
+
+type putItem struct {
+	key  string
+	data []byte
+}
+
+// peer is the client state for one upstream store.
+type peer struct {
+	base   string
+	opt    PeerOptions
+	client *http.Client
+
+	queue chan putItem
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	fails     int
+	downUntil time.Time
+	probing   bool
+
+	hits, misses, errors, puts, dropped atomic.Int64
+}
+
+// SetPeer attaches an HTTP store-peer to the store. Call once, before
+// the store is used concurrently. The base URL is the peer's root —
+// the handler mounted by NewHandler (or a swpfd daemon, which serves
+// the same protocol under /objects/).
+func (s *Store) SetPeer(base string, opt PeerOptions) error {
+	if s.peer != nil {
+		return fmt.Errorf("store: peer already set")
+	}
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		return fmt.Errorf("store: peer %q is not an absolute URL", base)
+	}
+	opt = opt.withDefaults()
+	p := &peer{
+		base:   base,
+		opt:    opt,
+		client: &http.Client{Timeout: opt.Timeout},
+		queue:  make(chan putItem, opt.QueueLen),
+	}
+	go p.writer()
+	s.peer = p
+	return nil
+}
+
+// Peer reports the attached peer's base URL ("" when none).
+func (s *Store) Peer() string {
+	if s.peer == nil {
+		return ""
+	}
+	return s.peer.base
+}
+
+// PeerStats snapshots the peer client; ok is false when no peer is
+// attached.
+func (s *Store) PeerStats() (PeerStats, bool) {
+	p := s.peer
+	if p == nil {
+		return PeerStats{}, false
+	}
+	p.mu.Lock()
+	up := time.Now().After(p.downUntil) && p.fails < p.opt.FailThreshold
+	p.mu.Unlock()
+	return PeerStats{
+		Base:    p.base,
+		Up:      up,
+		Hits:    p.hits.Load(),
+		Misses:  p.misses.Load(),
+		Errors:  p.errors.Load(),
+		Puts:    p.puts.Load(),
+		Dropped: p.dropped.Load(),
+	}, true
+}
+
+// Flush blocks until the write-behind queue has drained — every
+// queued object replicated, retried out, or dropped. Tests and
+// daemon shutdown use it; steady-state operation never waits.
+func (s *Store) Flush() {
+	if s.peer != nil {
+		s.peer.wg.Wait()
+	}
+}
+
+// admit reports whether a request may go to the peer now. While the
+// peer is down, everything is refused until the cooldown elapses; then
+// exactly one caller becomes the probe (probe=true) and its outcome
+// decides the circuit.
+func (p *peer) admit() (ok, probe bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fails < p.opt.FailThreshold {
+		return true, false
+	}
+	if time.Now().Before(p.downUntil) || p.probing {
+		return false, false
+	}
+	p.probing = true
+	return true, true
+}
+
+// outcome records a request result and updates the circuit.
+func (p *peer) outcome(err error, probe bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if probe {
+		p.probing = false
+	}
+	if err == nil {
+		p.fails = 0
+		return
+	}
+	p.errors.Add(1)
+	p.fails++
+	if p.fails >= p.opt.FailThreshold {
+		p.downUntil = time.Now().Add(p.opt.Cooldown)
+	}
+}
+
+// fetch reads one object from the peer; found is false on miss, error
+// or an open circuit. The caller validates the bytes.
+func (p *peer) fetch(key string) (data []byte, found bool) {
+	ok, probe := p.admit()
+	if !ok {
+		return nil, false
+	}
+	resp, err := p.client.Get(p.base + "/objects/" + key)
+	if err != nil {
+		p.outcome(err, probe)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			p.outcome(err, probe)
+			return nil, false
+		}
+		p.outcome(nil, probe)
+		p.hits.Add(1)
+		return data, true
+	case http.StatusNotFound:
+		// A miss is a healthy answer, not a failure.
+		p.outcome(nil, probe)
+		p.misses.Add(1)
+		return nil, false
+	default:
+		p.outcome(fmt.Errorf("peer: GET %s: %s", key[:12], resp.Status), probe)
+		return nil, false
+	}
+}
+
+// enqueue queues an object for write-behind replication; a full queue
+// drops (counted).
+func (p *peer) enqueue(key string, data []byte) {
+	p.wg.Add(1)
+	select {
+	case p.queue <- putItem{key, data}:
+	default:
+		p.dropped.Add(1)
+		p.wg.Done()
+	}
+}
+
+// writer drains the write-behind queue, one object at a time, with
+// bounded retries and linear backoff. While the circuit is open,
+// objects are dropped immediately — local-only degradation — instead
+// of burning a timeout per object.
+func (p *peer) writer() {
+	for item := range p.queue {
+		p.replicate(item)
+		p.wg.Done()
+	}
+}
+
+func (p *peer) replicate(item putItem) {
+	for attempt := 1; attempt <= p.opt.Retries; attempt++ {
+		ok, probe := p.admit()
+		if !ok {
+			p.dropped.Add(1)
+			return
+		}
+		err := p.putOnce(item)
+		p.outcome(err, probe)
+		if err == nil {
+			p.puts.Add(1)
+			return
+		}
+		if attempt < p.opt.Retries {
+			time.Sleep(time.Duration(attempt) * p.opt.Backoff)
+		}
+	}
+	p.dropped.Add(1)
+}
+
+func (p *peer) putOnce(item putItem) error {
+	req, err := http.NewRequest(http.MethodPut, p.base+"/objects/"+item.key, bytes.NewReader(item.data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("peer: PUT %s: %s", item.key[:12], resp.Status)
+	}
+	return nil
+}
