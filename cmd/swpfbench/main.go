@@ -23,6 +23,18 @@
 //	swpfbench -sweep -gen 8 -workloads GEN -variants plain,auto
 //	swpfbench -sweep -exec replay -systems Haswell,A53  # record once, retime per machine
 //
+// -tune searches the prefetch configuration space (internal/tune)
+// instead of running a fixed grid: it finds the (look-ahead, depth,
+// hoist, hardware-prefetcher) configuration with the best speedup over
+// the no-prefetch baseline for each selected workload × system pair
+// and reports the best point plus the full look-ahead sensitivity
+// curve (CSV, or JSON with -json):
+//
+//	swpfbench -tune -workloads IS,RA -systems A53,Haswell
+//	swpfbench -tune -strategy hillclimb -hwpf default,none,imp
+//	swpfbench -tune -cs 16,32,64,128 -depths 0,1,2 -hoists false,true -json
+//	swpfbench -exp lookahead            # the tuner-built sensitivity figure
+//
 // -exec replay routes the grid through the record/replay split
 // (internal/trace): each (workload, variant) is interpreted once and
 // the trace retimed on every machine x hwpf cell, with statistics
@@ -59,6 +71,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/tune"
 	"repro/internal/uarch"
 	wkl "repro/internal/workloads"
 )
@@ -85,9 +98,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("swpfbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, swhw, all")
-		system = fs.String("system", "", "restrict fig4/swhw to one system (Haswell, XeonPhi, A57, A53)")
-		wl     = fs.String("bench", "", "restrict fig6 to one benchmark (IS, CG, RA, HJ-2)")
+		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, swhw, lookahead, all")
+		system = fs.String("system", "", "restrict fig4/swhw to one system, or lookahead to a system list (Haswell, XeonPhi, A57, A53)")
+		wl     = fs.String("bench", "", "restrict fig6 to one benchmark, or lookahead to a benchmark list (IS, CG, RA, HJ-2)")
 		quick  = fs.Bool("quick", false, "reduced input sizes")
 		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jobs   = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
@@ -105,7 +118,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		c         = fs.Int64("c", 0, "sweep: look-ahead constant (0 = the paper's 64)")
 		depth     = fs.Int("depth", 0, "sweep: stagger depth limit (0 = unlimited)")
 		hoist     = fs.Bool("hoist", false, "sweep: enable loop hoisting in the automatic pass")
-		jsonOut   = fs.Bool("json", false, "sweep: emit JSON records instead of CSV")
+		jsonOut   = fs.Bool("json", false, "sweep/tune: emit JSON instead of CSV")
+
+		doTune   = fs.Bool("tune", false, "search (c, depth, hoist, hwpf) for the best speedup over the no-prefetch baseline (see -strategy and the ladder flags)")
+		strategy = fs.String("strategy", "", "tune: search strategy among exhaustive,hillclimb (default: exhaustive)")
+		csLadder = fs.String("cs", "", "tune: comma-separated look-ahead search ladder (default 1,2,4,...,1024)")
+		depths   = fs.String("depths", "", "tune: comma-separated stagger-depth search ladder (default 0)")
+		hoists   = fs.String("hoists", "", "tune: comma-separated hoist search ladder among false,true (default false)")
 	)
 	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
@@ -137,41 +156,41 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		onPutError = store.PutWarner(stderr)
 	}
 
+	// The ad-hoc modes (-sweep and -tune) build the shared grid spec of
+	// internal/sweep — the same struct swpfd decodes from POST bodies
+	// and swpfctl builds from flags, so validation lives in one place.
+	spec := sweep.Spec{
+		Workloads: *workloads,
+		Systems:   *systems,
+		Variants:  *variants,
+		HWPF:      *hwpfAxis,
+		Exec:      *execAxis,
+		C:         *c,
+		Depth:     *depth,
+		Hoist:     *hoist,
+		Quality:   q.PoolName(),
+		Gen:       *genN,
+		GenSeed:   *genSeed,
+	}
+
+	if *doTune {
+		tsp := tune.Spec{Spec: spec, Strategy: *strategy, Cs: *csLadder, Depths: *depths, Hoists: *hoists}
+		rep, err := tune.Tuner{
+			Runner: sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError},
+		}.Run(tsp)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return rep.WriteJSON(stdout)
+		}
+		return rep.WriteCSV(stdout)
+	}
+
 	if *doSweep {
-		pool := bench.WorkloadSet(q)
-		if *genN > 0 {
-			// Generated kernels join the pool as first-class scenarios:
-			// selectable by name or prefix ("GEN"), cached under their
-			// canonical parameter vector like any other workload.
-			pool = append(pool, wkl.Synthetic(*genSeed, *genN)...)
-		}
-		ws, err := sweep.SelectWorkloads(pool, *workloads)
+		grid, err := spec.ToGrid()
 		if err != nil {
 			return err
-		}
-		cfgs, err := sweep.ParseSystems(*systems)
-		if err != nil {
-			return err
-		}
-		vs, err := sweep.ParseVariants(*variants)
-		if err != nil {
-			return err
-		}
-		hws, err := sweep.ParseHWPrefetchers(*hwpfAxis)
-		if err != nil {
-			return err
-		}
-		es, err := sweep.ParseExecModes(*execAxis)
-		if err != nil {
-			return err
-		}
-		grid := sweep.Grid{
-			Workloads:     ws,
-			Systems:       cfgs,
-			HWPrefetchers: hws,
-			Variants:      vs,
-			Options:       core.Options{C: *c, Depth: *depth, Hoist: *hoist},
-			Execs:         es,
 		}
 		set, err := grid.RunWith(sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError})
 		if err != nil {
@@ -240,6 +259,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return emit(s.FigSWHW(*system))
 		}
 		return emitAll(s.FigSWHWAll())
+	case "lookahead":
+		return emit(s.FigLookahead(*wl, *system))
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -268,6 +289,12 @@ func writeAxes(w io.Writer, q bench.Quality) error {
 	fmt.Fprintln(w, "execution modes (-exec):")
 	fmt.Fprintf(w, "  %-12s interpret every cell\n", string(core.ExecDirect)+":")
 	fmt.Fprintf(w, "  %-12s record each workload/variant once, retime everywhere (identical statistics)\n", string(core.ExecReplay)+":")
+	fmt.Fprintln(w, "tune strategies (-strategy):")
+	for _, st := range tune.Strategies() {
+		fmt.Fprintf(w, "  %s\n", st)
+	}
+	fmt.Fprintf(w, "tune default ladders: cs %v, depths %v, hoists %v\n",
+		tune.DefaultCs, tune.DefaultDepths, tune.DefaultHoists)
 	return nil
 }
 

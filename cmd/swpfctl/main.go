@@ -3,6 +3,7 @@
 //
 //	swpfctl submit  -workloads IS,CG -systems A53 -variants plain,auto [-wait]
 //	swpfctl submit  -f specs.json            # one spec or a JSON array
+//	swpfctl tune    -workloads IS -systems A53 [-strategy hillclimb] [-wait]
 //	swpfctl status  [job-id] [-follow]
 //	swpfctl results -id job-1 [-format csv] [-o out.csv]
 //	swpfctl doctor
@@ -32,6 +33,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/sweep"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -101,6 +105,7 @@ func usage(stderr io.Writer) {
 
 commands:
   submit   submit a sweep spec (axis flags, -f file, or -spec JSON)
+  tune     search (c, depth, hoist, hwpf) for the best speedup
   status   list jobs, or show one job (optionally -follow its progress)
   results  fetch a completed job's result set
   doctor   check configuration and coordinator health
@@ -114,12 +119,14 @@ default `+defaultAddr+` — in that order.
 func run(argv []string, stdout, stderr io.Writer) error {
 	if len(argv) == 0 {
 		usage(stderr)
-		return fmt.Errorf("missing command (have submit, status, results, doctor)")
+		return fmt.Errorf("missing command (have submit, tune, status, results, doctor)")
 	}
 	cmd, rest := argv[0], argv[1:]
 	switch cmd {
 	case "submit":
 		return cmdSubmit(rest, stdout, stderr)
+	case "tune":
+		return cmdTune(rest, stdout, stderr)
 	case "status":
 		return cmdStatus(rest, stdout, stderr)
 	case "results":
@@ -131,7 +138,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return flag.ErrHelp
 	default:
 		usage(stderr)
-		return fmt.Errorf("unknown command %q (have submit, status, results, doctor)", cmd)
+		return fmt.Errorf("unknown command %q (have submit, tune, status, results, doctor)", cmd)
 	}
 }
 
@@ -225,22 +232,21 @@ func cmdSubmit(argv []string, stdout, stderr io.Writer) error {
 	case *raw != "":
 		body = []byte(*raw)
 	default:
-		spec := map[string]any{}
-		set := func(k string, v any, on bool) {
-			if on {
-				spec[k] = v
-			}
+		// The flags fill the shared grid spec of internal/sweep — the
+		// same struct the daemon decodes and validates, so the client
+		// cannot drift from the server's spec schema.
+		spec := sweep.Spec{
+			Workloads: *workloads,
+			Systems:   *systems,
+			Variants:  *variants,
+			HWPF:      *hwpfAxis,
+			Exec:      *exec,
+			C:         *c,
+			Depth:     *depth,
+			Hoist:     *hoist,
+			Quality:   *quality,
+			Priority:  *priority,
 		}
-		set("workloads", *workloads, *workloads != "")
-		set("systems", *systems, *systems != "")
-		set("variants", *variants, *variants != "")
-		set("hwpf", *hwpfAxis, *hwpfAxis != "")
-		set("exec", *exec, *exec != "")
-		set("c", *c, *c != 0)
-		set("depth", *depth, *depth != 0)
-		set("hoist", true, *hoist)
-		set("quality", *quality, *quality != "")
-		set("priority", *priority, *priority != 0)
 		var err error
 		if body, err = json.Marshal(spec); err != nil {
 			return err
@@ -287,6 +293,114 @@ func cmdSubmit(argv []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// tuneReply mirrors swpfd's POST /tune reply.
+type tuneReply struct {
+	ID string `json:"id"`
+}
+
+// cmdTune builds a tune spec from flags (or takes one verbatim via -f /
+// -spec) and POSTs it to /tune. With -wait it follows the search's
+// progress and then fetches the report — the same bytes
+// `swpfbench -tune` emits for the same spec.
+func cmdTune(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swpfctl tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addrFlag = fs.String("addr", "", "coordinator URL (default $SWPFCTL_ADDR, config file, or "+defaultAddr+")")
+		file     = fs.String("f", "", "read the tune spec from this file, '-' for stdin")
+		raw      = fs.String("spec", "", "tune spec JSON passed through verbatim")
+
+		workloads = fs.String("workloads", "", "comma-separated workload names (empty = all)")
+		systems   = fs.String("systems", "", "comma-separated machine names (empty = all)")
+		variant   = fs.String("variant", "", "the single variant to tune (empty = auto)")
+		hwpfAxis  = fs.String("hwpf", "", "comma-separated hardware-prefetcher models to search (empty = default)")
+		strategy  = fs.String("strategy", "", "search strategy: exhaustive or hillclimb (empty = exhaustive)")
+		cs        = fs.String("cs", "", "comma-separated look-ahead ladder (empty = default ladder)")
+		depths    = fs.String("depths", "", "comma-separated indirect depths to search (empty = 0)")
+		hoists    = fs.String("hoists", "", "comma-separated hoist settings among false,true (empty = false)")
+		quality   = fs.String("quality", "", "workload pool: full, quick, tiny (empty = full)")
+		priority  = fs.Int("priority", 0, "queue priority (higher leases first)")
+		wait      = fs.Bool("wait", false, "follow the search's progress, then fetch the report")
+		format    = fs.String("format", "json", "report format with -wait: json or csv")
+		out       = fs.String("o", "", "write the report to this file instead of stdout (with -wait)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("tune takes no positional arguments (got %q)", fs.Arg(0))
+	}
+	if *file != "" && *raw != "" {
+		return fmt.Errorf("-f and -spec are mutually exclusive")
+	}
+	switch *format {
+	case "json", "csv":
+	default:
+		return fmt.Errorf("unknown format %q (have json, csv)", *format)
+	}
+
+	var body []byte
+	switch {
+	case *file == "-":
+		var err error
+		if body, err = io.ReadAll(os.Stdin); err != nil {
+			return fmt.Errorf("reading stdin: %w", err)
+		}
+	case *file != "":
+		var err error
+		if body, err = os.ReadFile(*file); err != nil {
+			return err
+		}
+	case *raw != "":
+		body = []byte(*raw)
+	default:
+		// The flags fill the shared tune spec of internal/tune — the
+		// struct the daemon and swpfbench -tune decode and validate.
+		spec := tune.Spec{
+			Strategy: *strategy,
+			Cs:       *cs,
+			Depths:   *depths,
+			Hoists:   *hoists,
+		}
+		spec.Workloads = *workloads
+		spec.Systems = *systems
+		spec.Variants = *variant
+		spec.HWPF = *hwpfAxis
+		spec.Quality = *quality
+		spec.Priority = *priority
+		var err error
+		if body, err = json.Marshal(spec); err != nil {
+			return err
+		}
+	}
+
+	addr, _ := resolveAddr(*addrFlag)
+	resp, err := http.Post(addr+"/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var reply tuneReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return fmt.Errorf("unexpected tune reply: %w", err)
+	}
+	fmt.Fprintf(stdout, "%s\n", reply.ID)
+	if !*wait {
+		return nil
+	}
+	final, err := follow(addr, reply.ID, stderr)
+	if err != nil {
+		return err
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job %s %s: %s", reply.ID, final.State, final.Error)
+	}
+	return fetchResults(addr, reply.ID, *format, *out, stdout)
 }
 
 // event mirrors swpfd's SSE payload.
@@ -414,7 +528,13 @@ func cmdResults(argv []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown format %q (have json, csv)", *format)
 	}
 	addr, _ := resolveAddr(*addrFlag)
-	resp, err := http.Get(addr + "/results?id=" + *id + "&format=" + *format)
+	return fetchResults(addr, *id, *format, *out, stdout)
+}
+
+// fetchResults GETs a job's results and writes them to the -o file, or
+// stdout when none is given.
+func fetchResults(addr, id, format, out string, stdout io.Writer) error {
+	resp, err := http.Get(addr + "/results?id=" + id + "&format=" + format)
 	if err != nil {
 		return err
 	}
@@ -423,8 +543,8 @@ func cmdResults(argv []string, stdout, stderr io.Writer) error {
 		return apiError(resp)
 	}
 	dst := io.Writer(stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}

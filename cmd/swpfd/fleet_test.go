@@ -90,7 +90,7 @@ func TestBatchSubmit(t *testing.T) {
 		if err := json.Unmarshal([]byte(spec), &sp); err != nil {
 			t.Fatal(err)
 		}
-		grid, err := sp.grid()
+		grid, err := sp.ToGrid()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -358,7 +358,7 @@ func TestFleetWorkerLoop(t *testing.T) {
 	if err := json.Unmarshal([]byte(tinySpec), &spec); err != nil {
 		t.Fatal(err)
 	}
-	grid, err := spec.grid()
+	grid, err := spec.ToGrid()
 	if err != nil {
 		t.Fatal(err)
 	}

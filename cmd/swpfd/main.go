@@ -11,6 +11,11 @@
 //	POST /sweep        submit a grid spec — or a JSON array of specs —
 //	                   returns {"id", "cells"} (a list, for a list);
 //	                   429 + Retry-After when the queue is full
+//	POST /tune         submit a tune spec (internal/tune): search
+//	                   (c, depth, hoist, hwpf) for the best speedup
+//	                   over the no-prefetch baseline; returns {"id"} —
+//	                   the job streams evaluation progress on /events
+//	                   and serves its report on /results
 //	GET  /jobs         list all jobs with status
 //	GET  /jobs/{id}    one job's status and progress counts
 //	GET  /jobs/{id}/events
@@ -67,13 +72,13 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/hwpf"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/tune"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -160,114 +165,37 @@ func run(argv []string, stderr io.Writer) error {
 	return http.Serve(ln, h)
 }
 
-// SweepSpec is the POST /sweep request body: the same selectors
-// swpfbench's -sweep mode takes on the command line. Empty selector
-// strings mean "all"; Quality picks the workload pool — "full"
-// (default), "quick", "tiny" (test sizes), or "gen" (randomly
-// generated kernels, see internal/gen).
-type SweepSpec struct {
-	Workloads string `json:"workloads"`
-	Systems   string `json:"systems"`
-	Variants  string `json:"variants"`
-	// HWPF is the hardware-prefetcher axis: comma-separated models
-	// among default,none,stride,nextline,ghb,imp ("" = default, each
-	// system's own model).
-	HWPF string `json:"hwpf"`
-	// Exec is the execution-mode axis: comma-separated among
-	// direct,replay ("" = direct). Replay records each (workload,
-	// variant) once and retimes it per machine x hwpf cell; with a
-	// store attached, recorded traces persist and later jobs replay
-	// without re-interpreting. Statistics are identical either way.
-	Exec    string `json:"exec"`
-	C       int64  `json:"c"`
-	Depth   int    `json:"depth"`
-	Hoist   bool   `json:"hoist"`
-	Quality string `json:"quality"`
-	// Priority orders the queue: higher leases first, FIFO within a
-	// priority; a cell shared with other submissions keeps the highest
-	// priority it has been asked for at.
-	Priority int `json:"priority"`
-}
-
-// Workload pools are memoized per quality: constructing one runs the
-// input-data generators and reference checksums, which is far too
-// heavy to redo inside every POST /sweep handler. Workloads are
-// read-only after construction, so sharing them across jobs is safe
-// (the sweep engine already shares them across workers).
-var (
-	fullPool  = sync.OnceValue(func() []*workloads.Workload { return bench.WorkloadSet(bench.Full) })
-	quickPool = sync.OnceValue(func() []*workloads.Workload { return bench.WorkloadSet(bench.Quick) })
-	tinyPool  = sync.OnceValue(workloads.Tiny)
-	// genPool is the generated-kernel family (internal/gen): synthetic
-	// scenarios that sweep and cache like the paper's benchmarks, keyed
-	// in the store by their canonical parameter vectors.
-	genPool = sync.OnceValue(workloads.SyntheticDefault)
-)
+// SweepSpec is the POST /sweep request body: the shared grid spec of
+// internal/sweep, which is also what swpfbench's -sweep flags and
+// swpfctl's submit flags build — one Validate/ToGrid for every
+// surface. Empty selector strings mean each axis's default; Quality
+// picks the workload pool — "full" (default), "quick", "tiny" (test
+// sizes), or "gen" (randomly generated kernels, see internal/gen).
+type SweepSpec = sweep.Spec
 
 // poolFor resolves a quality to its memoized workload pool; "" means
 // full. Shared by spec validation and the worker's cell resolver, so
 // coordinator and workers agree on what every (quality, name) denotes.
 func poolFor(quality string) ([]*workloads.Workload, error) {
-	switch quality {
-	case "", "full":
-		return fullPool(), nil
-	case "quick":
-		return quickPool(), nil
-	case "tiny":
-		return tinyPool(), nil
-	case "gen":
-		return genPool(), nil
-	default:
-		return nil, fmt.Errorf("unknown quality %q (have full, quick, tiny, gen)", quality)
-	}
+	return workloads.PoolByQuality(quality)
 }
 
-// grid resolves the spec against the workload registry, failing on any
-// unknown name — submission-time validation, so a bad spec is a 400,
-// never a failed job.
-func (sp SweepSpec) grid() (sweep.Grid, error) {
-	pool, err := poolFor(sp.Quality)
-	if err != nil {
-		return sweep.Grid{}, err
+// validateWireSpec applies the daemon's one restriction on top of the
+// shared spec validation: ad-hoc generated kernels (gen/gen_seed)
+// cannot travel over the fleet, because workers reconstruct cells by
+// (quality, name) against their own memoized pools — an ad-hoc family
+// has no pool to resolve from. Quality "gen" (the default generated
+// family) works fleet-wide.
+func validateWireSpec(sp SweepSpec) (sweep.Grid, error) {
+	if sp.Gen != 0 || sp.GenSeed != 0 {
+		return sweep.Grid{}, errors.New(errGenWire)
 	}
-	ws, err := sweep.SelectWorkloads(pool, sp.Workloads)
-	if err != nil {
-		return sweep.Grid{}, err
-	}
-	cfgs, err := sweep.ParseSystems(sp.Systems)
-	if err != nil {
-		return sweep.Grid{}, err
-	}
-	vs, err := sweep.ParseVariants(sp.Variants)
-	if err != nil {
-		return sweep.Grid{}, err
-	}
-	hws, err := sweep.ParseHWPrefetchers(sp.HWPF)
-	if err != nil {
-		return sweep.Grid{}, err
-	}
-	es, err := sweep.ParseExecModes(sp.Exec)
-	if err != nil {
-		return sweep.Grid{}, err
-	}
-	return sweep.Grid{
-		Workloads:     ws,
-		Systems:       cfgs,
-		HWPrefetchers: hws,
-		Variants:      vs,
-		Options:       core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
-		Execs:         es,
-	}, nil
+	return sp.ToGrid()
 }
 
-// quality returns the spec's workload pool name with the default made
-// explicit — the form that travels in cell specs.
-func (sp SweepSpec) quality() string {
-	if sp.Quality == "" {
-		return "full"
-	}
-	return sp.Quality
-}
+// errGenWire is the 400 body for specs carrying gen/gen_seed, shared
+// by POST /sweep and POST /tune.
+const errGenWire = `spec fields "gen"/"gen_seed" are not supported by the daemon (workers resolve workloads by quality and name); use "quality": "gen" for the generated family`
 
 // Job states. Submissions are admitted straight into the cell queue
 // (or rejected with 429), so there is no queued state: a job is
@@ -284,18 +212,36 @@ const (
 // separately by the queue's max-pending admission control.)
 const maxJobs = 256
 
-// job is one submitted sweep, backed by a fleet ticket. All dynamic
-// state — progress, outcomes, completion — lives in the ticket.
+// job is one submitted sweep or tune search. A sweep job is backed by
+// a fleet ticket, which holds all its dynamic state; a tune job is
+// backed by a tuneJob (tune.go), which mirrors the ticket's progress
+// and terminal-state contract — exactly one of the two is set.
 type job struct {
-	id     string
-	spec   SweepSpec
-	ticket *fleet.Ticket
+	id       string
+	spec     SweepSpec
+	ticket   *fleet.Ticket
+	tuneSpec *TuneSpec
+	tune     *tuneJob
+}
+
+// terminal reports whether the job has finished (either way).
+func (j *job) terminal() bool {
+	if j.tune != nil {
+		_, t := j.tune.snapshot()
+		return t
+	}
+	_, t := j.ticket.ResultSet()
+	return t
 }
 
 // JobStatus is the wire form of a job, served by GET /jobs{,/{id}}.
+// Tune jobs additionally carry their full tune spec (search strategy
+// and ladders) under "tune"; their done/total counts are evaluations,
+// not grid cells.
 type JobStatus struct {
 	ID    string    `json:"id"`
 	Spec  SweepSpec `json:"spec"`
+	Tune  *TuneSpec `json:"tune,omitempty"`
 	State string    `json:"state"`
 	Total int       `json:"total"`
 	Done  int       `json:"done"`
@@ -303,6 +249,19 @@ type JobStatus struct {
 }
 
 func (j *job) status() JobStatus {
+	if j.tune != nil {
+		ev, _ := j.tune.snapshot()
+		_, errMsg, _ := j.tune.result()
+		return JobStatus{
+			ID:    j.id,
+			Spec:  j.spec,
+			Tune:  j.tuneSpec,
+			State: ev.State,
+			Total: ev.Total,
+			Done:  ev.Done,
+			Error: errMsg,
+		}
+	}
 	done, total := j.ticket.Progress()
 	st := JobStatus{
 		ID:    j.id,
@@ -383,6 +342,7 @@ func newServerCfg(cfg config) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("POST /tune", s.handleTune)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
@@ -416,7 +376,21 @@ type MetaModel struct {
 	Description string `json:"description"`
 }
 
-// Meta is the GET /meta response: every axis a SweepSpec selects over.
+// MetaTune advertises the tuner's searchable axis bounds: the
+// strategies POST /tune accepts and the default search ladders a spec
+// with empty cs/depths/hoists gets (custom ladders may widen them).
+// Variants lists what can be tuned — everything but the plain
+// baseline.
+type MetaTune struct {
+	Strategies []string `json:"strategies"`
+	Variants   []string `json:"variants"`
+	Cs         []int64  `json:"cs"`
+	Depths     []int    `json:"depths"`
+	Hoists     []bool   `json:"hoists"`
+}
+
+// Meta is the GET /meta response: every axis a SweepSpec selects over,
+// plus the tuner's searchable bounds.
 type Meta struct {
 	Qualities     []string                  `json:"qualities"`
 	Workloads     map[string][]MetaWorkload `json:"workloads"`
@@ -424,6 +398,7 @@ type Meta struct {
 	Variants      []string                  `json:"variants"`
 	HWPrefetchers []MetaModel               `json:"hwprefetchers"`
 	Execs         []string                  `json:"execs"`
+	Tune          MetaTune                  `json:"tune"`
 }
 
 // handleMeta enumerates the grid axes. ?quality restricts the workload
@@ -467,6 +442,17 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, e := range sweep.ExecModes() {
 		m.Execs = append(m.Execs, string(e))
+	}
+	m.Tune = MetaTune{
+		Strategies: tune.StrategyAxis().Names(),
+		Cs:         tune.DefaultCs,
+		Depths:     tune.DefaultDepths,
+		Hoists:     tune.DefaultHoists,
+	}
+	for _, v := range sweep.Variants() {
+		if v != core.VariantPlain {
+			m.Tune.Variants = append(m.Tune.Variants, string(v))
+		}
 	}
 	writeJSON(w, http.StatusOK, m)
 }
@@ -516,7 +502,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	preps := make([]prepared, 0, len(specs))
 	for _, spec := range specs {
-		grid, err := spec.grid()
+		grid, err := validateWireSpec(spec)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -524,7 +510,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		reqs := grid.Expand()
 		wire := make([]fleet.CellSpec, len(reqs))
 		for i, req := range reqs {
-			if wire[i], err = fleet.SpecFor(spec.quality(), req); err != nil {
+			if wire[i], err = fleet.SpecFor(spec.QualityName(), req); err != nil {
 				writeError(w, http.StatusInternalServerError, "%v", err)
 				return
 			}
@@ -596,7 +582,7 @@ func decodeSpecs(body []byte) (specs []SweepSpec, batch bool, err error) {
 func (s *server) evictLocked() {
 	for i := 0; len(s.byID) > maxJobs && i < len(s.ids); {
 		j := s.byID[s.ids[i]]
-		if _, terminal := j.ticket.ResultSet(); !terminal {
+		if !j.terminal() {
 			i++
 			continue
 		}
@@ -654,6 +640,10 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	if j.tune != nil {
+		s.handleTuneEvents(w, r, j)
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -700,6 +690,10 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(id)
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if j.tune != nil {
+		s.handleTuneResults(w, r, j)
 		return
 	}
 	set, finished := j.ticket.ResultSet()

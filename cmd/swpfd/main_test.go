@@ -99,7 +99,7 @@ func TestEndToEnd(t *testing.T) {
 	if err := json.Unmarshal([]byte(tinySpec), &spec); err != nil {
 		t.Fatal(err)
 	}
-	grid, err := spec.grid()
+	grid, err := spec.ToGrid()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/sweep"
+	"repro/internal/tune"
+)
+
+// TuneSpec is the POST /tune request body: the shared tune spec of
+// internal/tune — the same struct swpfbench's -tune flags and swpfctl
+// tune build, validated by the same Space resolver. The embedded grid
+// spec selects what to tune; strategy/cs/depths/hoists bound the
+// search.
+type TuneSpec = tune.Spec
+
+// TuneReply is the POST /tune response.
+type TuneReply struct {
+	ID string `json:"id"`
+}
+
+// tuneJob is the dynamic state of one tune job: the searched progress
+// counts (evaluations, not grid cells — hillclimb's total grows as it
+// walks), the terminal state, and the report. It plays the ticket's
+// role for tune jobs: same states, same SSE event shape, same
+// monotonic counters.
+type tuneJob struct {
+	mu     sync.Mutex
+	done   int
+	total  int
+	state  string
+	errMsg string
+	report *tune.Report
+	subs   map[chan struct{}]bool
+}
+
+func newTuneJob() *tuneJob {
+	return &tuneJob{state: stateRunning, subs: make(map[chan struct{}]bool)}
+}
+
+// notifyLocked pings every subscriber without blocking; a full ping
+// channel means a notification is already pending, which coalesces.
+func (tj *tuneJob) notifyLocked() {
+	for ch := range tj.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// setProgress advances the counters monotonically (the tuner reports
+// batch totals before results, and the queue forwards intra-batch
+// completion, so updates interleave).
+func (tj *tuneJob) setProgress(done, total int) {
+	tj.mu.Lock()
+	defer tj.mu.Unlock()
+	if done > tj.done {
+		tj.done = done
+	}
+	if total > tj.total {
+		tj.total = total
+	}
+	tj.notifyLocked()
+}
+
+func (tj *tuneJob) setDone(done int) {
+	tj.mu.Lock()
+	defer tj.mu.Unlock()
+	if done > tj.done {
+		tj.done = done
+		tj.notifyLocked()
+	}
+}
+
+func (tj *tuneJob) doneNow() int {
+	tj.mu.Lock()
+	defer tj.mu.Unlock()
+	return tj.done
+}
+
+func (tj *tuneJob) finish(rep *tune.Report, err error) {
+	tj.mu.Lock()
+	defer tj.mu.Unlock()
+	if err != nil {
+		tj.state = stateFailed
+		tj.errMsg = err.Error()
+	} else {
+		tj.state = stateDone
+		tj.report = rep
+	}
+	tj.notifyLocked()
+}
+
+// snapshot returns the job's SSE event and whether it is terminal.
+func (tj *tuneJob) snapshot() (Event, bool) {
+	tj.mu.Lock()
+	defer tj.mu.Unlock()
+	return Event{Done: tj.done, Total: tj.total, State: tj.state}, tj.state != stateRunning
+}
+
+func (tj *tuneJob) result() (rep *tune.Report, errMsg string, terminal bool) {
+	tj.mu.Lock()
+	defer tj.mu.Unlock()
+	return tj.report, tj.errMsg, tj.state != stateRunning
+}
+
+// subscribe registers a ping channel, pre-loaded so late subscribers
+// immediately see the current (possibly terminal) state — the ticket
+// subscription's contract.
+func (tj *tuneJob) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	ch <- struct{}{}
+	tj.mu.Lock()
+	tj.subs[ch] = true
+	tj.mu.Unlock()
+	return ch, func() {
+		tj.mu.Lock()
+		delete(tj.subs, ch)
+		tj.mu.Unlock()
+	}
+}
+
+// handleTune validates a tune spec and starts the search
+// asynchronously; the search's evaluation batches go through the
+// shared cell queue, so concurrent tunes (and sweeps) dedupe cell by
+// cell fleet-wide. The job is visible in /jobs, streams progress on
+// /jobs/{id}/events, and serves its report on /results.
+func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	var tsp TuneSpec
+	if err := json.Unmarshal(body, &tsp); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	if tsp.Gen != 0 || tsp.GenSeed != 0 {
+		writeError(w, http.StatusBadRequest, "%s", errGenWire)
+		return
+	}
+	if err := tsp.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tj := newTuneJob()
+	s.mu.Lock()
+	s.seq++
+	j := &job{id: "job-" + strconv.Itoa(s.seq), spec: tsp.Spec, tuneSpec: &tsp, tune: tj}
+	s.byID[j.id] = j
+	s.ids = append(s.ids, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+	go s.runTune(tj, tsp)
+	writeJSON(w, http.StatusAccepted, TuneReply{ID: j.id})
+}
+
+func (s *server) runTune(tj *tuneJob, tsp TuneSpec) {
+	tuner := tune.Tuner{
+		Runner:     tuneRunner{s: s, quality: tsp.QualityName(), priority: tsp.Priority, tj: tj},
+		OnProgress: tj.setProgress,
+	}
+	rep, err := tuner.Run(tsp)
+	tj.finish(rep, err)
+}
+
+// tuneRunner is the daemon's tune.Runner: every evaluation batch is
+// submitted to the fleet queue like a sweep, so cells dedupe against
+// running jobs, persist in the store, and execute on local and remote
+// workers alike. Intra-batch completion is forwarded to the job's
+// progress counters.
+type tuneRunner struct {
+	s        *server
+	quality  string
+	priority int
+	tj       *tuneJob
+}
+
+func (tr tuneRunner) Execute(reqs []sweep.Request) (*sweep.ResultSet, error) {
+	wire := make([]fleet.CellSpec, len(reqs))
+	var err error
+	for i, req := range reqs {
+		if wire[i], err = fleet.SpecFor(tr.quality, req); err != nil {
+			return nil, err
+		}
+	}
+	var ticket *fleet.Ticket
+	for attempt := 0; ; attempt++ {
+		ticket, err = tr.s.queue.Submit(reqs, wire, tr.priority)
+		var full fleet.ErrQueueFull
+		if errors.As(err, &full) && attempt < 20 {
+			// Back off and retry: tune batches arrive over the job's
+			// lifetime, so transient fullness (other jobs draining) is
+			// expected. A batch that can never fit fails after the
+			// retries with the queue's own error.
+			d := full.RetryAfter
+			if d <= 0 {
+				d = 50 * time.Millisecond
+			}
+			if d > time.Second {
+				d = time.Second
+			}
+			time.Sleep(d)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	base := tr.tj.doneNow()
+	ch, cancel := ticket.Subscribe()
+	defer cancel()
+	for p := range ch {
+		tr.tj.setDone(base + p.Done)
+		if p.Finished {
+			break
+		}
+	}
+	set, ok := ticket.ResultSet()
+	if !ok {
+		return nil, fmt.Errorf("cell queue ticket ended without results")
+	}
+	return set, set.Err()
+}
+
+// handleTuneEvents streams a tune job's progress as SSE — the same
+// event shape and termination contract as sweep jobs.
+func (s *server) handleTuneEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := j.tune.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+			ev, terminal := j.tune.snapshot()
+			if _, err := io.WriteString(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil { // Encode appends the \n
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			if terminal {
+				return
+			}
+		}
+	}
+}
+
+// handleTuneResults serves a finished tune job's report — byte-
+// identical to swpfbench -tune with the same spec (both go through
+// tune.Report's emitters).
+func (s *server) handleTuneResults(w http.ResponseWriter, r *http.Request, j *job) {
+	rep, errMsg, terminal := j.tune.result()
+	if !terminal {
+		ev, _ := j.tune.snapshot()
+		writeError(w, http.StatusConflict, "job %s not finished (%d/%d cells)", j.id, ev.Done, ev.Total)
+		return
+	}
+	if errMsg != "" {
+		writeError(w, http.StatusInternalServerError, "job %s failed: %v", j.id, errMsg)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		rep.WriteCSV(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (have json, csv)", format)
+	}
+}

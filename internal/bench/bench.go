@@ -25,21 +25,21 @@ const (
 	Quick
 )
 
-// workloadSet returns the benchmark suite at the chosen quality.
+// PoolName maps the quality to the shared workload-pool name
+// (workloads.PoolByQuality) grid and tune specs carry.
+func (q Quality) PoolName() string {
+	if q == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// workloadSet returns the benchmark suite at the chosen quality. The
+// sizes live in internal/workloads (Quick/All) so the daemon's pools,
+// the tuner and the figures all draw from one registry.
 func workloadSet(q Quality) []*workloads.Workload {
 	if q == Quick {
-		// Quick keeps the irregular footprints larger than the simulated
-		// last-level caches (the property the paper's speedups rely on)
-		// while shrinking iteration counts for fast smoke runs.
-		return []*workloads.Workload{
-			workloads.IS(1<<14, 1<<19),
-			workloads.CG(2048, 96),
-			workloads.RA(19, 1<<12),
-			workloads.HJ(1<<13, 2),
-			workloads.HJ(1<<14, 8),
-			workloads.G500(11, 8),
-			workloads.G500(12, 8),
-		}
+		return workloads.Quick()
 	}
 	return workloads.All()
 }

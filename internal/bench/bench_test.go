@@ -336,3 +336,46 @@ func TestTableCSVAndMarkdown(t *testing.T) {
 		t.Errorf("markdown format wrong:\n%s", md)
 	}
 }
+
+// TestLookaheadSensitivityShape pins the tuner-built look-ahead figure
+// to the paper's qualitative shape on the indirect-heavy workloads:
+// the tuned optimum c* strictly beats both the smallest and the
+// largest look-ahead (too small arrives late, too big evicts early),
+// on both an in-order (A53) and an out-of-order (Haswell) machine.
+// The figure must also be byte-identical for any worker count.
+func TestLookaheadSensitivityShape(t *testing.T) {
+	skipInShort(t)
+	tbl, err := Suite{Q: Quick, Jobs: 1}.FigLookahead("IS,RA", "A53,Haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	for _, jobs := range []int{2, 8} {
+		again, err := Suite{Q: Quick, Jobs: jobs}.FigLookahead("IS,RA", "A53,Haswell")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != tbl.String() {
+			t.Fatalf("lookahead figure differs between jobs=1 and jobs=%d", jobs)
+		}
+	}
+
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 workload x system rows, got %d", len(tbl.Rows))
+	}
+	last := len(tbl.Columns) - 1 // "best" speedup; last-1 is "best c"
+	for _, r := range tbl.Rows {
+		name := r[0] + "/" + r[1]
+		smallest := parseCell(t, r[2])
+		largest := parseCell(t, r[last-2])
+		best := parseCell(t, r[last])
+		if !(best > smallest && best > largest) {
+			t.Errorf("%s: optimum %.2f not strictly above endpoints %.2f / %.2f",
+				name, best, smallest, largest)
+		}
+		bestC := parseCell(t, r[last-1])
+		if bestC <= 1 || bestC >= 1024 {
+			t.Errorf("%s: best c = %v is not interior to the ladder", name, bestC)
+		}
+	}
+}

@@ -595,6 +595,9 @@ func (s Suite) RunAll(out io.Writer) error {
 		return err
 	}
 	tables = append(tables, fhw...)
+	if err := add(s.FigLookahead("", "")); err != nil {
+		return err
+	}
 	for _, t := range tables {
 		fmt.Fprintln(out, t.String())
 	}

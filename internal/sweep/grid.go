@@ -112,29 +112,23 @@ func Variants() []core.Variant {
 	}
 }
 
+// VariantAxis is the variant selector ("" selects plain,auto — the
+// baseline pair of every speedup).
+func VariantAxis() Axis[core.Variant] {
+	return Axis[core.Variant]{
+		Noun:    "variant",
+		Values:  Variants(),
+		Name:    func(v core.Variant) string { return string(v) },
+		Default: []core.Variant{core.VariantPlain, core.VariantAuto},
+		Unknown: func(tok string) error {
+			return fmt.Errorf("sweep: unknown variant %q (have %v)", tok, Variants())
+		},
+	}
+}
+
 // ParseVariants parses a comma-separated variant list ("" selects
 // plain,auto — the baseline pair of every speedup).
-func ParseVariants(s string) ([]core.Variant, error) {
-	if strings.TrimSpace(s) == "" {
-		return []core.Variant{core.VariantPlain, core.VariantAuto}, nil
-	}
-	var out []core.Variant
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		found := false
-		for _, v := range Variants() {
-			if string(v) == name {
-				out = append(out, v)
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("sweep: unknown variant %q (have %v)", name, Variants())
-		}
-	}
-	return out, nil
-}
+func ParseVariants(s string) ([]core.Variant, error) { return VariantAxis().Parse(s) }
 
 // HWPrefetchers lists every value the hardware-prefetcher axis
 // accepts: "default" (keep each machine's own model) followed by the
@@ -143,66 +137,59 @@ func HWPrefetchers() []string {
 	return append([]string{HWPrefetcherDefault}, hwpf.Names()...)
 }
 
+// HWPrefetcherAxis is the hardware-prefetcher selector ("" selects
+// default — each system's own model).
+func HWPrefetcherAxis() Axis[string] {
+	return Axis[string]{
+		Noun:    "hardware prefetcher",
+		Values:  HWPrefetchers(),
+		Name:    func(s string) string { return s },
+		Default: []string{HWPrefetcherDefault},
+	}
+}
+
 // ParseHWPrefetchers parses a comma-separated hardware-prefetcher
 // axis ("" selects default — each system's own model).
-func ParseHWPrefetchers(s string) ([]string, error) {
-	if strings.TrimSpace(s) == "" {
-		return []string{HWPrefetcherDefault}, nil
-	}
-	var out []string
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		if name != HWPrefetcherDefault && !hwpf.Known(name) {
-			return nil, fmt.Errorf("sweep: unknown hardware prefetcher %q (have %s)",
-				name, strings.Join(HWPrefetchers(), ", "))
-		}
-		out = append(out, name)
-	}
-	return out, nil
-}
+func ParseHWPrefetchers(s string) ([]string, error) { return HWPrefetcherAxis().Parse(s) }
 
 // ExecModes lists every value the execution-mode axis accepts, in
 // presentation order.
 func ExecModes() []core.ExecMode { return core.ExecModes() }
 
+// ExecModeAxis is the execution-mode selector ("" selects direct).
+func ExecModeAxis() Axis[core.ExecMode] {
+	return Axis[core.ExecMode]{
+		Noun:    "exec mode",
+		Values:  ExecModes(),
+		Name:    func(e core.ExecMode) string { return string(e) },
+		Default: []core.ExecMode{core.ExecDirect},
+		Unknown: func(tok string) error {
+			if _, err := core.ParseExecMode(tok); err != nil {
+				return fmt.Errorf("sweep: %w", err)
+			}
+			return nil // "" (core-normalized to direct): standard message
+		},
+	}
+}
+
 // ParseExecModes parses a comma-separated execution-mode axis (""
 // selects direct).
-func ParseExecModes(s string) ([]core.ExecMode, error) {
-	if strings.TrimSpace(s) == "" {
-		return []core.ExecMode{core.ExecDirect}, nil
+func ParseExecModes(s string) ([]core.ExecMode, error) { return ExecModeAxis().Parse(s) }
+
+// SystemAxis is the machine selector ("" selects all four Table 1
+// systems).
+func SystemAxis() Axis[*sim.Config] {
+	return Axis[*sim.Config]{
+		Noun:    "system",
+		Values:  uarch.All(),
+		Name:    func(cfg *sim.Config) string { return cfg.Name },
+		Default: uarch.All(),
 	}
-	var out []core.ExecMode
-	for _, name := range strings.Split(s, ",") {
-		e, err := core.ParseExecMode(name)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: %w", err)
-		}
-		out = append(out, e)
-	}
-	return out, nil
 }
 
 // ParseSystems parses a comma-separated machine list ("" selects all
 // four Table 1 systems).
-func ParseSystems(s string) ([]*sim.Config, error) {
-	if strings.TrimSpace(s) == "" {
-		return uarch.All(), nil
-	}
-	var out []*sim.Config
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		cfg := uarch.ByName(name)
-		if cfg == nil {
-			var have []string
-			for _, c := range uarch.All() {
-				have = append(have, c.Name)
-			}
-			return nil, fmt.Errorf("sweep: unknown system %q (have %s)", name, strings.Join(have, ", "))
-		}
-		out = append(out, cfg)
-	}
-	return out, nil
-}
+func ParseSystems(s string) ([]*sim.Config, error) { return SystemAxis().Parse(s) }
 
 // SelectWorkloads picks named workloads out of the available set (""
 // selects all of them). Names match exactly or by prefix, so "G500"

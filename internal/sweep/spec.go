@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Spec is the one grid description every surface shares: swpfbench's
+// -sweep flags, swpfd's POST /sweep and /tune bodies, and swpfctl's
+// submit flags all build (or decode) this struct, and ToGrid is the
+// single place a spec is validated and resolved against the axis
+// registries. Empty selector strings mean each axis's default; Quality
+// picks the workload pool — "full" (default), "quick", "tiny" (test
+// sizes), or "gen" (randomly generated kernels, see internal/gen).
+type Spec struct {
+	Workloads string `json:"workloads,omitempty"`
+	Systems   string `json:"systems,omitempty"`
+	Variants  string `json:"variants,omitempty"`
+	// HWPF is the hardware-prefetcher axis: comma-separated models
+	// among default,none,stride,nextline,ghb,imp ("" = default, each
+	// system's own model).
+	HWPF string `json:"hwpf,omitempty"`
+	// Exec is the execution-mode axis: comma-separated among
+	// direct,replay ("" = direct). Replay records each (workload,
+	// variant) once and retimes it per machine x hwpf cell; with a
+	// store attached, recorded traces persist and later jobs replay
+	// without re-interpreting. Statistics are identical either way.
+	Exec    string `json:"exec,omitempty"`
+	C       int64  `json:"c,omitempty"`
+	Depth   int    `json:"depth,omitempty"`
+	Hoist   bool   `json:"hoist,omitempty"`
+	Quality string `json:"quality,omitempty"`
+	// Priority orders the fleet queue: higher leases first, FIFO within
+	// a priority; a cell shared with other submissions keeps the
+	// highest priority it has been asked for at.
+	Priority int `json:"priority,omitempty"`
+	// Gen adds N generated kernels (internal/gen, seeded by GenSeed) to
+	// the selectable pool as GEN-00.. — local surfaces only: the
+	// daemon rejects it because fleet workers resolve workloads by
+	// (quality, name), which cannot reconstruct an ad-hoc generated
+	// family (use quality "gen" for the default family fleet-wide).
+	Gen     int    `json:"gen,omitempty"`
+	GenSeed uint64 `json:"gen_seed,omitempty"`
+}
+
+// QualityName returns the spec's workload pool name with the default
+// made explicit — the form that travels in fleet cell specs.
+func (sp Spec) QualityName() string {
+	if sp.Quality == "" {
+		return "full"
+	}
+	return sp.Quality
+}
+
+// Pool resolves the spec's selectable workload pool: the quality pool,
+// plus the Gen generated kernels when requested.
+func (sp Spec) Pool() ([]*workloads.Workload, error) {
+	pool, err := workloads.PoolByQuality(sp.Quality)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Gen > 0 {
+		// Generated kernels join the pool as first-class scenarios:
+		// selectable by name or prefix ("GEN"), cached under their
+		// canonical parameter vectors like any other workload.
+		seed := sp.GenSeed
+		if seed == 0 {
+			seed = workloads.SyntheticDefaultSeed
+		}
+		pool = append(append([]*workloads.Workload{}, pool...), workloads.Synthetic(seed, sp.Gen)...)
+	}
+	return pool, nil
+}
+
+// ToGrid resolves the spec against the workload and axis registries,
+// failing on any unknown name — submission-time validation, so a bad
+// spec is a client error, never a failed job.
+func (sp Spec) ToGrid() (Grid, error) {
+	pool, err := sp.Pool()
+	if err != nil {
+		return Grid{}, err
+	}
+	ws, err := SelectWorkloads(pool, sp.Workloads)
+	if err != nil {
+		return Grid{}, err
+	}
+	cfgs, err := ParseSystems(sp.Systems)
+	if err != nil {
+		return Grid{}, err
+	}
+	vs, err := ParseVariants(sp.Variants)
+	if err != nil {
+		return Grid{}, err
+	}
+	hws, err := ParseHWPrefetchers(sp.HWPF)
+	if err != nil {
+		return Grid{}, err
+	}
+	es, err := ParseExecModes(sp.Exec)
+	if err != nil {
+		return Grid{}, err
+	}
+	return Grid{
+		Workloads:     ws,
+		Systems:       cfgs,
+		HWPrefetchers: hws,
+		Variants:      vs,
+		Options:       core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
+		Execs:         es,
+	}, nil
+}
+
+// Validate checks the spec without materializing workload data beyond
+// the quality pool; it reports exactly the error ToGrid would.
+func (sp Spec) Validate() error {
+	_, err := sp.ToGrid()
+	return err
+}

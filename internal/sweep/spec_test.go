@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSpecToGrid pins the shared grid spec: defaults, quality pools,
+// the gen extension, and the one-place validation contract every
+// surface (swpfbench -sweep, swpfd, swpfctl) relies on.
+func TestSpecToGrid(t *testing.T) {
+	grid, err := Spec{Quality: "tiny"}.ToGrid()
+	if err != nil {
+		t.Fatalf("empty selectors: %v", err)
+	}
+	if len(grid.Workloads) == 0 || len(grid.Systems) != 4 {
+		t.Errorf("defaults: %d workloads, %d systems", len(grid.Workloads), len(grid.Systems))
+	}
+	if len(grid.Variants) != 2 || grid.Variants[0] != core.VariantPlain {
+		t.Errorf("default variants = %v", grid.Variants)
+	}
+
+	grid, err = Spec{
+		Workloads: "IS,RA", Systems: "A53", Variants: "plain,auto",
+		C: 16, Depth: 2, Hoist: true, Quality: "tiny",
+	}.ToGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Workloads) != 2 || len(grid.Systems) != 1 {
+		t.Errorf("selection: %d workloads, %d systems", len(grid.Workloads), len(grid.Systems))
+	}
+	if grid.Options != (core.Options{C: 16, Depth: 2, Hoist: true}) {
+		t.Errorf("options = %+v", grid.Options)
+	}
+
+	// Gen kernels join the pool, selectable by prefix, seeded by GenSeed.
+	grid, err = Spec{Workloads: "GEN", Quality: "tiny", Gen: 3, GenSeed: 7}.ToGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Workloads) != 3 || grid.Workloads[0].Name != "GEN-00" {
+		t.Errorf("gen pool = %v", grid.Workloads)
+	}
+
+	// Validation errors keep the daemon's wire shapes: the quality error
+	// has no package prefix, axis errors come from the shared parser.
+	for spec, want := range map[Spec]string{
+		{Quality: "huge"}:                    `unknown quality "huge" (have full, quick, tiny, gen)`,
+		{Quality: "tiny", Variants: "jit"}:   "sweep: unknown variant",
+		{Quality: "tiny", Workloads: "nope"}: "sweep: unknown workload",
+		{Quality: "tiny", Systems: "M4"}:     "sweep: unknown system",
+		{Quality: "tiny", HWPF: "warp"}:      "sweep: unknown hardware prefetcher",
+		{Quality: "tiny", Exec: "jit"}:       "unknown exec mode",
+	} {
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Validate(%+v) = %v, want %q", spec, err, want)
+		}
+	}
+}
+
+// TestSpecQualityName pins the explicit-default form fleet cell specs
+// travel with.
+func TestSpecQualityName(t *testing.T) {
+	if got := (Spec{}).QualityName(); got != "full" {
+		t.Errorf(`QualityName("") = %q`, got)
+	}
+	if got := (Spec{Quality: "gen"}).QualityName(); got != "gen" {
+		t.Errorf(`QualityName("gen") = %q`, got)
+	}
+}
+
+// TestSpecJSON pins the wire form: unset fields are omitted (clients
+// build sparse bodies), and legacy field names decode.
+func TestSpecJSON(t *testing.T) {
+	body, err := json.Marshal(Spec{Workloads: "IS", C: 16, Quality: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(body), `{"workloads":"IS","c":16,"quality":"tiny"}`; got != want {
+		t.Errorf("marshal = %s, want %s", got, want)
+	}
+	var sp Spec
+	if err := json.Unmarshal([]byte(`{"workloads":"IS,CG","hwpf":"imp","gen_seed":9}`), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Workloads != "IS,CG" || sp.HWPF != "imp" || sp.GenSeed != 9 {
+		t.Errorf("unmarshal = %+v", sp)
+	}
+}

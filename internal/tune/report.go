@@ -1,0 +1,85 @@
+package tune
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CurvePoint is one sample of a look-ahead sensitivity curve.
+type CurvePoint struct {
+	C       int64   `json:"c"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Result is one pair's tuning outcome: the best configuration found,
+// its speedup over the no-prefetch baseline, and the look-ahead
+// sensitivity curve sampled at the best configuration's depth, hoist
+// and hardware-prefetcher coordinates.
+type Result struct {
+	Workload string `json:"workload"`
+	System   string `json:"system"`
+	Best     Config `json:"best"`
+	// Speedup is plain-baseline cycles over best-candidate cycles on
+	// the same machine and hardware-prefetcher model (>1 means
+	// software prefetching won).
+	Speedup float64 `json:"speedup"`
+	// Baseline is the no-prefetch baseline's cycle count at the best
+	// configuration's hardware-prefetcher model.
+	Baseline float64 `json:"baseline_cycles"`
+	// Evals counts candidate evaluations the search performed for
+	// this pair (baselines excluded) — exhaustive's equals the grid
+	// size, hillclimb's is usually far smaller.
+	Evals int          `json:"evals"`
+	Curve []CurvePoint `json:"curve"`
+}
+
+// Report is a completed search: one Result per workload × system pair
+// in selection order. Its serialized forms are deterministic — the
+// daemon's /tune result and swpfbench -tune emit byte-identical
+// reports for the same spec.
+type Report struct {
+	Quality  string   `json:"quality"`
+	Variant  string   `json:"variant"`
+	Strategy string   `json:"strategy"`
+	Results  []Result `json:"results"`
+}
+
+// WriteJSON emits the report as indented JSON, matching the sweep
+// result emitter's style.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits one row per sensitivity-curve point, with the best
+// row flagged — the flat form figures and nightly artifacts consume.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "system", "variant", "strategy",
+		"hwpf", "depth", "hoist", "c", "speedup", "best",
+	}); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		for _, pt := range res.Curve {
+			if err := cw.Write([]string{
+				res.Workload, res.System, r.Variant, r.Strategy,
+				res.Best.HWPF,
+				strconv.Itoa(res.Best.Depth),
+				strconv.FormatBool(res.Best.Hoist),
+				strconv.FormatInt(pt.C, 10),
+				fmt.Sprintf("%.4f", pt.Speedup),
+				strconv.FormatBool(pt.C == res.Best.C),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Quick returns the benchmark suite at reduced sizes for smoke runs:
+// the irregular footprints stay larger than the simulated last-level
+// caches (the property the paper's speedups rely on) while iteration
+// counts shrink for fast turnaround.
+func Quick() []*Workload {
+	return []*Workload{
+		IS(1<<14, 1<<19),
+		CG(2048, 96),
+		RA(19, 1<<12),
+		HJ(1<<13, 2),
+		HJ(1<<14, 8),
+		G500(11, 8),
+		G500(12, 8),
+	}
+}
+
+// Qualities lists every named workload pool, in presentation order.
+func Qualities() []string { return []string{"full", "quick", "tiny", "gen"} }
+
+// Pools are memoized per quality: constructing one runs the input-data
+// generators and reference checksums, which is far too heavy to redo
+// inside every request handler. Workloads are read-only after
+// construction, so sharing them across callers is safe (the sweep
+// engine already shares them across workers).
+var (
+	fullPool  = sync.OnceValue(All)
+	quickPool = sync.OnceValue(Quick)
+	tinyPool  = sync.OnceValue(Tiny)
+	// genPool is the generated-kernel family (internal/gen): synthetic
+	// scenarios that sweep and cache like the paper's benchmarks, keyed
+	// in the store by their canonical parameter vectors.
+	genPool = sync.OnceValue(SyntheticDefault)
+)
+
+// PoolByQuality resolves a quality name to its memoized workload pool;
+// "" means full. Shared by grid-spec validation (sweep.Spec), the
+// daemon's cell resolver and the tuner, so every consumer agrees on
+// what a (quality, name) pair denotes.
+func PoolByQuality(quality string) ([]*Workload, error) {
+	switch quality {
+	case "", "full":
+		return fullPool(), nil
+	case "quick":
+		return quickPool(), nil
+	case "tiny":
+		return tinyPool(), nil
+	case "gen":
+		return genPool(), nil
+	default:
+		return nil, fmt.Errorf("unknown quality %q (have full, quick, tiny, gen)", quality)
+	}
+}
