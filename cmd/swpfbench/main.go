@@ -60,14 +60,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hwpf"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -125,6 +128,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		csLadder = fs.String("cs", "", "tune: comma-separated look-ahead search ladder (default 1,2,4,...,1024)")
 		depths   = fs.String("depths", "", "tune: comma-separated stagger-depth search ladder (default 0)")
 		hoists   = fs.String("hoists", "", "tune: comma-separated hoist search ladder among false,true (default false)")
+
+		verbose = fs.Bool("v", false, "log execution progress to stderr (structured, debug level)")
 	)
 	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
@@ -132,6 +137,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return fmt.Errorf("%w: %v", errParse, err)
+	}
+
+	log := obs.Discard()
+	if *verbose {
+		log = slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
 	q := bench.Full
@@ -175,12 +185,15 @@ func run(argv []string, stdout, stderr io.Writer) error {
 
 	if *doTune {
 		tsp := tune.Spec{Spec: spec, Strategy: *strategy, Cs: *csLadder, Depths: *depths, Hoists: *hoists}
+		log.Debug("tune", "strategy", tsp.Strategy, "workloads", tsp.Workloads, "systems", tsp.Systems)
+		start := time.Now()
 		rep, err := tune.Tuner{
 			Runner: sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError},
 		}.Run(tsp)
 		if err != nil {
 			return err
 		}
+		log.Debug("tune done", "dur", time.Since(start).Round(time.Millisecond).String())
 		if *jsonOut {
 			return rep.WriteJSON(stdout)
 		}
@@ -192,10 +205,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		log.Debug("sweep", "cells", len(grid.Expand()), "jobs", *jobs)
+		start := time.Now()
 		set, err := grid.RunWith(sweep.Runner{Jobs: *jobs, Cache: cache, OnPutError: onPutError})
 		if err != nil {
 			return err
 		}
+		log.Debug("sweep done", "dur", time.Since(start).Round(time.Millisecond).String())
 		if *jsonOut {
 			return set.WriteJSON(stdout)
 		}
@@ -229,6 +245,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	log.Debug("experiment", "exp", *exp, "quick", *quick)
 	switch *exp {
 	case "all":
 		return s.RunAll(stdout)

@@ -6,6 +6,7 @@
 //	swpfctl tune    -workloads IS -systems A53 [-strategy hillclimb] [-wait]
 //	swpfctl status  [job-id] [-follow]
 //	swpfctl results -id job-1 [-format csv] [-o out.csv]
+//	swpfctl top     [-follow [-interval 2s]]
 //	swpfctl doctor
 //
 // The coordinator address is resolved in documented precedence order —
@@ -108,6 +109,7 @@ commands:
   tune     search (c, depth, hoist, hwpf) for the best speedup
   status   list jobs, or show one job (optionally -follow its progress)
   results  fetch a completed job's result set
+  top      fleet dashboard rendered from the coordinator's /metrics
   doctor   check configuration and coordinator health
 
 Run 'swpfctl <command> -h' for per-command flags. The coordinator
@@ -119,7 +121,7 @@ default `+defaultAddr+` — in that order.
 func run(argv []string, stdout, stderr io.Writer) error {
 	if len(argv) == 0 {
 		usage(stderr)
-		return fmt.Errorf("missing command (have submit, tune, status, results, doctor)")
+		return fmt.Errorf("missing command (have submit, tune, status, results, top, doctor)")
 	}
 	cmd, rest := argv[0], argv[1:]
 	switch cmd {
@@ -131,6 +133,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return cmdStatus(rest, stdout, stderr)
 	case "results":
 		return cmdResults(rest, stdout, stderr)
+	case "top":
+		return cmdTop(rest, stdout, stderr)
 	case "doctor":
 		return cmdDoctor(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
@@ -138,7 +142,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return flag.ErrHelp
 	default:
 		usage(stderr)
-		return fmt.Errorf("unknown command %q (have submit, tune, status, results, doctor)", cmd)
+		return fmt.Errorf("unknown command %q (have submit, tune, status, results, top, doctor)", cmd)
 	}
 }
 
@@ -592,6 +596,7 @@ func cmdDoctor(argv []string, stdout, stderr io.Writer) error {
 			Pending    int   `json:"pending"`
 			Leased     int   `json:"leased"`
 			Completed  int64 `json:"completed"`
+			Requeued   int64 `json:"requeued"`
 			MaxPending int   `json:"max_pending"`
 			Workers    []struct {
 				Name string `json:"name"`
@@ -601,8 +606,10 @@ func cmdDoctor(argv []string, stdout, stderr io.Writer) error {
 			Hits, Misses, Puts int64
 		} `json:"store"`
 		Peer *struct {
-			Base string `json:"base"`
-			Up   bool   `json:"up"`
+			Base        string `json:"base"`
+			Up          bool   `json:"up"`
+			Transitions int64  `json:"transitions"`
+			Dropped     int64  `json:"dropped"`
 		} `json:"peer"`
 	}
 	if err := getJSON(addr, "/fleet", &fleet); err != nil {
@@ -627,6 +634,23 @@ func cmdDoctor(argv []string, stdout, stderr io.Writer) error {
 			state = "up"
 		}
 		fmt.Fprintf(stdout, "peer:\t%s (%s)\n", fleet.Peer.Base, state)
+	}
+
+	// Anomaly checks: each prints one "warning:" line; none is fatal —
+	// doctor diagnoses, the operator decides.
+	if fleet.Peer != nil && !fleet.Peer.Up {
+		fmt.Fprintf(stdout, "warning:\tstore peer %s is down (circuit open, %d trips, %d replications dropped)\n",
+			fleet.Peer.Base, fleet.Peer.Transitions, fleet.Peer.Dropped)
+	}
+	if fleet.Queue.Requeued > 0 {
+		fmt.Fprintf(stdout, "warning:\t%d cells requeued by lease expiry — workers dying or lease TTL too short\n",
+			fleet.Queue.Requeued)
+	}
+	if cap := fleet.Queue.MaxPending; cap > 0 {
+		if live := fleet.Queue.Pending + fleet.Queue.Leased; live*10 >= cap*9 {
+			fmt.Fprintf(stdout, "warning:\tqueue near capacity (%d/%d live cells) — submissions will soon see 429\n",
+				live, cap)
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -333,10 +334,10 @@ func TestFleetWorkerLoop(t *testing.T) {
 		jobs:        2,
 		batch:       3,
 		client:      &http.Client{},
-		stderr:      &bytes.Buffer{},
+		log:         obs.Discard(),
 	}
 	for drained := false; !drained; {
-		l, err := w.lease()
+		l, rid, err := w.lease()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -344,7 +345,10 @@ func TestFleetWorkerLoop(t *testing.T) {
 			drained = true
 			continue
 		}
-		if err := w.execute(l); err != nil {
+		if rid == "" {
+			t.Fatal("lease response carried no request ID")
+		}
+		if err := w.execute(l, rid); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -439,15 +443,15 @@ func TestLeaseExpiryOverHTTP(t *testing.T) {
 	}
 	time.Sleep(60 * time.Millisecond)
 
-	w := &fleetWorker{coordinator: ts.URL, name: "w2", jobs: 1, batch: 99, client: &http.Client{}, stderr: &bytes.Buffer{}}
-	l2, err := w.lease()
+	w := &fleetWorker{coordinator: ts.URL, name: "w2", jobs: 1, batch: 99, client: &http.Client{}, log: obs.Discard()}
+	l2, rid, err := w.lease()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if l2 == nil || len(l2.Cells) != cells {
 		t.Fatalf("requeued lease wrong: %+v", l2)
 	}
-	if err := w.execute(l2); err != nil {
+	if err := w.execute(l2, rid); err != nil {
 		t.Fatal(err)
 	}
 	if final := poll(t, ts, id); final.State != stateDone || final.Done != cells {

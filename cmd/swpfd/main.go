@@ -65,8 +65,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"sync"
@@ -75,6 +77,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/hwpf"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -108,13 +111,19 @@ func run(argv []string, stderr io.Writer) error {
 		ttl     = fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet lease time-to-live between worker heartbeats")
 		batch   = fs.Int("lease-batch", 8, "max cells per worker lease")
 		pending = fs.Int("max-pending", fleet.DefaultMaxPending, "max live (pending+leased) cells before submissions get 429")
+		debug   = fs.Bool("debug", false, "mount Go profiling endpoints under /debug/pprof/")
 	)
+	logFlags := obs.BindLogFlags(fs)
 	resolveStore := store.BindFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
+	logger, err := logFlags.Logger(stderr)
+	if err != nil {
+		return err
+	}
 	if *worker != "" {
-		return runWorker(*worker, *name, *jobs, *batch, stderr)
+		return runWorker(*worker, *name, *jobs, *batch, logger)
 	}
 	st, err := resolveStore()
 	if err != nil {
@@ -132,10 +141,10 @@ func run(argv []string, stderr io.Writer) error {
 			if err := st.SetPeer(*peer, store.PeerOptions{}); err != nil {
 				return err
 			}
-			fmt.Fprintf(stderr, "swpfd: store peer %s\n", *peer)
+			logger.Info("store peer", "url", *peer)
 		}
 		cache = st
-		fmt.Fprintf(stderr, "swpfd: result store at %s\n", st.Dir())
+		logger.Info("store", "dir", st.Dir())
 	} else if *peer != "" {
 		return fmt.Errorf("-peer requires a result store (-store or $%s)", store.EnvVar)
 	}
@@ -154,14 +163,16 @@ func run(argv []string, stderr io.Writer) error {
 		maxPending:   *pending,
 		leaseTTL:     *ttl,
 		stderr:       stderr,
+		logger:       logger,
+		debug:        *debug,
 	})
-	// Listen before announcing, so "-addr :0" prints the real port —
-	// the e2e harness (and scripts) parse this line.
+	// Listen before announcing, so "-addr :0" logs the real port — the
+	// e2e harness (and scripts) parse the addr attribute of this line.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "swpfd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	return http.Serve(ln, h)
 }
 
@@ -292,13 +303,18 @@ type config struct {
 	maxPending   int
 	leaseTTL     time.Duration
 	stderr       io.Writer
+	registry     *obs.Registry // metrics registry; nil = a fresh one
+	logger       *slog.Logger  // structured log sink; nil = discard
+	debug        bool          // mount /debug/pprof/
 }
 
 // server holds the cell queue, the job table and the sweep
 // configuration shared by every submission.
 type server struct {
-	cfg   config
-	queue *fleet.Queue
+	cfg    config
+	queue  *fleet.Queue
+	sweepM *sweep.Metrics
+	tuneM  *tune.Metrics
 
 	mu   sync.Mutex
 	seq  int
@@ -314,7 +330,11 @@ func newServer(jobs int, cache sweep.Cache) http.Handler {
 }
 
 // newServerCfg builds the daemon's HTTP handler and starts its local
-// worker loops.
+// worker loops. Every layer shares one metrics registry — the fleet
+// queue, the store and its peer, the sweep engine and the tuner all
+// register collectors or instruments on it, and the handler exposes it
+// as GET /metrics (Prometheus text) and GET /debug/vars (JSON) behind
+// the same middleware that instruments and access-logs every route.
 func newServerCfg(cfg config) http.Handler {
 	if cfg.localWorkers == 0 {
 		cfg.localWorkers = 1
@@ -327,20 +347,47 @@ func newServerCfg(cfg config) http.Handler {
 	if cfg.stderr == nil {
 		cfg.stderr = os.Stderr
 	}
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	if cfg.logger == nil {
+		cfg.logger = obs.Discard()
+	}
 	s := &server{
-		cfg:  cfg,
-		byID: make(map[string]*job),
+		cfg:    cfg,
+		byID:   make(map[string]*job),
+		sweepM: sweep.NewMetrics(cfg.registry),
+		tuneM:  tune.NewMetrics(cfg.registry),
 		queue: fleet.New(fleet.Options{
 			Cache:      cfg.cache,
 			MaxPending: cfg.maxPending,
 			LeaseTTL:   cfg.leaseTTL,
 			OnPutError: store.PutWarner(cfg.stderr),
+			Registry:   cfg.registry,
 		}),
+	}
+	if cfg.objects != nil {
+		cfg.objects.Register(cfg.registry)
 	}
 	for i := 0; i < cfg.localWorkers; i++ {
 		go s.localWorker(fmt.Sprintf("local-%d", i))
 	}
 	mux := http.NewServeMux()
+	routes := []string{
+		"POST /sweep",
+		"POST /tune",
+		"GET /jobs",
+		"GET /jobs/{id}",
+		"GET /jobs/{id}/events",
+		"GET /results",
+		"GET /meta",
+		"POST /fleet/lease",
+		"POST /fleet/complete",
+		"POST /fleet/heartbeat",
+		"GET /fleet",
+		"GET /metrics",
+		"GET /debug/vars",
+	}
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("POST /tune", s.handleTune)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
@@ -352,10 +399,24 @@ func newServerCfg(cfg config) http.Handler {
 	mux.HandleFunc("POST /fleet/complete", s.handleComplete)
 	mux.HandleFunc("POST /fleet/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.Handle("GET /metrics", cfg.registry.Handler())
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		cfg.registry.WriteJSON(w)
+	})
+	if cfg.debug {
+		routes = append(routes, "/debug/pprof/")
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	if cfg.objects != nil {
+		routes = append(routes, "/objects/")
 		mux.Handle("/objects/", store.NewHandler(cfg.objects))
 	}
-	return mux
+	return obs.NewHTTPMetrics(cfg.registry, routes).Middleware(mux, cfg.logger)
 }
 
 // MetaWorkload is one selectable workload in the GET /meta listing.
@@ -828,12 +889,14 @@ func (s *server) workerCache() sweep.Cache {
 // coordinator cannot tell local and remote workers apart.
 func (s *server) localWorker(name string) {
 	cache := s.workerCache()
+	log := s.cfg.logger.With("worker", name)
 	for {
 		l := s.queue.Lease(name, s.cfg.leaseBatch)
 		if l == nil {
 			s.queue.WaitWork(time.Second)
 			continue
 		}
+		log.Debug("lease", "lease", l.ID, "cells", len(l.Cells))
 		stop := make(chan struct{})
 		go func() {
 			t := time.NewTicker(heartbeatEvery(l.TTL()))
@@ -850,11 +913,16 @@ func (s *server) localWorker(name string) {
 		runner := sweep.Runner{
 			Jobs:       s.cfg.jobs,
 			Cache:      cache,
+			Metrics:    s.sweepM,
 			OnPutError: store.PutWarner(s.cfg.stderr),
 		}
+		start := time.Now()
 		set, _ := runner.Execute(l.Requests())
 		close(stop)
-		s.queue.Complete(l.ID, name, cellResults(l, set))
+		accepted, dropped := s.queue.Complete(l.ID, name, cellResults(l, set))
+		log.Debug("complete",
+			"lease", l.ID, "accepted", accepted, "dropped", dropped,
+			"dur", time.Since(start).Round(time.Microsecond).String())
 	}
 }
 

@@ -169,6 +169,7 @@ func (s *server) runTune(tj *tuneJob, tsp TuneSpec) {
 	tuner := tune.Tuner{
 		Runner:     tuneRunner{s: s, quality: tsp.QualityName(), priority: tsp.Priority, tj: tj},
 		OnProgress: tj.setProgress,
+		Metrics:    s.tuneM,
 	}
 	rep, err := tuner.Run(tsp)
 	tj.finish(rep, err)

@@ -19,12 +19,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -54,7 +56,7 @@ func resolveWorkload(quality, name string) (*sweep.Request, error) {
 // runWorker is the worker-mode main loop: poll the coordinator for
 // leases until killed. Coordinator outages are retried with capped
 // exponential backoff — a worker outlives coordinator restarts.
-func runWorker(coordinator, name string, jobs, batch int, stderr io.Writer) error {
+func runWorker(coordinator, name string, jobs, batch int, log *slog.Logger) error {
 	coordinator = strings.TrimRight(coordinator, "/")
 	if !strings.Contains(coordinator, "://") {
 		return fmt.Errorf("-worker %q is not an absolute coordinator URL", coordinator)
@@ -68,14 +70,14 @@ func runWorker(coordinator, name string, jobs, batch int, stderr io.Writer) erro
 		jobs:        jobs,
 		batch:       batch,
 		client:      &http.Client{Timeout: 30 * time.Second},
-		stderr:      stderr,
+		log:         log.With("worker", name),
 	}
-	fmt.Fprintf(stderr, "swpfd: worker %s pulling from %s\n", name, coordinator)
+	w.log.Info("pulling", "coordinator", coordinator)
 	backoff := 100 * time.Millisecond
 	for {
-		l, err := w.lease()
+		l, rid, err := w.lease()
 		if err != nil {
-			fmt.Fprintf(stderr, "swpfd: worker: %v (retrying in %s)\n", err, backoff)
+			w.log.Warn("lease failed", "err", err, "backoff", backoff.String())
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > workerBackoffMax {
 				backoff = workerBackoffMax
@@ -87,8 +89,8 @@ func runWorker(coordinator, name string, jobs, batch int, stderr io.Writer) erro
 			time.Sleep(workerPoll)
 			continue
 		}
-		if err := w.execute(l); err != nil {
-			fmt.Fprintf(stderr, "swpfd: worker: %v\n", err)
+		if err := w.execute(l, rid); err != nil {
+			w.log.Warn("execute failed", "rid", rid, "err", err)
 		}
 	}
 }
@@ -99,49 +101,67 @@ type fleetWorker struct {
 	jobs        int
 	batch       int
 	client      *http.Client
-	stderr      io.Writer
+	log         *slog.Logger
 }
 
 // post sends one JSON request and decodes the JSON reply into out
-// (skipped when out is nil or the reply is 204).
-func (w *fleetWorker) post(path string, in, out any) (int, error) {
+// (skipped when out is nil or the reply is 204). A non-empty rid
+// travels as the request-ID header, so the coordinator's access log
+// correlates the call with the lease that started the work; the
+// returned rid is whatever ID the coordinator stamped on the response.
+func (w *fleetWorker) post(path, rid string, in, out any) (int, string, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
-	resp, err := w.client.Post(w.coordinator+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, w.coordinator+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	respRID := resp.Header.Get(obs.RequestIDHeader)
 	if resp.StatusCode == http.StatusNoContent || out == nil {
 		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil
+		return resp.StatusCode, respRID, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode, fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		return resp.StatusCode, respRID, fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
 	}
-	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	return resp.StatusCode, respRID, json.NewDecoder(resp.Body).Decode(out)
 }
 
-// lease asks for a batch; nil means nothing pending.
-func (w *fleetWorker) lease() (*fleet.Lease, error) {
+// lease asks for a batch; a nil lease means nothing pending. The
+// returned rid is the coordinator's ID for the lease request — the
+// worker logs the batch's execution under it and sends it back on
+// complete, tying both sides of the cell lifecycle together.
+func (w *fleetWorker) lease() (*fleet.Lease, string, error) {
 	var l fleet.Lease
-	code, err := w.post("/fleet/lease", LeaseRequest{Worker: w.name, Max: w.batch}, &l)
+	code, rid, err := w.post("/fleet/lease", "", LeaseRequest{Worker: w.name, Max: w.batch}, &l)
 	if err != nil {
-		return nil, err
+		return nil, rid, err
 	}
 	if code == http.StatusNoContent {
-		return nil, nil
+		return nil, rid, nil
 	}
-	return &l, nil
+	return &l, rid, nil
 }
 
 // execute reconstructs a lease's cells, runs them, and reports every
 // cell — results for the runnable ones, errors for the rest — while a
-// background heartbeat keeps the lease alive.
-func (w *fleetWorker) execute(l *fleet.Lease) error {
+// background heartbeat keeps the lease alive. The whole batch logs
+// under rid, the coordinator's ID for the lease request.
+func (w *fleetWorker) execute(l *fleet.Lease, rid string) error {
+	log := w.log.With("rid", rid, "lease", l.ID)
+	log.Info("lease", "cells", len(l.Cells), "ttl", l.TTL().String())
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
@@ -155,7 +175,7 @@ func (w *fleetWorker) execute(l *fleet.Lease) error {
 				var hb struct {
 					OK bool `json:"ok"`
 				}
-				if _, err := w.post("/fleet/heartbeat", HeartbeatRequest{Lease: l.ID, Worker: w.name}, &hb); err == nil && !hb.OK {
+				if _, _, err := w.post("/fleet/heartbeat", rid, HeartbeatRequest{Lease: l.ID, Worker: w.name}, &hb); err == nil && !hb.OK {
 					// Lease gone (expired and re-leased elsewhere): keep
 					// computing — the completion is reported anyway and
 					// the coordinator drops whatever the re-lease already
@@ -179,6 +199,7 @@ func (w *fleetWorker) execute(l *fleet.Lease) error {
 		reqs = append(reqs, req)
 		reqIdx = append(reqIdx, i)
 	}
+	start := time.Now()
 	if len(reqs) > 0 {
 		// No cache: the coordinator probed its store at submission and
 		// persists completions; replay groups lease whole, so trace
@@ -194,16 +215,22 @@ func (w *fleetWorker) execute(l *fleet.Lease) error {
 			}
 		}
 	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	for _, res := range results {
+		log.Debug("cell", "key", res.Key, "err", res.Err)
+	}
+	log.Info("execute", "cells", len(l.Cells), "dur", elapsed.String())
 
 	var rep struct {
 		Accepted int `json:"accepted"`
 		Dropped  int `json:"dropped"`
 	}
-	if _, err := w.post("/fleet/complete", CompleteRequest{Lease: l.ID, Worker: w.name, Results: results}, &rep); err != nil {
+	if _, _, err := w.post("/fleet/complete", rid, CompleteRequest{Lease: l.ID, Worker: w.name, Results: results}, &rep); err != nil {
 		return fmt.Errorf("reporting lease %s: %w", l.ID, err)
 	}
+	log.Info("complete", "accepted", rep.Accepted, "dropped", rep.Dropped, "dur", elapsed.String())
 	if rep.Dropped > 0 {
-		fmt.Fprintf(w.stderr, "swpfd: worker %s: %d duplicate cells dropped by coordinator\n", w.name, rep.Dropped)
+		log.Warn("duplicate cells dropped by coordinator", "dropped", rep.Dropped)
 	}
 	return nil
 }

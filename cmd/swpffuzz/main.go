@@ -32,11 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 )
 
@@ -72,10 +74,14 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		minimize   = fs.Bool("minimize", false, "shrink a failing kernel before reporting")
 		clampSlack = fs.Int64("clamp-slack", 0, "fault injection: widen the pass's §4.2 clamp by this many iterations (self-test)")
 		outDir     = fs.String("out", "", "directory for failure reproductions (default: repro to stdout only)")
-		verbose    = fs.Bool("v", false, "log every kernel checked")
+		verbose    = fs.Bool("v", false, "log every kernel checked (structured, to stderr)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	log := obs.Discard()
+	if *verbose {
+		log = slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
 	o := gen.DefaultOracle()
@@ -93,9 +99,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 		p := gen.Random(r)
 		k := gen.Generate(p)
-		if *verbose {
-			fmt.Fprintf(stderr, "swpffuzz: #%d %s\n", i, p.Canonical())
-		}
+		log.Debug("kernel", "i", i, "params", p.Canonical())
 		fail := o.Check(k)
 		if fail == nil {
 			checked++

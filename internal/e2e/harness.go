@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -169,6 +170,36 @@ func (p *process) waitLine(t *testing.T, substr string, timeout time.Duration) s
 	}
 }
 
+// logAttr extracts the value of a `key=value` attribute from one slog
+// text line; values the handler quoted are unquoted.
+func logAttr(t *testing.T, line, key string) string {
+	t.Helper()
+	v, ok := attrValue(line, key)
+	if !ok {
+		t.Fatalf("log line %q has no %s attribute", line, key)
+	}
+	return v
+}
+
+// attrValue is logAttr's non-fatal form, for probing lines that may
+// not carry the attribute.
+func attrValue(line, key string) (string, bool) {
+	i := strings.Index(line, " "+key+"=")
+	if i < 0 {
+		return "", false
+	}
+	v := line[i+len(key)+2:]
+	if strings.HasPrefix(v, `"`) {
+		if uq, err := strconv.Unquote(v[:strings.Index(v[1:], `"`)+2]); err == nil {
+			return uq, true
+		}
+	}
+	if j := strings.IndexByte(v, ' '); j >= 0 {
+		v = v[:j]
+	}
+	return strings.TrimSpace(v), true
+}
+
 func (p *process) dump() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -210,10 +241,11 @@ func StartFleet(t *testing.T, cfg FleetConfig) *Fleet {
 	f := &Fleet{t: t, swpfd: swpfd, swpfctl: swpfctl, cfg: cfg}
 	f.coordinator = start(t, "coordinator", swpfd, args...)
 
-	// The daemon prints the resolved listen address once the socket is
-	// bound — with -addr :0 this is the only way to learn the port.
-	line := f.coordinator.waitLine(t, "swpfd: listening on ", 30*time.Second)
-	addr := strings.TrimSpace(line[strings.Index(line, "listening on ")+len("listening on "):])
+	// The daemon logs the resolved listen address once the socket is
+	// bound — with -addr :0 this is the only way to learn the port. The
+	// line is slog text: `... msg=listening addr=127.0.0.1:NNNN`.
+	line := f.coordinator.waitLine(t, "msg=listening", 30*time.Second)
+	addr := logAttr(t, line, "addr")
 	f.URL = "http://" + addr
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -233,7 +265,7 @@ func (f *Fleet) AddWorker() {
 		wargs = append(wargs, "-lease-batch", fmt.Sprint(f.cfg.LeaseBatch))
 	}
 	w := start(f.t, fmt.Sprintf("worker-%d", i), f.swpfd, wargs...)
-	w.waitLine(f.t, "pulling from", 30*time.Second)
+	w.waitLine(f.t, "msg=pulling", 30*time.Second)
 	f.workers = append(f.workers, w)
 }
 

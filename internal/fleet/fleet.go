@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -383,15 +384,16 @@ type waiter struct {
 
 // cell is one live unit of simulation work.
 type cell struct {
-	key     string
-	req     sweep.Request
-	spec    CellSpec
-	prio    int
-	seq     int64
-	group   *replayGroup // non-nil when leased as a replay group
-	state   cellState
-	leaseID string
-	waiters []waiter
+	key      string
+	req      sweep.Request
+	spec     CellSpec
+	prio     int
+	seq      int64
+	group    *replayGroup // non-nil when leased as a replay group
+	state    cellState
+	leaseID  string
+	leasedAt time.Time // last time the cell was handed to a worker
+	waiters  []waiter
 }
 
 type lease struct {
@@ -418,6 +420,13 @@ type Options struct {
 	// Now is the clock; nil selects time.Now. Tests inject one to make
 	// lease expiry deterministic.
 	Now func() time.Time
+	// Registry receives the queue's metrics: every Stats field as a
+	// collector (one Stats() call per scrape, so all queue series come
+	// from a single acquisition of the queue lock and are mutually
+	// consistent — and identical to what GET /fleet reports), plus the
+	// cell execution-latency histogram. Nil keeps the instruments on a
+	// private, unscraped registry so the queue code stays branch-free.
+	Registry *obs.Registry
 }
 
 // Defaults.
@@ -473,6 +482,11 @@ type Queue struct {
 
 	submissions, cellsSeen, cacheHits, dedupHits int64
 	completed, failed, requeued, dupDropped      int64
+
+	// cellSeconds observes lease→accepted-completion latency per cell.
+	// Always non-nil (a private registry backs it when Options.Registry
+	// is nil), so the accounting sites stay branch-free.
+	cellSeconds *obs.Histogram
 }
 
 // New builds a queue.
@@ -486,7 +500,10 @@ func New(opt Options) *Queue {
 	if opt.Now == nil {
 		opt.Now = time.Now
 	}
-	return &Queue{
+	if opt.Registry == nil {
+		opt.Registry = obs.NewRegistry()
+	}
+	q := &Queue{
 		cache:      opt.Cache,
 		maxPending: opt.MaxPending,
 		ttl:        opt.LeaseTTL,
@@ -497,6 +514,38 @@ func New(opt Options) *Queue {
 		workers:    make(map[string]time.Time),
 		wake:       make(chan struct{}),
 	}
+	q.cellSeconds = opt.Registry.Histogram("swpf_fleet_cell_seconds",
+		"Cell execution latency from lease to accepted completion, in seconds.", nil)
+	opt.Registry.Collect(q.collect)
+	return q
+}
+
+// collect emits every Stats field as metric samples. The single
+// Stats() call snapshots under one acquisition of the queue lock, so
+// all queue series within a scrape are mutually consistent — and
+// byte-for-byte the numbers GET /fleet serves, which renders from the
+// same snapshot function.
+func (q *Queue) collect(emit func(obs.Sample)) {
+	s := q.Stats()
+	gauge := func(name, help string, v int) {
+		emit(obs.Sample{Name: name, Help: help, Kind: obs.KindGauge, Value: float64(v)})
+	}
+	counter := func(name, help string, v int64) {
+		emit(obs.Sample{Name: name, Help: help, Kind: obs.KindCounter, Value: float64(v)})
+	}
+	gauge("swpf_queue_pending", "Cells waiting to be leased.", s.Pending)
+	gauge("swpf_queue_leased", "Cells currently out under a lease.", s.Leased)
+	gauge("swpf_queue_leases", "Live leases.", s.Leases)
+	gauge("swpf_queue_workers", "Workers ever seen by the coordinator.", len(s.Workers))
+	gauge("swpf_queue_max_pending", "The live-cell admission bound.", s.MaxPending)
+	counter("swpf_queue_submissions_total", "Submissions accepted.", s.Submissions)
+	counter("swpf_queue_cells_total", "Outcome slots ever submitted.", s.CellsSeen)
+	counter("swpf_queue_cache_hits_total", "Slots answered by the result store at submit.", s.CacheHits)
+	counter("swpf_queue_dedup_hits_total", "Slots attached to an already-live cell.", s.DedupHits)
+	counter("swpf_queue_completed_total", "Distinct cells accepted from workers.", s.Completed)
+	counter("swpf_queue_failed_total", "Distinct cells completed with an error.", s.Failed)
+	counter("swpf_queue_requeued_total", "Cells returned to the queue by expired leases.", s.Requeued)
+	counter("swpf_queue_dup_dropped_total", "Duplicate or late completions dropped.", s.DupDropped)
 }
 
 // LeaseTTL returns the queue's lease time-to-live.
@@ -677,10 +726,12 @@ func (q *Queue) Lease(worker string, max int) *Lease {
 		return nil
 	}
 	q.leaseSeq++
-	l := &lease{id: "lease-" + strconv.FormatInt(q.leaseSeq, 10), worker: worker, deadline: q.now().Add(q.ttl)}
+	now := q.now()
+	l := &lease{id: "lease-" + strconv.FormatInt(q.leaseSeq, 10), worker: worker, deadline: now.Add(q.ttl)}
 	take := func(c *cell) {
 		c.state = cellLeased
 		c.leaseID = l.id
+		c.leasedAt = now
 		l.cells = append(l.cells, c)
 	}
 	groups := make(map[replayGroup]bool)
@@ -787,6 +838,9 @@ func (q *Queue) Complete(id, worker string, results []CellResult) (accepted, dro
 		}
 		q.completed++
 		accepted++
+		if !c.leasedAt.IsZero() {
+			q.cellSeconds.Observe(q.now().Sub(c.leasedAt).Seconds())
+		}
 		deliveries = append(deliveries, d)
 	}
 	// Anything the lease held but the report omitted goes back in the

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusClasses are the per-route status-class counter labels. Every
+// class is pre-registered so the request path never mints a series.
+var statusClasses = []string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// routeMetrics holds the pre-registered instruments for one route.
+type routeMetrics struct {
+	byClass  map[string]*Counter
+	duration *Histogram
+	bytes    *Counter
+}
+
+// HTTPMetrics instruments an http.ServeMux: per-route request counts
+// by status class, a per-route latency histogram, response bytes, and
+// an in-flight gauge. Routes are the mux's registered patterns, fixed
+// at construction, so label cardinality is bounded; requests that
+// match no pattern are accounted under "other".
+type HTTPMetrics struct {
+	routes   map[string]*routeMetrics
+	other    *routeMetrics
+	inflight *Gauge
+}
+
+// NewHTTPMetrics pre-registers instruments for each route pattern.
+func NewHTTPMetrics(reg *Registry, routes []string) *HTTPMetrics {
+	m := &HTTPMetrics{routes: make(map[string]*routeMetrics, len(routes)+1)}
+	build := func(route string) *routeMetrics {
+		rm := &routeMetrics{byClass: make(map[string]*Counter, len(statusClasses))}
+		for _, class := range statusClasses {
+			rm.byClass[class] = reg.Counter("swpf_http_requests_total",
+				"HTTP requests served, by route and status class.",
+				L("route", route), L("class", class))
+		}
+		rm.duration = reg.Histogram("swpf_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", nil, L("route", route))
+		rm.bytes = reg.Counter("swpf_http_response_bytes_total",
+			"HTTP response body bytes written, by route.", L("route", route))
+		return rm
+	}
+	for _, route := range routes {
+		m.routes[route] = build(route)
+	}
+	m.other = build("other")
+	m.routes["other"] = m.other
+	m.inflight = reg.Gauge("swpf_http_inflight_requests",
+		"HTTP requests currently being served.")
+	return m
+}
+
+// forRoute returns the instruments for a matched pattern.
+func (m *HTTPMetrics) forRoute(pattern string) *routeMetrics {
+	if rm := m.routes[pattern]; rm != nil {
+		return rm
+	}
+	return m.other
+}
+
+// ctxKey is the context key type for request IDs.
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request ID the middleware attached to ctx, or
+// "" outside an instrumented request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// responseWriter captures status and bytes while passing Flush
+// through, so SSE endpoints (GET /jobs/{id}/events) keep streaming.
+type responseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *responseWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *responseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *responseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps mux with request-ID assignment, per-route metrics,
+// and a slog access log. The route label is the mux pattern that
+// matched (method + path as registered), never the raw URL, so
+// cardinality stays bounded. Pass Discard() to silence the access log.
+func (m *HTTPMetrics) Middleware(mux *http.ServeMux, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" {
+			rid = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+
+		_, pattern := mux.Handler(r)
+		rm := m.forRoute(pattern)
+		if pattern == "" {
+			pattern = "other"
+		}
+
+		m.inflight.Add(1)
+		start := time.Now()
+		rw := &responseWriter{ResponseWriter: w}
+		mux.ServeHTTP(rw, r)
+		elapsed := time.Since(start)
+		m.inflight.Add(-1)
+
+		if rw.status == 0 {
+			rw.status = http.StatusOK
+		}
+		rm.byClass[statusClass(rw.status)].Inc()
+		rm.duration.Observe(elapsed.Seconds())
+		rm.bytes.Add(rw.bytes)
+
+		log.Info("http",
+			"rid", rid,
+			"method", r.Method,
+			"route", pattern,
+			"path", r.URL.Path,
+			"status", rw.status,
+			"bytes", rw.bytes,
+			"dur", elapsed.Round(time.Microsecond).String(),
+			"remote", r.RemoteAddr)
+	})
+}

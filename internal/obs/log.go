@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// RequestIDHeader carries a request's correlation ID. The coordinator
+// stamps it on every response (honoring a caller-supplied value), so a
+// worker that leases a cell learns the coordinator-side ID of the
+// lease request, logs its execution under it, and sends it back on
+// complete — one grep over coordinator and worker logs reconstructs a
+// cell's whole lifecycle.
+const RequestIDHeader = "X-Swpf-Request-Id"
+
+// NewRequestID returns a fresh 16-hex-char request ID. IDs are for
+// correlation only and carry no ordering or meaning.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read never fails on supported platforms; a zero ID
+		// still correlates within one process if it somehow does.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// LogFlags holds the shared -log-level / -log-format flag values.
+// Every binary in cmd/ binds the same pair so operators configure
+// coordinator, workers, and tools identically.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// BindLogFlags registers -log-level and -log-format on fs.
+func BindLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log format: text or json")
+	return lf
+}
+
+// Logger builds a slog.Logger writing to w per the flag values.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(lf.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(lf.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", lf.Format)
+	}
+}
+
+// ParseLevel maps a flag string to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error)", s)
+	}
+	return l, nil
+}
+
+// Discard is a logger that drops everything: the default for library
+// code and tests so instrumented paths stay silent unless a real
+// logger is wired in.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

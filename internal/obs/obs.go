@@ -1,0 +1,375 @@
+// Package obs is the observability layer of the sweep fabric: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms), Prometheus text and JSON
+// exposition, structured-logging helpers on log/slog, and the HTTP
+// instrumentation middleware cmd/swpfd mounts in front of its mux.
+//
+// The design constraints, inherited from the engine's bit-identity
+// discipline (see docs/observability.md):
+//
+//   - The instrument hot path — Counter.Add, Gauge.Set,
+//     Histogram.Observe — performs zero heap allocations and takes no
+//     locks (atomics only), so instrumenting the simulation and queue
+//     paths cannot perturb results or timings. A benchmark in this
+//     package pins 0 allocs/op.
+//   - Scrapes are consistent where it matters: a Collector produces
+//     all of a subsystem's series from one snapshot (internal/fleet
+//     takes its queue snapshot under the queue lock), so /metrics and
+//     GET /fleet render the same numbers from the same source.
+//   - Metric names are stable, catalogued in docs/observability.md,
+//     and label cardinality is bounded by construction: every series
+//     is registered up front, never minted per request.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one constant name=value pair attached to a series at
+// registration time. Labels identify a series within its family;
+// values must come from a bounded set (routes, status classes, phase
+// names — never user input), which keeps every scrape's size fixed.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{key, value} }
+
+// labelString renders a label set canonically ({} order preserved as
+// registered; registration order is part of the series identity).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable but unregistered; obtain registered counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; n must be non-negative (not checked on
+// the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets is the default histogram ladder for durations in
+// seconds: 10µs to 10s in decades, which brackets everything from a
+// cache-hit HTTP request to a full-grid cell batch.
+var DefLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Histogram is a fixed-bucket histogram. Bucket bounds are set at
+// registration and never change; Observe is lock-free and
+// allocation-free (one atomic add plus a CAS loop for the sum).
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot returns cumulative bucket counts aligned with Bounds plus
+// the +Inf bucket as the last element. The buckets are read one atomic
+// at a time, so a snapshot taken during concurrent Observes can be
+// momentarily non-monotonic against Count(); exposition recomputes the
+// total from the buckets to stay internally consistent.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64, sum float64) {
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return h.bounds, cumulative, h.Sum()
+}
+
+// series is one registered instrument with its label identity.
+type series struct {
+	labels string // rendered label set, "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series registered under one name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []*series
+}
+
+// Sample is one exposed series value: what a Collector emits at scrape
+// time, and what ParseText returns. Histograms are never emitted by
+// collectors (register a real Histogram instead), so Value is always a
+// plain number.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	Value  float64
+}
+
+// Collector produces samples at scrape time. Use a collector when a
+// subsystem already owns consistent state under its own lock (the
+// fleet queue, the store's counters): the collector snapshots once and
+// emits every series from that snapshot, so one scrape's numbers are
+// mutually consistent.
+type Collector func(emit func(Sample))
+
+// Registry holds metric families and collectors. Registration happens
+// at construction time (panicking on duplicates, like expvar); the
+// instrument hot paths never touch the registry afterwards.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	names      []string // registration order; sorted at exposition
+	collectors []Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a series, enforcing name/kind/label uniqueness.
+func (r *Registry) register(name, help string, kind Kind, labels []Label) *series {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	ls := labelString(labels)
+	for _, s := range f.series {
+		if s.labels == ls {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, ls))
+		}
+	}
+	s := &series{labels: ls}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter registers and returns a counter series. By convention the
+// name ends in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, KindCounter, labels)
+	s.c = &Counter{}
+	return s.c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, KindGauge, labels)
+	s.g = &Gauge{}
+	return s.g
+}
+
+// Histogram registers and returns a histogram series. buckets are the
+// ascending upper bounds (+Inf is implicit); nil selects
+// DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending", name))
+		}
+	}
+	s := r.register(name, help, KindHistogram, labels)
+	s.h = &Histogram{bounds: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+	return s.h
+}
+
+// Collect registers a scrape-time collector.
+func (r *Registry) Collect(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// gather snapshots every family (instruments and collectors) sorted by
+// name, with series in stable label order. Collector samples are
+// grouped into synthetic families by name.
+func (r *Registry) gather() []*gatheredFamily {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make(map[string]*family, len(r.families))
+	for k, v := range r.families {
+		fams[k] = v
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	byName := make(map[string]*gatheredFamily)
+	var out []*gatheredFamily
+	add := func(name, help string, kind Kind) *gatheredFamily {
+		gf := byName[name]
+		if gf == nil {
+			gf = &gatheredFamily{name: name, help: help, kind: kind}
+			byName[name] = gf
+			out = append(out, gf)
+		}
+		return gf
+	}
+	for _, name := range names {
+		f := fams[name]
+		gf := add(f.name, f.help, f.kind)
+		for _, s := range f.series {
+			gv := gatheredSeries{labels: s.labels}
+			switch {
+			case s.c != nil:
+				gv.value = float64(s.c.Value())
+			case s.g != nil:
+				gv.value = float64(s.g.Value())
+			case s.h != nil:
+				gv.bounds, gv.cumulative, gv.sum = s.h.Snapshot()
+			}
+			gf.series = append(gf.series, gv)
+		}
+	}
+	for _, c := range collectors {
+		c(func(s Sample) {
+			gf := add(s.Name, s.Help, s.Kind)
+			gf.series = append(gf.series, gatheredSeries{labels: labelString(s.Labels), value: s.Value})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, gf := range out {
+		sort.SliceStable(gf.series, func(i, j int) bool { return gf.series[i].labels < gf.series[j].labels })
+	}
+	return out
+}
+
+// gatheredFamily is a scrape-time snapshot of one family.
+type gatheredFamily struct {
+	name   string
+	help   string
+	kind   Kind
+	series []gatheredSeries
+}
+
+type gatheredSeries struct {
+	labels string
+	value  float64 // counter/gauge
+	// histogram snapshot
+	bounds     []float64
+	cumulative []int64
+	sum        float64
+}
+
+// formatFloat renders a value the way the Prometheus text format
+// expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -79,13 +79,15 @@ func (o PeerOptions) withDefaults() PeerOptions {
 
 // PeerStats snapshots peer traffic and health.
 type PeerStats struct {
-	Base    string `json:"base"`
-	Up      bool   `json:"up"`
-	Hits    int64  `json:"hits"`    // read-through fetches served by the peer
-	Misses  int64  `json:"misses"`  // peer answered 404
-	Errors  int64  `json:"errors"`  // transport/HTTP failures (both directions)
-	Puts    int64  `json:"puts"`    // objects replicated
-	Dropped int64  `json:"dropped"` // write-behind objects given up on
+	Base        string `json:"base"`
+	Up          bool   `json:"up"`
+	Hits        int64  `json:"hits"`        // read-through fetches served by the peer
+	Misses      int64  `json:"misses"`      // peer answered 404
+	Errors      int64  `json:"errors"`      // transport/HTTP failures (both directions)
+	Puts        int64  `json:"puts"`        // objects replicated
+	Dropped     int64  `json:"dropped"`     // write-behind objects given up on
+	Transitions int64  `json:"transitions"` // circuit-breaker open transitions
+	QueueDepth  int    `json:"queue_depth"` // write-behind objects waiting
 }
 
 type putItem struct {
@@ -108,6 +110,7 @@ type peer struct {
 	probing   bool
 
 	hits, misses, errors, puts, dropped atomic.Int64
+	transitions                         atomic.Int64 // closed→open breaker trips
 }
 
 // SetPeer attaches an HTTP store-peer to the store. Call once, before
@@ -153,13 +156,15 @@ func (s *Store) PeerStats() (PeerStats, bool) {
 	up := time.Now().After(p.downUntil) && p.fails < p.opt.FailThreshold
 	p.mu.Unlock()
 	return PeerStats{
-		Base:    p.base,
-		Up:      up,
-		Hits:    p.hits.Load(),
-		Misses:  p.misses.Load(),
-		Errors:  p.errors.Load(),
-		Puts:    p.puts.Load(),
-		Dropped: p.dropped.Load(),
+		Base:        p.base,
+		Up:          up,
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Errors:      p.errors.Load(),
+		Puts:        p.puts.Load(),
+		Dropped:     p.dropped.Load(),
+		Transitions: p.transitions.Load(),
+		QueueDepth:  len(p.queue),
 	}, true
 }
 
@@ -203,6 +208,11 @@ func (p *peer) outcome(err error, probe bool) {
 	p.errors.Add(1)
 	p.fails++
 	if p.fails >= p.opt.FailThreshold {
+		if p.fails == p.opt.FailThreshold {
+			// The closed→open edge, exactly once per trip; probe
+			// failures past the threshold just extend the cooldown.
+			p.transitions.Add(1)
+		}
 		p.downUntil = time.Now().Add(p.opt.Cooldown)
 	}
 }

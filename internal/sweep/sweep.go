@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -128,6 +129,11 @@ type Runner struct {
 	// so with a nil callback failures are silently ignored. Called
 	// concurrently from worker goroutines.
 	OnPutError func(Request, error)
+	// Metrics, when non-nil, receives per-cell accounting: how each
+	// cell was served and per-phase latency histograms (see
+	// NewMetrics). Observations wrap the simulator calls from outside,
+	// so result sets are byte-identical with or without it.
+	Metrics *Metrics
 }
 
 // groupKey identifies a replay group: the functional coordinates of a
@@ -162,6 +168,7 @@ type group struct {
 // modes — and across modes, which cmd/golden enforces byte-for-byte.
 func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 	out := make([]Outcome, len(reqs))
+	m := r.metrics()
 	var done atomic.Int64
 	progress := func() {
 		n := int(done.Add(1))
@@ -180,6 +187,7 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 		if r.Cache != nil {
 			if res, ok := r.Cache.Get(req); ok {
 				out[i] = Outcome{Request: req, Result: res}
+				m.CellsCache.Inc()
 				progress()
 				continue
 			}
@@ -202,7 +210,10 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 	r.pool(len(direct), func(cx *core.Context, n int) {
 		i := direct[n]
 		req := reqs[i]
+		start := time.Now()
 		res, err := cx.Run(req.Workload, req.System, req.Variant, req.Options)
+		m.DirectSeconds.Observe(time.Since(start).Seconds())
+		m.CellsDirect.Inc()
 		out[i] = Outcome{Request: req, Result: res, Err: err}
 		r.put(req, res, err)
 		progress()
@@ -225,10 +236,12 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 				// different IR revision): fall through and re-record.
 			}
 		}
+		start := time.Now()
 		t, res, err := cx.Record(req.Workload, req.System, req.Variant, req.Options)
 		if err == nil {
 			g.image, err = interp.NewImage(t)
 		}
+		m.RecordSeconds.Observe(time.Since(start).Seconds())
 		if err != nil {
 			g.err = err
 			return
@@ -236,6 +249,7 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 		res.Pass = nil
 		out[g.idxs[0]] = Outcome{Request: req, Result: res}
 		g.recorded = true
+		m.CellsRecorded.Inc()
 		r.put(req, res, nil)
 		if tc != nil {
 			if perr := tc.PutTrace(req, t); perr != nil && r.OnPutError != nil {
@@ -268,7 +282,10 @@ func (r Runner) Execute(reqs []Request) (*ResultSet, error) {
 	r.pool(len(cells), func(cx *core.Context, n int) {
 		i := cells[n]
 		req := reqs[i]
+		start := time.Now()
 		res, err := cx.ReplayImage(groups[cellGroup[n]].image, req.System)
+		m.ReplaySeconds.Observe(time.Since(start).Seconds())
+		m.CellsReplayed.Inc()
 		out[i] = Outcome{Request: req, Result: res, Err: err}
 		r.put(req, res, err)
 		progress()

@@ -1,0 +1,35 @@
+package tune
+
+import "repro/internal/obs"
+
+// Metrics holds the tuner's instruments: search rounds (evaluation
+// batches actually submitted), cells evaluated through the Runner, and
+// memo hits (cells a search asked for again and the evaluator answered
+// from its speedup table without submitting). The memo-hit ratio is
+// the tuner-side view of the fleet's dedupe discipline — a warm search
+// converges with rounds ≫ evaluations.
+type Metrics struct {
+	Rounds      *obs.Counter
+	Evaluations *obs.Counter
+	MemoHits    *obs.Counter
+}
+
+// NewMetrics registers the tuner's instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Rounds:      reg.Counter("swpf_tune_rounds_total", "Evaluation batches submitted by searches."),
+		Evaluations: reg.Counter("swpf_tune_evaluations_total", "Cells submitted to the Runner by searches."),
+		MemoHits:    reg.Counter("swpf_tune_memo_hits_total", "Cells answered from the evaluator's memo table."),
+	}
+}
+
+// nopMetrics backs Tuners with no Metrics set, keeping the evaluator
+// branch-free.
+var nopMetrics = NewMetrics(obs.NewRegistry())
+
+func (t Tuner) metrics() *Metrics {
+	if t.Metrics != nil {
+		return t.Metrics
+	}
+	return nopMetrics
+}

@@ -40,6 +40,9 @@ type Tuner struct {
 	// counts. Total grows as hillclimb discovers more work, so treat
 	// it as a moving target. Called from Run's goroutine only.
 	OnProgress func(done, total int)
+	// Metrics, when non-nil, counts rounds, evaluations and memo hits
+	// (see NewMetrics). Counting never influences the search.
+	Metrics *Metrics
 }
 
 // maxRounds bounds hillclimb's coordinate-descent rounds. Each round
@@ -160,8 +163,10 @@ func (e *evaluator) run(cells []cell) error {
 	var slots []slot
 	queuedBase := make(map[int]map[string]bool)
 	queuedCand := make(map[cell]bool)
+	m := e.t.metrics()
 	for _, c := range cells {
 		if _, ok := e.speed[c.p][c.cfg]; ok {
+			m.MemoHits.Inc()
 			continue
 		}
 		if queuedCand[c] {
@@ -188,6 +193,8 @@ func (e *evaluator) run(cells []cell) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	m.Rounds.Inc()
+	m.Evaluations.Add(int64(len(reqs)))
 	e.total += len(reqs)
 	e.progress()
 	set, err := e.t.Runner.Execute(reqs)
