@@ -17,7 +17,10 @@
 // machine, both TLB page sizes' behaviours and the hardware
 // prefetcher. -hwpf widens the matrix across hardware-prefetcher
 // models (internal/hwpf); `golden -hwpf stride` pins the ported
-// streamer bit-identical to the pre-hwpf engine.
+// streamer bit-identical to the pre-hwpf engine. -core does the same
+// for CPU core timing models (internal/sim coremodel.go); `golden
+// -core interval` pins the ported issue-interval core bit-identical
+// to the pre-axis engine.
 //
 // -store DIR (default $SWPF_STORE) persists per-cell results in the
 // content-addressed cache of internal/store, so repeated dumps cost
@@ -57,7 +60,12 @@ type record struct {
 	// identical labels with different stats). Single-model dumps omit
 	// it, keeping the default and `-hwpf stride` dumps byte-identical
 	// to the pre-hwpf engine.
-	HWPF     string `json:",omitempty"`
+	HWPF string `json:",omitempty"`
+	// Core labels the CPU core timing model, under the same rule as
+	// HWPF: emitted only when the -core axis selects more than one
+	// model, so single-model dumps stay byte-identical to pre-axis
+	// dumps.
+	Core     string `json:",omitempty"`
 	Checksum int64
 	Cycles   float64
 	Stats    interface{}
@@ -99,6 +107,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		jobs = fs.Int("jobs", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 		tiny = fs.Bool("tiny", false, "tiny workload sizes (fast smoke dump)")
 		hwpf = fs.String("hwpf", "", "hardware-prefetcher axis: comma-separated models among default,none,stride,nextline,ghb,imp (default: default)")
+		cm   = fs.String("core", "", "core-model axis: comma-separated models among default,interval,ooo,inorder (default: default)")
 		exec = fs.String("exec", "", "execution mode: direct (interpret every cell) or replay (record each workload/variant once, retime everywhere); dumps are byte-identical either way")
 	)
 	resolveStore := store.BindFlags(fs)
@@ -114,6 +123,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cms, err := sweep.ParseCores(*cm)
+	if err != nil {
+		return err
+	}
 	mode, err := core.ParseExecMode(*exec)
 	if err != nil {
 		return err
@@ -122,6 +135,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Workloads:     matrix(*tiny),
 		Systems:       systems,
 		HWPrefetchers: hws,
+		Cores:         cms,
 		Variants:      sweep.Variants(),
 		Options:       core.Options{Hoist: true},
 		Execs:         []core.ExecMode{mode},
@@ -144,6 +158,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		rec := snapshot(o.Workload.Name, o.System.Name, o.Variant, o.Result)
 		if len(hws) > 1 {
 			rec.HWPF = o.System.HWPrefetcherName()
+		}
+		if len(cms) > 1 {
+			rec.Core = o.System.CoreName()
 		}
 		out = append(out, rec)
 	}
@@ -168,6 +185,7 @@ func snapshot(workload, system string, v core.Variant, res *core.Result) record 
 			"HWPrefetches":       res.HWPrefetches,
 			"TLBWalks":           res.TLBWalks,
 			"LoadStallCycles":    res.LoadStallCycles,
+			"PrefetchLateCycles": res.PrefetchLateCycles,
 			"PrefetchedUnusedL1": res.PrefetchedUnusedL1,
 		},
 	}

@@ -71,6 +71,7 @@ import (
 	"repro/internal/hwpf"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -101,7 +102,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("swpfbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, swhw, lookahead, all")
+		exp    = fs.String("exp", "all", "experiment: fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, swhw, cores, lookahead, all")
 		system = fs.String("system", "", "restrict fig4/swhw to one system, or lookahead to a system list (Haswell, XeonPhi, A57, A53)")
 		wl     = fs.String("bench", "", "restrict fig6 to one benchmark, or lookahead to a benchmark list (IS, CG, RA, HJ-2)")
 		quick  = fs.Bool("quick", false, "reduced input sizes")
@@ -114,6 +115,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		systems   = fs.String("systems", "", "sweep: comma-separated systems (default: all)")
 		variants  = fs.String("variants", "", "sweep: comma-separated variants among plain,auto,manual,icc,indirect-only (default: plain,auto)")
 		hwpfAxis  = fs.String("hwpf", "", "sweep: comma-separated hardware prefetchers among default,none,stride,nextline,ghb,imp (default: default)")
+		coreAxis  = fs.String("core", "", "sweep: comma-separated core models among default,interval,ooo,inorder (default: default)")
 		genN      = fs.Int("gen", 0, "sweep: add N generated kernels (internal/gen) to the selectable workload pool as GEN-00..")
 		genSeed   = fs.Uint64("gen-seed", wkl.SyntheticDefaultSeed, "sweep: generator seed for -gen kernels")
 		execAxis  = fs.String("exec", "", "sweep: comma-separated execution modes among direct,replay (default: direct); replay interprets each workload/variant once and retimes it on every machine")
@@ -174,6 +176,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Systems:   *systems,
 		Variants:  *variants,
 		HWPF:      *hwpfAxis,
+		Core:      *coreAxis,
 		Exec:      *execAxis,
 		C:         *c,
 		Depth:     *depth,
@@ -276,6 +279,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return emit(s.FigSWHW(*system))
 		}
 		return emitAll(s.FigSWHWAll())
+	case "cores":
+		return emit(s.FigCores())
 	case "lookahead":
 		return emit(s.FigLookahead(*wl, *system))
 	default:
@@ -302,6 +307,11 @@ func writeAxes(w io.Writer, q bench.Quality) error {
 	fmt.Fprintf(w, "  %-12s keep each system's own model\n", sweep.HWPrefetcherDefault+":")
 	for _, name := range hwpf.Names() {
 		fmt.Fprintf(w, "  %-12s %s\n", name+":", hwpf.Describe(name))
+	}
+	fmt.Fprintln(w, "core models (-core):")
+	fmt.Fprintf(w, "  %-12s keep each system's own timing model\n", sweep.CoreDefault+":")
+	for _, name := range sim.CoreModels() {
+		fmt.Fprintf(w, "  %-12s %s\n", name+":", sim.DescribeCoreModel(name))
 	}
 	fmt.Fprintln(w, "execution modes (-exec):")
 	fmt.Fprintf(w, "  %-12s interpret every cell\n", string(core.ExecDirect)+":")

@@ -25,7 +25,7 @@ func TestSweepModeCSVAndJSON(t *testing.T) {
 	if !strings.HasPrefix(csv, "workload,system,variant") {
 		t.Errorf("sweep CSV header missing:\n%s", csv)
 	}
-	if !strings.Contains(csv, "IS,A53,manual,stride,direct,16") {
+	if !strings.Contains(csv, "IS,A53,manual,stride,interval,direct,16") {
 		t.Errorf("sweep CSV row missing:\n%s", csv)
 	}
 

@@ -203,6 +203,7 @@ func cmdSubmit(argv []string, stdout, stderr io.Writer) error {
 		systems   = fs.String("systems", "", "comma-separated machine names (empty = all)")
 		variants  = fs.String("variants", "", "comma-separated variants (empty = all)")
 		hwpfAxis  = fs.String("hwpf", "", "comma-separated hardware-prefetcher models (empty = default)")
+		coreAxis  = fs.String("core", "", "comma-separated core models among default,interval,ooo,inorder (empty = default)")
 		exec      = fs.String("exec", "", "comma-separated execution modes among direct,replay (empty = direct)")
 		c         = fs.Int64("c", 0, "prefetch look-ahead constant (0 = per-variant default)")
 		depth     = fs.Int("depth", 0, "indirect prefetch depth (0 = default)")
@@ -244,6 +245,7 @@ func cmdSubmit(argv []string, stdout, stderr io.Writer) error {
 			Systems:   *systems,
 			Variants:  *variants,
 			HWPF:      *hwpfAxis,
+			Core:      *coreAxis,
 			Exec:      *exec,
 			C:         *c,
 			Depth:     *depth,
@@ -320,6 +322,7 @@ func cmdTune(argv []string, stdout, stderr io.Writer) error {
 		systems   = fs.String("systems", "", "comma-separated machine names (empty = all)")
 		variant   = fs.String("variant", "", "the single variant to tune (empty = auto)")
 		hwpfAxis  = fs.String("hwpf", "", "comma-separated hardware-prefetcher models to search (empty = default)")
+		coreAxis  = fs.String("core", "", "comma-separated core models to search (empty = default)")
 		strategy  = fs.String("strategy", "", "search strategy: exhaustive or hillclimb (empty = exhaustive)")
 		cs        = fs.String("cs", "", "comma-separated look-ahead ladder (empty = default ladder)")
 		depths    = fs.String("depths", "", "comma-separated indirect depths to search (empty = 0)")
@@ -372,6 +375,7 @@ func cmdTune(argv []string, stdout, stderr io.Writer) error {
 		spec.Systems = *systems
 		spec.Variants = *variant
 		spec.HWPF = *hwpfAxis
+		spec.Core = *coreAxis
 		spec.Quality = *quality
 		spec.Priority = *priority
 		var err error

@@ -78,6 +78,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/hwpf"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -429,9 +430,11 @@ type MetaWorkload struct {
 type MetaSystem struct {
 	Name string `json:"name"`
 	HWPF string `json:"hwpf_default"`
+	Core string `json:"core_default"`
 }
 
-// MetaModel is one hardware-prefetcher axis value in GET /meta.
+// MetaModel is one hardware-prefetcher or core-model axis value in
+// GET /meta.
 type MetaModel struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
@@ -458,6 +461,7 @@ type Meta struct {
 	Systems       []MetaSystem              `json:"systems"`
 	Variants      []string                  `json:"variants"`
 	HWPrefetchers []MetaModel               `json:"hwprefetchers"`
+	Cores         []MetaModel               `json:"cores"`
 	Execs         []string                  `json:"execs"`
 	Tune          MetaTune                  `json:"tune"`
 }
@@ -489,7 +493,7 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		m.Workloads[q] = ws
 	}
 	for _, cfg := range uarch.All() {
-		m.Systems = append(m.Systems, MetaSystem{Name: cfg.Name, HWPF: cfg.HWPrefetcherName()})
+		m.Systems = append(m.Systems, MetaSystem{Name: cfg.Name, HWPF: cfg.HWPrefetcherName(), Core: cfg.CoreName()})
 	}
 	for _, v := range sweep.Variants() {
 		m.Variants = append(m.Variants, string(v))
@@ -500,6 +504,13 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, name := range hwpf.Names() {
 		m.HWPrefetchers = append(m.HWPrefetchers, MetaModel{Name: name, Description: hwpf.Describe(name)})
+	}
+	m.Cores = append(m.Cores, MetaModel{
+		Name:        sweep.CoreDefault,
+		Description: "keep each system's own timing model",
+	})
+	for _, name := range sim.CoreModels() {
+		m.Cores = append(m.Cores, MetaModel{Name: name, Description: sim.DescribeCoreModel(name)})
 	}
 	for _, e := range sweep.ExecModes() {
 		m.Execs = append(m.Execs, string(e))

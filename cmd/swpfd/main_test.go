@@ -237,6 +237,18 @@ func TestMeta(t *testing.T) {
 			t.Errorf("model %s lacks a description", hw.Name)
 		}
 	}
+	// default + interval,ooo,inorder.
+	if len(m.Cores) != 4 || m.Cores[0].Name != "default" {
+		t.Errorf("meta cores wrong: %+v", m.Cores)
+	}
+	for _, c := range m.Cores {
+		if c.Description == "" {
+			t.Errorf("core model %s lacks a description", c.Name)
+		}
+	}
+	if m.Systems[0].Core != "interval" {
+		t.Errorf("meta system core default wrong: %+v", m.Systems[0])
+	}
 	if len(m.Execs) != 2 || m.Execs[0] != "direct" || m.Execs[1] != "replay" {
 		t.Errorf("meta execs wrong: %v", m.Execs)
 	}
@@ -278,6 +290,42 @@ func TestSweepHWPFAxis(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad hwpf spec = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSweepCoreAxis submits a grid across the core-model axis and
+// checks the cell count multiplies and the records carry the column.
+func TestSweepCoreAxis(t *testing.T) {
+	ts := httptest.NewServer(newServer(2, nil))
+	defer ts.Close()
+
+	id, cells := submit(t, ts,
+		`{"workloads":"IS","systems":"A53","variants":"plain","core":"ooo,inorder","quality":"tiny"}`)
+	if cells != 2 {
+		t.Fatalf("submitted %d cells, want 2 (one per core model)", cells)
+	}
+	if st := poll(t, ts, id); st.State != stateDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	code, body := fetch(t, ts, "/results?id="+id+"&format=csv")
+	if code != http.StatusOK {
+		t.Fatalf("GET /results = %d", code)
+	}
+	for _, want := range []string{",ooo,", ",inorder,"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("results missing %q:\n%s", want, body)
+		}
+	}
+
+	// Validation: an unknown model is a 400 at submission time.
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"core":"abacus","quality":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad core spec = %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -61,7 +61,7 @@ func TestDocsCoverCommands(t *testing.T) {
 		t.Fatal(err)
 	}
 	var corpus strings.Builder
-	for _, page := range []string{"README.md", "docs/architecture.md", "docs/ir.md", "docs/experiments.md", "docs/service.md", "docs/fleet.md", "docs/hwpf.md", "docs/observability.md", "docs/testing.md", "docs/trace.md", "docs/tune.md"} {
+	for _, page := range []string{"README.md", "docs/architecture.md", "docs/ir.md", "docs/experiments.md", "docs/service.md", "docs/fleet.md", "docs/hwpf.md", "docs/cores.md", "docs/observability.md", "docs/testing.md", "docs/trace.md", "docs/tune.md"} {
 		data, err := os.ReadFile(page)
 		if err != nil {
 			t.Fatalf("%s: %v (docs suite incomplete?)", page, err)

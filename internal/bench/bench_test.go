@@ -241,7 +241,7 @@ func TestRunAllQuick(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Figure 2", "Figure 4", "Figure 5", "Figure 6",
-		"Figure 7", "Figure 8", "Figure 9", "Figure 10", "SW vs HW"} {
+		"Figure 7", "Figure 8", "Figure 9", "Figure 10", "SW vs HW", "Core models"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}
@@ -296,6 +296,52 @@ func TestFigSWHWShape(t *testing.T) {
 	cg := rowByName(t, tbl, "CG")
 	if imp, stride := parseCell(t, cg[colIMP]), parseCell(t, cg[colStride]); imp <= stride {
 		t.Errorf("CG: IMP (%.2f) should beat the stride streamer (%.2f)", imp, stride)
+	}
+}
+
+// TestFigCoresShape pins the core-model sensitivity study to the
+// paper's central observation: an in-order core, unable to overlap
+// misses itself, gains far more from software prefetch than an
+// out-of-order window that already extracts memory-level parallelism.
+// The figure must also be deterministic across worker counts.
+func TestFigCoresShape(t *testing.T) {
+	skipInShort(t)
+	// Column indices follow sim.CoreModels() order after the name.
+	const (
+		colInterval = 1
+		colOoO      = 2
+		colInOrder  = 3
+	)
+	tbl, err := Suite{Q: Quick, Jobs: 1}.FigCores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+	for _, jobs := range []int{2, 8} {
+		again, err := Suite{Q: Quick, Jobs: jobs}.FigCores()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != tbl.String() {
+			t.Fatalf("cores figure differs between jobs=1 and jobs=%d", jobs)
+		}
+	}
+
+	g := rowByName(t, tbl, "Geomean")
+	interval := parseCell(t, g[colInterval])
+	ooo := parseCell(t, g[colOoO])
+	inorder := parseCell(t, g[colInOrder])
+	if inorder <= ooo*1.2 {
+		t.Errorf("in-order geomean speedup (%.2f) should dominate out-of-order (%.2f)", inorder, ooo)
+	}
+	if inorder <= interval {
+		t.Errorf("in-order geomean speedup (%.2f) should exceed the interval model's (%.2f)", inorder, interval)
+	}
+	// The stride benchmark is where the gap is starkest: the OoO window
+	// overlaps its independent misses with no help at all.
+	is := rowByName(t, tbl, "IS")
+	if in, oo := parseCell(t, is[colInOrder]), parseCell(t, is[colOoO]); in <= oo*2 {
+		t.Errorf("IS: in-order speedup (%.2f) should be a multiple of out-of-order (%.2f)", in, oo)
 	}
 }
 

@@ -552,6 +552,62 @@ func (s Suite) FigSWHWAll() ([]*Table, error) {
 	return out, nil
 }
 
+// FigCores is the core-model sensitivity study: every benchmark's
+// automatic software-prefetch speedup on Haswell's memory system under
+// each CPU core timing model. The spread is the paper's central
+// observation (§6) replayed along one axis: an in-order core, unable
+// to overlap misses itself, gains enormously from software prefetch,
+// while an out-of-order window already extracts memory-level
+// parallelism and gains far less from the same code — so the in-order
+// column must dominate the out-of-order ones.
+func (s Suite) FigCores() (*Table, error) {
+	cfg := uarch.Haswell()
+	cols := []string{"benchmark"}
+	cols = append(cols, sim.CoreModels()...)
+	t := &Table{
+		Title:   "Core models: auto-prefetch speedup by CPU timing model, Haswell memory system (c=64)",
+		Columns: cols,
+		Note:    "paper §6: in-order cores gain most from software prefetch; out-of-order windows already extract MLP",
+	}
+	coreCfgs := make([]*sim.Config, len(sim.CoreModels()))
+	for i, m := range sim.CoreModels() {
+		coreCfgs[i] = uarch.WithCoreModel(cfg, m)
+	}
+
+	ws := workloadSet(s.Q)
+	b := &batch{}
+	type pair struct{ plain, auto int }
+	rows := make([][]pair, len(ws))
+	for i, w := range ws {
+		for _, cc := range coreCfgs {
+			rows[i] = append(rows[i], pair{
+				plain: b.add(w, cc, core.VariantPlain, core.Options{}),
+				auto:  b.add(w, cc, core.VariantAuto, core.Options{}),
+			})
+		}
+	}
+	res, err := b.run(s.runner())
+	if err != nil {
+		return nil, err
+	}
+	geo := make([][]float64, len(coreCfgs))
+	for i, w := range ws {
+		cells := []string{w.Name}
+		for j := range coreCfgs {
+			sp := core.Speedup(res[rows[i][j].plain], res[rows[i][j].auto])
+			geo[j] = append(geo[j], sp)
+			cells = append(cells, f2(sp))
+		}
+		t.AddRow(cells...)
+	}
+	grow := []string{"Geomean"}
+	for _, g := range geo {
+		grow = append(grow, f2(geomean(g)))
+	}
+	t.AddRow(grow...)
+	return t, nil
+}
+
 // RunAll regenerates every figure and writes the tables to out.
 func (s Suite) RunAll(out io.Writer) error {
 	var tables []*Table
@@ -595,6 +651,9 @@ func (s Suite) RunAll(out io.Writer) error {
 		return err
 	}
 	tables = append(tables, fhw...)
+	if err := add(s.FigCores()); err != nil {
+		return err
+	}
 	if err := add(s.FigLookahead("", "")); err != nil {
 		return err
 	}
@@ -637,6 +696,10 @@ func Fig9(q Quality) (*Table, error) { return Suite{Q: q}.Fig9() }
 
 // Fig10 runs figure 10 with default parallelism.
 func Fig10(q Quality) (*Table, error) { return Suite{Q: q}.Fig10() }
+
+// FigCores runs the core-model sensitivity study with default
+// parallelism.
+func FigCores(q Quality) (*Table, error) { return Suite{Q: q}.FigCores() }
 
 // RunAll regenerates every figure at the given quality with default
 // parallelism and writes the tables to out.

@@ -85,6 +85,7 @@ type Result struct {
 	HWPrefetchDropped  uint64 // hardware prefetches dropped on a TLB miss
 	TLBWalks           uint64
 	LoadStallCycles    float64
+	PrefetchLateCycles float64
 	PrefetchedUnusedL1 uint64
 }
 
@@ -129,21 +130,23 @@ func passOptions(v Variant, o Options) (prefetch.Options, bool) {
 // A Context is not safe for concurrent use; give each goroutine its
 // own.
 type Context struct {
-	cores map[*sim.Config]*sim.Core
+	cores map[*sim.Config]sim.CoreModel
 }
 
 // NewContext returns an empty context; cores are built lazily per
 // configuration on first use.
 func NewContext() *Context {
-	return &Context{cores: make(map[*sim.Config]*sim.Core)}
+	return &Context{cores: make(map[*sim.Config]sim.CoreModel)}
 }
 
-// core returns the context's core for cfg, building it on first use.
-func (cx *Context) core(cfg *sim.Config) *sim.Core {
+// core returns the context's core for cfg, building it on first use;
+// the core timing model is whatever cfg.Core selects (empty = the
+// legacy interval model).
+func (cx *Context) core(cfg *sim.Config) sim.CoreModel {
 	if c, ok := cx.cores[cfg]; ok {
 		return c
 	}
-	c := sim.NewCore(cfg)
+	c := sim.NewCoreModel(cfg)
 	cx.cores[cfg] = c
 	return c
 }
@@ -207,6 +210,7 @@ func assemble(workload, system string, v Variant, sum int64, st interp.Stats, hi
 		HWPrefetchDropped:  hier.HWPrefetchDropped,
 		TLBWalks:           hier.TLBStats().Walks,
 		LoadStallCycles:    hier.LoadStallCycles,
+		PrefetchLateCycles: hier.PrefetchLateCycles,
 		PrefetchedUnusedL1: l1.PrefetchedUnused,
 	}
 }

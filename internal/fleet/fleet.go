@@ -161,6 +161,7 @@ type ResultData struct {
 	HWPrefetchDropped  uint64
 	TLBWalks           uint64
 	LoadStallCycles    float64
+	PrefetchLateCycles float64
 	PrefetchedUnusedL1 uint64
 }
 
@@ -179,6 +180,7 @@ func ResultDataOf(res *core.Result) ResultData {
 		HWPrefetchDropped:  res.HWPrefetchDropped,
 		TLBWalks:           res.TLBWalks,
 		LoadStallCycles:    res.LoadStallCycles,
+		PrefetchLateCycles: res.PrefetchLateCycles,
 		PrefetchedUnusedL1: res.PrefetchedUnusedL1,
 	}
 }
@@ -201,6 +203,7 @@ func (d ResultData) Result(r sweep.Request) *core.Result {
 		HWPrefetchDropped:  d.HWPrefetchDropped,
 		TLBWalks:           d.TLBWalks,
 		LoadStallCycles:    d.LoadStallCycles,
+		PrefetchLateCycles: d.PrefetchLateCycles,
 		PrefetchedUnusedL1: d.PrefetchedUnusedL1,
 	}
 }

@@ -26,7 +26,7 @@ type Stats struct {
 // and hot loops pay no per-instruction IR traversal cost.
 type Machine struct {
 	Mod  *ir.Module
-	Core *sim.Core
+	Core sim.CoreModel
 	Mem  *Memory
 
 	// MaxInstrs bounds the dynamic instruction count (0 = 2^40),
@@ -62,11 +62,13 @@ var runs atomic.Uint64
 // Runs returns the process-wide count of Machine.Run invocations.
 func Runs() uint64 { return runs.Load() }
 
-// New builds a machine for the module on the given core configuration.
+// New builds a machine for the module on the given core configuration;
+// the core timing model is whatever cfg.Core selects (empty = the
+// legacy interval model).
 func New(mod *ir.Module, cfg *sim.Config) *Machine {
 	m := &Machine{
 		Mod:  mod,
-		Core: sim.NewCore(cfg),
+		Core: sim.NewCoreModel(cfg),
 		Mem:  NewMemory(),
 	}
 	m.Core.Hierarchy().SetPeek(m.Mem.Peek)
@@ -80,7 +82,7 @@ func New(mod *ir.Module, cfg *sim.Config) *Machine {
 // independent experiments reuses one set of tables per machine
 // configuration instead of reallocating them every run. Behaviour is
 // identical to New with a freshly built core.
-func NewOnCore(mod *ir.Module, core *sim.Core) *Machine {
+func NewOnCore(mod *ir.Module, core sim.CoreModel) *Machine {
 	core.Reset()
 	m := &Machine{
 		Mod:  mod,
@@ -110,7 +112,7 @@ func (m *Machine) RecordTo(w *trace.Writer) {
 // Stats returns the accumulated statistics.
 func (m *Machine) Stats() Stats {
 	m.stats.Cycles = m.Core.Cycles()
-	m.stats.Instructions = m.Core.Instructions
+	m.stats.Instructions = m.Core.CoreStats().Instructions
 	return m.stats
 }
 

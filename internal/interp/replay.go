@@ -117,7 +117,7 @@ func (im *Image) Trace() *trace.Trace { return im.t }
 // The functional statistics (executed instructions, op counts, loads,
 // stores, prefetches) come from the trace footer; only timing-side
 // numbers are recomputed.
-func (im *Image) Replay(c *sim.Core) (Stats, error) {
+func (im *Image) Replay(c sim.CoreModel) (Stats, error) {
 	var st Stats
 	t := im.t
 
@@ -184,7 +184,7 @@ func (im *Image) Replay(c *sim.Core) (Stats, error) {
 
 	st = Stats{
 		Cycles:       c.Cycles(),
-		Instructions: c.Instructions,
+		Instructions: c.CoreStats().Instructions,
 		Executed:     t.Summary.Executed,
 		Loads:        t.Summary.Loads,
 		Stores:       t.Summary.Stores,
@@ -197,7 +197,7 @@ func (im *Image) Replay(c *sim.Core) (Stats, error) {
 // Replay is the one-shot form: decode the trace and retime it on c.
 // Callers replaying one trace on many configurations should build the
 // Image once with NewImage and call its Replay per configuration.
-func Replay(t *trace.Trace, c *sim.Core) (Stats, error) {
+func Replay(t *trace.Trace, c sim.CoreModel) (Stats, error) {
 	im, err := NewImage(t)
 	if err != nil {
 		return Stats{}, err

@@ -37,7 +37,7 @@ type hierSnapshot struct {
 	StallCycles                               float64
 }
 
-func snapshot(st Stats, c *sim.Core) hierSnapshot {
+func snapshot(st Stats, c sim.CoreModel) hierSnapshot {
 	h := c.Hierarchy()
 	l1 := h.Caches()[0]
 	return hierSnapshot{

@@ -35,7 +35,17 @@ import (
 //	   hwpf=stride is a pure port pinned bit-identical by cmd/golden,
 //	   but the Config gained the HWPrefetcher axis and the nextline/
 //	   ghb/imp models shape statistics, so v1 entries must miss.
-const StatsVersion = 2
+//	3  the pluggable core-model subsystem (coremodel.go) plus two
+//	   timing bugfixes. core=interval is a pure port pinned
+//	   bit-identical by cmd/golden, but (a) PrefetchLateCycles now
+//	   actually accumulates — the old guard made the added term
+//	   provably zero, so demand hits that waited on an in-flight fill
+//	   were never charged to the stat — and (b) TLB hits on a page
+//	   whose table walk is still in flight now wait for the walk to
+//	   complete instead of resolving instantly off the entry the walk
+//	   inserted at its start. Both change reported statistics, and the
+//	   Config gained the Core axis, so v2 entries must miss.
+const StatsVersion = 3
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -54,7 +64,14 @@ func (c CacheConfig) Sets() int64 { return c.Size / (c.LineSize * int64(c.Assoc)
 type Config struct {
 	Name string
 
-	// Core.
+	// Core selects the CPU core timing model the interpreter drives
+	// (see coremodel.go): "interval", "ooo" or "inorder". Empty
+	// preserves the pre-axis behaviour — the interval model, which
+	// itself derives in-order vs out-of-order behaviour from the
+	// OutOfOrder flag (the legacy resolution). The explicit ooo/inorder
+	// models ignore OutOfOrder: selecting one pins the pipeline style
+	// regardless of the machine's default.
+	Core       string
 	OutOfOrder bool
 	IssueWidth int // instructions issued per cycle
 	ROBSize    int // reorder-buffer entries bounding in-flight instructions
@@ -108,6 +125,16 @@ type Config struct {
 	StrideStreams   int // concurrent pattern trackers (default 16)
 }
 
+// CoreName resolves the effective core timing model: an explicit Core
+// wins; empty falls back to the interval model, whose in-order vs
+// out-of-order behaviour follows the legacy OutOfOrder flag.
+func (c *Config) CoreName() string {
+	if c.Core != "" {
+		return c.Core
+	}
+	return CoreInterval
+}
+
 // HWPrefetcherName resolves the effective hardware-prefetcher model:
 // an explicit HWPrefetcher wins; empty falls back to "stride" or
 // "none" according to the legacy StridePrefetch switch.
@@ -155,6 +182,10 @@ func (c *Config) Validate() error {
 	}
 	if c.PageWalkers <= 0 {
 		return fmt.Errorf("sim: %s: PageWalkers must be positive", c.Name)
+	}
+	if c.Core != "" && !KnownCoreModel(c.Core) {
+		return fmt.Errorf("sim: %s: unknown core model %q (have %v)",
+			c.Name, c.Core, CoreModels())
 	}
 	if c.HWPrefetcher != "" && !hwpf.Known(c.HWPrefetcher) {
 		return fmt.Errorf("sim: %s: unknown hardware prefetcher %q (have %v)",

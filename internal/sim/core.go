@@ -1,8 +1,9 @@
 package sim
 
-// Core is the timing model of one CPU core. It consumes a dynamic
-// instruction stream (driven by the interpreter) and advances a cycle
-// clock.
+// Core is the incumbent issue-interval core timing model — registry
+// name "interval" (see coremodel.go for the pluggable-model axis). It
+// consumes a dynamic instruction stream (driven by the interpreter)
+// and advances a cycle clock.
 //
 // The model issues instructions in order at IssueWidth per cycle.
 // Completion is tracked per instruction:
@@ -40,13 +41,26 @@ type Core struct {
 	Mispredicts  uint64
 }
 
-// NewCore builds a core over a fresh memory hierarchy.
+// NewCore builds an interval core over a fresh memory hierarchy.
 func NewCore(cfg *Config) *Core {
 	return &Core{
 		cfg:      cfg,
 		hier:     NewHierarchy(cfg),
 		issueInt: 1 / float64(cfg.IssueWidth),
 		rob:      make([]float64, cfg.ROBSize),
+	}
+}
+
+// Model returns the registry name.
+func (c *Core) Model() string { return CoreInterval }
+
+// CoreStats snapshots the instruction-stream statistics.
+func (c *Core) CoreStats() CoreStats {
+	return CoreStats{
+		Instructions: c.Instructions,
+		Prefetches:   c.Prefetches,
+		Branches:     c.Branches,
+		Mispredicts:  c.Mispredicts,
 	}
 }
 

@@ -1,0 +1,203 @@
+package sim
+
+// OoOCore models an out-of-order core at the retirement level, one
+// step more honest than the interval model's completion-time window:
+//
+//   - dispatch is in order at IssueWidth per cycle and stalls only when
+//     the ROB is full — the entry allocated ROBSize instructions ago
+//     has not yet retired;
+//   - execution is decoupled from dispatch: an instruction starts when
+//     its operands are ready, however far the dispatch clock has run
+//     ahead, so independent cache misses overlap up to the hierarchy's
+//     MSHR limit;
+//   - retirement is in order: an instruction retires no earlier than
+//     its predecessor, so one long-latency miss at the head of the ROB
+//     holds every younger instruction's entry until it completes.
+//
+// The last rule is what the interval model lacks and the paper's §6.1
+// analysis turns on: the reorder window bounds how many iterations
+// ahead the core can run, so demand memory-level parallelism is
+// min(window / iteration length, MSHRs) — modelled, not approximated
+// by an issue constant. Software prefetches still help (they fetch
+// beyond the window and never occupy it waiting on data), but the gain
+// is the gap between window-limited MLP and full coverage, which is
+// why Haswell's column is smaller than the in-order machines'.
+//
+// The model ignores Config.OutOfOrder: selecting it makes any machine
+// out of order.
+type OoOCore struct {
+	cfg  *Config
+	hier *Hierarchy
+
+	clock    float64
+	issueInt float64
+	// retire holds the in-order retirement times of the last ROBSize
+	// instructions; lastRetire enforces the in-order rule.
+	retire     []float64
+	robPos     int
+	lastRetire float64
+
+	branchCount uint64
+	stats       CoreStats
+}
+
+// NewOoOCore builds an out-of-order core over a fresh memory hierarchy.
+func NewOoOCore(cfg *Config) *OoOCore {
+	return &OoOCore{
+		cfg:      cfg,
+		hier:     NewHierarchy(cfg),
+		issueInt: 1 / float64(cfg.IssueWidth),
+		retire:   make([]float64, cfg.ROBSize),
+	}
+}
+
+// Model returns the registry name.
+func (c *OoOCore) Model() string { return CoreOoO }
+
+// Config returns the machine configuration.
+func (c *OoOCore) Config() *Config { return c.cfg }
+
+// Hierarchy returns the core's memory system.
+func (c *OoOCore) Hierarchy() *Hierarchy { return c.hier }
+
+// Cycles returns the current dispatch-clock value.
+func (c *OoOCore) Cycles() float64 {
+	if c.lastRetire > c.clock {
+		return c.lastRetire
+	}
+	return c.clock
+}
+
+// CoreStats snapshots the instruction-stream statistics.
+func (c *OoOCore) CoreStats() CoreStats { return c.stats }
+
+// issueAt reserves a dispatch slot: the clock advances by the issue
+// interval, waiting first for a free ROB entry. Operands never stall
+// dispatch — that is the out-of-order-ness.
+func (c *OoOCore) issueAt() float64 {
+	if oldest := c.retire[c.robPos]; oldest > c.clock {
+		c.clock = oldest
+	}
+	c.clock += c.issueInt
+	c.stats.Instructions++
+	return c.clock
+}
+
+// retireAt records the instruction's in-order retirement: no earlier
+// than completion, no earlier than the previous instruction.
+func (c *OoOCore) retireAt(complete float64) {
+	if complete < c.lastRetire {
+		complete = c.lastRetire
+	}
+	c.lastRetire = complete
+	c.retire[c.robPos] = complete
+	c.robPos++
+	if c.robPos == len(c.retire) {
+		c.robPos = 0
+	}
+}
+
+// Op executes a simple ALU instruction and returns the time its result
+// is ready.
+func (c *OoOCore) Op(opsReady float64, latency int64) float64 {
+	issue := c.issueAt()
+	start := issue
+	if opsReady > start {
+		start = opsReady
+	}
+	complete := start + float64(latency)
+	c.retireAt(complete)
+	return complete
+}
+
+// Load issues a demand load; it executes once dispatched and operands
+// are ready, and occupies its ROB entry until the data returns.
+func (c *OoOCore) Load(pc int, addr int64, opsReady float64) float64 {
+	issue := c.issueAt()
+	start := issue
+	if opsReady > start {
+		start = opsReady
+	}
+	complete := c.hier.Access(AccessLoad, pc, addr, start)
+	c.retireAt(complete)
+	return complete
+}
+
+// Store issues a store; it retires at dispatch (store buffer) while the
+// access drains through the memory system.
+func (c *OoOCore) Store(pc int, addr int64, opsReady float64) float64 {
+	issue := c.issueAt()
+	start := issue
+	if opsReady > start {
+		start = opsReady
+	}
+	c.hier.Access(AccessStore, pc, addr, start)
+	c.retireAt(issue)
+	return issue
+}
+
+// Prefetch issues a software prefetch: one dispatch slot, a memory
+// access, no stall and no window occupancy beyond dispatch — the
+// reason prefetches reach beyond the ROB's own memory-level
+// parallelism. valid=false drops the access (prefetches never fault).
+func (c *OoOCore) Prefetch(pc int, addr int64, opsReady float64, valid bool) float64 {
+	issue := c.issueAt()
+	c.stats.Prefetches++
+	if valid {
+		start := issue
+		if opsReady > start {
+			start = opsReady
+		}
+		c.hier.Access(AccessPrefetch, pc, addr, start)
+	}
+	c.retireAt(issue)
+	return issue
+}
+
+// Branch issues a (conditional) branch, restarting the pipeline at the
+// configured deterministic mispredict rate.
+func (c *OoOCore) Branch(opsReady float64, conditional bool) float64 {
+	issue := c.issueAt()
+	if conditional {
+		c.stats.Branches++
+		if c.cfg.MispredictRate > 0 {
+			c.branchCount++
+			interval := uint64(1 / c.cfg.MispredictRate)
+			if interval > 0 && c.branchCount%interval == 0 {
+				c.stats.Mispredicts++
+				resolve := issue
+				if opsReady > resolve {
+					resolve = opsReady
+				}
+				c.clock = resolve + float64(c.cfg.MispredictPenalty)
+			}
+		}
+	}
+	c.retireAt(issue)
+	return issue
+}
+
+// Finish waits for the last retirement and all outstanding memory-system
+// work, returning the final cycle count.
+func (c *OoOCore) Finish() float64 {
+	if c.lastRetire > c.clock {
+		c.clock = c.lastRetire
+	}
+	if d := c.hier.Drain(); d > c.clock {
+		c.clock = d
+	}
+	return c.clock
+}
+
+// Reset returns the core and hierarchy to a cold state in place.
+func (c *OoOCore) Reset() {
+	c.clock = 0
+	for i := range c.retire {
+		c.retire[i] = 0
+	}
+	c.robPos = 0
+	c.lastRetire = 0
+	c.branchCount = 0
+	c.stats = CoreStats{}
+	c.hier.Reset()
+}

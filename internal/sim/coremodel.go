@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// Core-model names. Like the hardware-prefetcher axis (internal/hwpf),
+// the CPU core is a pluggable timing model selected by name through
+// Config.Core; these constants are the registry.
+const (
+	// CoreInterval is the incumbent issue-interval model: a single
+	// approximation covering both pipeline styles, switched by
+	// Config.OutOfOrder (stall-on-use when clear, a completion-time
+	// reorder window when set). It is the legacy model every result
+	// before the core axis existed was produced by.
+	CoreInterval = "interval"
+	// CoreOoO models an out-of-order core at the retirement level:
+	// in-order dispatch and retirement around a ROB, with execution
+	// decoupled from both — independent misses overlap up to the MSHR
+	// limit, bounded by ROB occupancy. Ignores Config.OutOfOrder.
+	CoreOoO = "ooo"
+	// CoreInOrder is the cheap stall-on-use model at the other end:
+	// issue blocks until the issuing instruction's operands are ready,
+	// and no reorder window is modelled at all. Ignores
+	// Config.OutOfOrder.
+	CoreInOrder = "inorder"
+)
+
+// CoreModels lists the registered core models in presentation order.
+func CoreModels() []string { return []string{CoreInterval, CoreOoO, CoreInOrder} }
+
+// KnownCoreModel reports whether name is a registered core model.
+func KnownCoreModel(name string) bool {
+	for _, m := range CoreModels() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DescribeCoreModel returns a one-line description of a core model for
+// -list output and GET /meta.
+func DescribeCoreModel(name string) string {
+	switch name {
+	case CoreInterval:
+		return "issue-interval approximation; in-order vs out-of-order behaviour follows the machine's OutOfOrder flag (legacy model)"
+	case CoreOoO:
+		return "out-of-order: in-order dispatch/retirement around the ROB, execution decoupled — misses overlap up to the MSHR limit within the window"
+	case CoreInOrder:
+		return "in-order stall-on-use: issue blocks until the issuing instruction's operands are ready; no reorder window"
+	}
+	return ""
+}
+
+// CoreStats is the instruction-stream statistics every core model
+// accumulates, snapshotted through CoreModel.CoreStats.
+type CoreStats struct {
+	Instructions uint64
+	Prefetches   uint64
+	Branches     uint64
+	Mispredicts  uint64
+}
+
+// CoreModel is the timing model of one CPU core: it consumes the
+// dynamic instruction stream (driven by the interpreter or a trace
+// replay) and advances a cycle clock. Implementations own their memory
+// hierarchy and are reset in place between runs (storage-preserving,
+// like every sim Reset path).
+//
+// The contract the callers rely on:
+//
+//   - every method with an opsReady argument receives the latest
+//     readiness time of the instruction's operands and returns the time
+//     the instruction's result is available (issue time for
+//     stores/prefetches/branches, which produce no value);
+//   - Loads go through Hierarchy().Access and return its completion;
+//     stores and software prefetches access the hierarchy without
+//     stalling the core;
+//   - Finish drains outstanding memory-system work into the clock;
+//   - the model is deterministic: equal call sequences produce equal
+//     clocks and statistics.
+type CoreModel interface {
+	// Model returns the registry name of the model.
+	Model() string
+	// Config returns the machine configuration.
+	Config() *Config
+	// Hierarchy returns the core's memory system.
+	Hierarchy() *Hierarchy
+	// Cycles returns the current clock value.
+	Cycles() float64
+	// CoreStats snapshots the instruction-stream statistics.
+	CoreStats() CoreStats
+
+	Op(opsReady float64, latency int64) float64
+	Load(pc int, addr int64, opsReady float64) float64
+	Store(pc int, addr int64, opsReady float64) float64
+	Prefetch(pc int, addr int64, opsReady float64, valid bool) float64
+	Branch(opsReady float64, conditional bool) float64
+	Finish() float64
+	Reset()
+}
+
+// NewCoreModel builds the core model Config.Core selects (empty =
+// interval, the legacy resolution) over a fresh memory hierarchy.
+func NewCoreModel(cfg *Config) CoreModel {
+	switch name := cfg.CoreName(); name {
+	case CoreInterval:
+		return NewCore(cfg)
+	case CoreOoO:
+		return NewOoOCore(cfg)
+	case CoreInOrder:
+		return NewInOrderCore(cfg)
+	default:
+		// Validate vets the name; unreachable from vetted configs.
+		panic(fmt.Sprintf("sim: unknown core model %q (have %v)", name, CoreModels()))
+	}
+}

@@ -56,7 +56,7 @@ type Hierarchy struct {
 	DRAMBytes          uint64
 	MSHRStallCycles    float64
 	LoadStallCycles    float64 // demand-load cycles beyond L1 latency
-	PrefetchLateCycles float64 // demand hits that waited on an in-flight prefetch
+	PrefetchLateCycles float64 // demand-hit cycles spent waiting on in-flight fills
 }
 
 // NewHierarchy builds the memory system for a machine configuration.
@@ -161,12 +161,17 @@ func (h *Hierarchy) Access(kind AccessKind, pc int, addr int64, start float64) f
 			t += float64(c.cfg.Latency)
 			continue
 		}
+		// A hit returns at the fill's completion or the level's latency,
+		// whichever is later. When the fill is still in flight past the
+		// normal hit latency, the demand access waited on it — the "late
+		// prefetch" penalty of figure 7, charged as the cycles beyond an
+		// ordinary hit at this level.
 		done := ready
-		if lat := t + float64(c.cfg.Latency); lat > done {
+		lat := t + float64(c.cfg.Latency)
+		if lat > done {
 			done = lat
-		}
-		if demand && done > ready && ready > t {
-			h.PrefetchLateCycles += done - (t + float64(c.cfg.Latency))
+		} else if demand && ready > lat {
+			h.PrefetchLateCycles += ready - lat
 		}
 		// Fill upper levels.
 		for u := firstLevel; u < lvl; u++ {

@@ -44,16 +44,21 @@ func NewTLB(cfg *Config) *TLB {
 // Translate returns the time at which the physical address is known.
 // On an L1 hit this is `now`. A miss takes the L2 latency or a full
 // page-table walk, serialised on walker availability.
+//
+// Walk-start inserts the page into both levels so later accesses hit
+// instead of re-walking, but a hit on a page whose walk is still in
+// flight cannot resolve before the walker returns: hit paths consult
+// the pending-walk table and wait for the walk's completion.
 func (t *TLB) Translate(addr int64, now float64) float64 {
 	page := addr >> t.pageShift
 	if t.l1.lookup(page) {
 		t.Hits++
-		return now
+		return t.waitWalk(page, now)
 	}
 	if t.l2 != nil && t.l2.lookup(page) {
 		t.L2Hits++
 		t.l1.insert(page)
-		return now + float64(t.l2Latency)
+		return t.waitWalk(page, now+float64(t.l2Latency))
 	}
 	// Join an in-flight walk for the same page if one exists.
 	if done, ok := t.pending.get(page); ok && done > now {
@@ -85,6 +90,16 @@ func (t *TLB) Translate(addr int64, now float64) float64 {
 	return done
 }
 
+// waitWalk defers a TLB hit that lands while the page's walk is still
+// in flight: the translation is not available before the walk
+// completes, whatever level the (pre-inserted) entry hit in.
+func (t *TLB) waitWalk(page int64, ready float64) float64 {
+	if done, ok := t.pending.get(page); ok && done > ready {
+		return done
+	}
+	return ready
+}
+
 // TranslateNoWalk resolves a translation only if it hits one of the
 // TLB levels: ok=false means a full walk would be needed, and no walk
 // is started. This is the hardware-prefetch path — real prefetch
@@ -97,12 +112,12 @@ func (t *TLB) TranslateNoWalk(addr int64, now float64) (float64, bool) {
 	page := addr >> t.pageShift
 	if t.l1.lookup(page) {
 		t.Hits++
-		return now, true
+		return t.waitWalk(page, now), true
 	}
 	if t.l2 != nil && t.l2.lookup(page) {
 		t.L2Hits++
 		t.l1.insert(page)
-		return now + float64(t.l2Latency), true
+		return t.waitWalk(page, now+float64(t.l2Latency)), true
 	}
 	return 0, false
 }

@@ -213,6 +213,7 @@ type resultData struct {
 	HWPrefetchDropped  uint64
 	TLBWalks           uint64
 	LoadStallCycles    float64
+	PrefetchLateCycles float64
 	PrefetchedUnusedL1 uint64
 }
 
@@ -294,6 +295,7 @@ func (s *Store) Get(r sweep.Request) (*core.Result, bool) {
 		HWPrefetchDropped:  d.HWPrefetchDropped,
 		TLBWalks:           d.TLBWalks,
 		LoadStallCycles:    d.LoadStallCycles,
+		PrefetchLateCycles: d.PrefetchLateCycles,
 		PrefetchedUnusedL1: d.PrefetchedUnusedL1,
 	}, true
 }
@@ -374,6 +376,7 @@ func (s *Store) Put(r sweep.Request, res *core.Result) error {
 			HWPrefetchDropped:  res.HWPrefetchDropped,
 			TLBWalks:           res.TLBWalks,
 			LoadStallCycles:    res.LoadStallCycles,
+			PrefetchLateCycles: res.PrefetchLateCycles,
 			PrefetchedUnusedL1: res.PrefetchedUnusedL1,
 		},
 	}

@@ -15,6 +15,11 @@ import (
 // each system's own default model (the per-machine uarch presets).
 const HWPrefetcherDefault = "default"
 
+// CoreDefault is the core axis value that keeps each system's own core
+// timing model (sim.Config.CoreName — the interval model unless a
+// preset pins one explicitly).
+const CoreDefault = "default"
+
 // Grid is a declarative experiment grid: the cross product of
 // workloads, machine configurations, hardware-prefetcher models and
 // variants, all sharing one option set. Expand enumerates it
@@ -24,16 +29,22 @@ const HWPrefetcherDefault = "default"
 // An empty axis yields zero requests: a grid with no workloads, no
 // systems or no variants expands to nothing and Run returns an empty
 // result set without error (pinned by TestGridExpandEmptyAxis).
-// HWPrefetchers is the exception: it contributes no configurations of
-// its own (it only modulates Systems), so empty means {"default"} —
-// one pass with each system's own model, which is what every grid
-// written before the axis existed gets.
+// HWPrefetchers and Cores are the exception: they contribute no
+// configurations of their own (they only modulate Systems), so empty
+// means {"default"} — one pass with each system's own model, which is
+// what every grid written before the axes existed gets.
 type Grid struct {
 	Workloads     []*workloads.Workload
 	Systems       []*sim.Config
 	HWPrefetchers []string
-	Variants      []core.Variant
-	Options       core.Options
+
+	// Cores is the CPU-core-model axis: "default" keeps each system's
+	// own core timing model; "interval", "ooo" and "inorder" pin one
+	// (see internal/sim coremodel.go).
+	Cores []string
+
+	Variants []core.Variant
+	Options  core.Options
 
 	// Execs is the execution-mode axis (innermost). Like HWPrefetchers
 	// it only modulates how cells run, so empty means {direct} — the
@@ -41,46 +52,59 @@ type Grid struct {
 	Execs []core.ExecMode
 }
 
-// Expand enumerates the grid's cells as requests. The hardware axis
-// materialises as derived machine configurations (one shared copy per
-// system × model, so sweep workers still recycle one simulator per
-// configuration), which is also how the model reaches the
-// internal/store key: the full sim.Config is hashed, HWPrefetcher
-// field included.
+// Expand enumerates the grid's cells as requests. The hardware and
+// core axes materialise as derived machine configurations (one shared
+// copy per system × hwpf × core, so sweep workers still recycle one
+// simulator per configuration), which is also how the models reach the
+// internal/store key: the full sim.Config is hashed, HWPrefetcher and
+// Core fields included.
 func (g Grid) Expand() []Request {
 	hws := g.HWPrefetchers
 	if len(hws) == 0 {
 		hws = []string{HWPrefetcherDefault}
 	}
+	cores := g.Cores
+	if len(cores) == 0 {
+		cores = []string{CoreDefault}
+	}
 	derived := make(map[*sim.Config]map[string]*sim.Config)
-	system := func(cfg *sim.Config, hw string) *sim.Config {
-		if hw == HWPrefetcherDefault {
+	system := func(cfg *sim.Config, hw, cm string) *sim.Config {
+		if hw == HWPrefetcherDefault && cm == CoreDefault {
 			return cfg
 		}
-		byHW := derived[cfg]
-		if byHW == nil {
-			byHW = make(map[string]*sim.Config)
-			derived[cfg] = byHW
+		key := hw + "/" + cm
+		byAxis := derived[cfg]
+		if byAxis == nil {
+			byAxis = make(map[string]*sim.Config)
+			derived[cfg] = byAxis
 		}
-		if c, ok := byHW[hw]; ok {
+		if c, ok := byAxis[key]; ok {
 			return c
 		}
-		c := uarch.WithHWPrefetcher(cfg, hw)
-		byHW[hw] = c
+		c := cfg
+		if hw != HWPrefetcherDefault {
+			c = uarch.WithHWPrefetcher(c, hw)
+		}
+		if cm != CoreDefault {
+			c = uarch.WithCoreModel(c, cm)
+		}
+		byAxis[key] = c
 		return c
 	}
 	execs := g.Execs
 	if len(execs) == 0 {
 		execs = []core.ExecMode{core.ExecDirect}
 	}
-	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(hws)*len(g.Variants)*len(execs))
+	reqs := make([]Request, 0, len(g.Workloads)*len(g.Systems)*len(hws)*len(cores)*len(g.Variants)*len(execs))
 	for _, w := range g.Workloads {
 		for _, cfg := range g.Systems {
 			for _, hw := range hws {
-				sys := system(cfg, hw)
-				for _, v := range g.Variants {
-					for _, e := range execs {
-						reqs = append(reqs, Request{Workload: w, System: sys, Variant: v, Options: g.Options, Exec: e})
+				for _, cm := range cores {
+					sys := system(cfg, hw, cm)
+					for _, v := range g.Variants {
+						for _, e := range execs {
+							reqs = append(reqs, Request{Workload: w, System: sys, Variant: v, Options: g.Options, Exec: e})
+						}
 					}
 				}
 			}
@@ -151,6 +175,28 @@ func HWPrefetcherAxis() Axis[string] {
 // ParseHWPrefetchers parses a comma-separated hardware-prefetcher
 // axis ("" selects default — each system's own model).
 func ParseHWPrefetchers(s string) ([]string, error) { return HWPrefetcherAxis().Parse(s) }
+
+// Cores lists every value the core axis accepts: "default" (keep each
+// machine's own core timing model) followed by the sim core-model
+// registry in presentation order.
+func Cores() []string {
+	return append([]string{CoreDefault}, sim.CoreModels()...)
+}
+
+// CoreAxis is the CPU-core-model selector ("" selects default — each
+// system's own timing model).
+func CoreAxis() Axis[string] {
+	return Axis[string]{
+		Noun:    "core model",
+		Values:  Cores(),
+		Name:    func(s string) string { return s },
+		Default: []string{CoreDefault},
+	}
+}
+
+// ParseCores parses a comma-separated core-model axis ("" selects
+// default — each system's own timing model).
+func ParseCores(s string) ([]string, error) { return CoreAxis().Parse(s) }
 
 // ExecModes lists every value the execution-mode axis accepts, in
 // presentation order.

@@ -102,6 +102,10 @@ type Record struct {
 	// machine configuration (sim.Config.HWPrefetcherName) — the
 	// hardware axis is otherwise invisible in the System name.
 	HWPF string
+	// Core is the effective CPU core timing model of the cell's machine
+	// configuration (sim.Config.CoreName) — like HWPF, the core axis is
+	// invisible in the System name.
+	Core string
 	// Exec is the cell's requested execution mode ("direct" or
 	// "replay"; the request's zero value is normalized to "direct").
 	// The statistics are identical either way, so the column records
@@ -128,6 +132,7 @@ type Record struct {
 	HWPrefetchDropped  uint64
 	TLBWalks           uint64
 	LoadStallCycles    float64
+	PrefetchLateCycles float64
 	PrefetchedUnusedL1 uint64
 
 	Err string `json:",omitempty"`
@@ -143,6 +148,7 @@ func (s *ResultSet) Records() []Record {
 			System:     o.System.Name,
 			Variant:    string(o.Variant),
 			HWPF:       o.System.HWPrefetcherName(),
+			Core:       o.System.CoreName(),
 			Exec:       string(o.ExecMode()),
 			C:          o.Options.C,
 			Depth:      o.Options.Depth,
@@ -166,6 +172,7 @@ func (s *ResultSet) Records() []Record {
 			r.HWPrefetchDropped = res.HWPrefetchDropped
 			r.TLBWalks = res.TLBWalks
 			r.LoadStallCycles = res.LoadStallCycles
+			r.PrefetchLateCycles = res.PrefetchLateCycles
 			r.PrefetchedUnusedL1 = res.PrefetchedUnusedL1
 		}
 		out[i] = r
@@ -182,11 +189,11 @@ func (s *ResultSet) WriteJSON(w io.Writer) error {
 
 // csvColumns is the fixed CSV header, matching Record field order.
 var csvColumns = []string{
-	"workload", "system", "variant", "hwpf", "exec", "c", "depth", "hoist", "flat_offset",
+	"workload", "system", "variant", "hwpf", "core", "exec", "c", "depth", "hoist", "flat_offset",
 	"checksum", "cycles", "instructions", "loads", "stores", "sw_prefetches",
 	"l1_hits", "l1_misses", "dram_accesses", "hw_prefetches",
 	"hw_prefetch_dropped", "tlb_walks",
-	"load_stall_cycles", "prefetched_unused_l1", "err",
+	"load_stall_cycles", "prefetch_late_cycles", "prefetched_unused_l1", "err",
 }
 
 // WriteCSV emits the records as comma-separated values, header first.
@@ -199,11 +206,11 @@ func (s *ResultSet) WriteCSV(w io.Writer) error {
 		if strings.ContainsAny(err, ",\"\n") {
 			err = `"` + strings.ReplaceAll(err, `"`, `""`) + `"`
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%d,%s\n",
-			r.Workload, r.System, r.Variant, r.HWPF, r.Exec, r.C, r.Depth, r.Hoist, r.FlatOffset,
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%v,%d,%s\n",
+			r.Workload, r.System, r.Variant, r.HWPF, r.Core, r.Exec, r.C, r.Depth, r.Hoist, r.FlatOffset,
 			r.Checksum, r.Cycles, r.Instructions, r.Loads, r.Stores, r.SWPrefetches,
 			r.L1Hits, r.L1Misses, r.DRAMAccesses, r.HWPrefetches, r.HWPrefetchDropped,
-			r.TLBWalks, r.LoadStallCycles, r.PrefetchedUnusedL1, err)
+			r.TLBWalks, r.LoadStallCycles, r.PrefetchLateCycles, r.PrefetchedUnusedL1, err)
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err

@@ -20,6 +20,10 @@ type Spec struct {
 	// among default,none,stride,nextline,ghb,imp ("" = default, each
 	// system's own model).
 	HWPF string `json:"hwpf,omitempty"`
+	// Core is the CPU-core-model axis: comma-separated models among
+	// default,interval,ooo,inorder ("" = default, each system's own
+	// timing model).
+	Core string `json:"core,omitempty"`
 	// Exec is the execution-mode axis: comma-separated among
 	// direct,replay ("" = direct). Replay records each (workload,
 	// variant) once and retimes it per machine x hwpf cell; with a
@@ -96,6 +100,10 @@ func (sp Spec) ToGrid() (Grid, error) {
 	if err != nil {
 		return Grid{}, err
 	}
+	cms, err := ParseCores(sp.Core)
+	if err != nil {
+		return Grid{}, err
+	}
 	es, err := ParseExecModes(sp.Exec)
 	if err != nil {
 		return Grid{}, err
@@ -104,6 +112,7 @@ func (sp Spec) ToGrid() (Grid, error) {
 		Workloads:     ws,
 		Systems:       cfgs,
 		HWPrefetchers: hws,
+		Cores:         cms,
 		Variants:      vs,
 		Options:       core.Options{C: sp.C, Depth: sp.Depth, Hoist: sp.Hoist},
 		Execs:         es,

@@ -122,6 +122,83 @@ func TestGridExpandHWPrefetcherAxis(t *testing.T) {
 	}
 }
 
+// TestGridExpandCoreAxis: the core axis mirrors the hardware one — a
+// shared derived config per system × model, slotted inside the
+// hardware axis in enumeration order, surfaced in the records.
+func TestGridExpandCoreAxis(t *testing.T) {
+	ws := workloads.Tiny()[:1]
+	g := Grid{
+		Workloads: ws,
+		Systems:   uarch.All()[:1], // Haswell
+		Cores:     []string{CoreDefault, "ooo", "inorder"},
+		Variants:  []core.Variant{core.VariantPlain, core.VariantAuto},
+	}
+	reqs := g.Expand()
+	if len(reqs) != 6 {
+		t.Fatalf("expanded %d requests, want 6", len(reqs))
+	}
+	// default keeps the original pointer; named models derive copies.
+	if reqs[0].System != g.Systems[0] || reqs[1].System != g.Systems[0] {
+		t.Error("default axis value must not copy the config")
+	}
+	if reqs[2].System == g.Systems[0] || reqs[2].System.Core != "ooo" {
+		t.Errorf("core=ooo config wrong: %+v", reqs[2].System.Core)
+	}
+	if reqs[2].System != reqs[3].System {
+		t.Error("variants of one system×core cell must share a derived config")
+	}
+	if reqs[4].System.CoreName() != "inorder" {
+		t.Errorf("core axis out of order: got %q", reqs[4].System.CoreName())
+	}
+	if reqs[2].System.Name != g.Systems[0].Name {
+		t.Error("derived configs must keep the machine name")
+	}
+
+	set, err := g.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := set.Records()
+	// Haswell's empty Core field resolves to the interval model.
+	wantCore := []string{"interval", "interval", "ooo", "ooo", "inorder", "inorder"}
+	for i, r := range recs {
+		if r.Core != wantCore[i] {
+			t.Errorf("record %d core = %q, want %q", i, r.Core, wantCore[i])
+		}
+	}
+	// The models must actually time differently: an in-order Haswell
+	// cannot hide its misses, so the plain cells cannot all agree.
+	if recs[0].Cycles == recs[4].Cycles {
+		t.Error("interval and inorder timed the plain cell identically")
+	}
+}
+
+// TestSweepReportsPrefetchLateCycles: the late-prefetch statistic the
+// hierarchy fix revived must reach the sweep records — at least one
+// software-prefetching cell of the tiny grid has a demand hit that
+// waits on its own in-flight prefetch fill.
+func TestSweepReportsPrefetchLateCycles(t *testing.T) {
+	g := Grid{
+		Workloads: workloads.Tiny(),
+		Systems:   uarch.All()[:1], // Haswell
+		Variants:  []core.Variant{core.VariantAuto},
+	}
+	set, err := g.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var late float64
+	for _, r := range set.Records() {
+		if r.Err != "" {
+			t.Fatalf("%s/%s failed: %s", r.Workload, r.Variant, r.Err)
+		}
+		late += r.PrefetchLateCycles
+	}
+	if late <= 0 {
+		t.Error("no cell of the tiny auto grid reports PrefetchLateCycles > 0")
+	}
+}
+
 func TestJobsClamp(t *testing.T) {
 	if got := Jobs(0, 100); got < 1 {
 		t.Errorf("Jobs(0, 100) = %d, want >= 1", got)

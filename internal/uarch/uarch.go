@@ -238,6 +238,19 @@ func WithHWPrefetcher(cfg *sim.Config, name string) *sim.Config {
 	return &out
 }
 
+// WithCoreModel returns a copy of the configuration driven by the
+// named CPU core timing model (see internal/sim): "interval", "ooo"
+// or "inorder". The machine name is kept, so result labels stay
+// comparable across the core axis; sweep records carry the model in
+// their own column. All pipeline parameters (issue width, ROB size,
+// MSHRs, the legacy OutOfOrder flag the interval model consults)
+// carry over — only the timing model interpreting them changes.
+func WithCoreModel(cfg *sim.Config, name string) *sim.Config {
+	out := *cfg
+	out.Core = name
+	return &out
+}
+
 // WithCores returns a copy contending with n-1 identical cores for the
 // DRAM bus (figure 9). The contending copies are partially
 // latency-bound themselves, so each injects less than a full core's
